@@ -1,0 +1,330 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation at reduced scale (full-scale parameters are reachable via
+// cmd/noftlbench flags). Each benchmark reports the figure's headline
+// metric through b.ReportMetric, so `go test -bench=.` reproduces the
+// paper's numbers column.
+package noftl_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"noftl"
+	"noftl/internal/bench"
+	"noftl/internal/flash"
+	"noftl/internal/ftl"
+	"noftl/internal/nand"
+	"noftl/internal/sim"
+	"noftl/internal/storage"
+	"noftl/internal/workload"
+)
+
+// --- Figure 3: GC overhead of FASTer vs NoFTL (off-line replay) ---
+
+func BenchmarkFigure3_GCOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := noftl.Figure3(noftl.Fig3Config{
+			TPCC:         workload.TPCCConfig{Warehouses: 1, CustomersPerDistrict: 60, Items: 200, InitialOrdersPerDistrict: 20},
+			TPCB:         workload.TPCBConfig{Branches: 8, AccountsPerBranch: 2000},
+			TPCE:         workload.TPCEConfig{Customers: 200, Securities: 200},
+			Transactions: 2000,
+			Seed:         int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, row := range res.Rows {
+				b.ReportMetric(row.RelativeCopyback, "copyback_ratio_"+row.Workload)
+				b.ReportMetric(row.RelativeErase, "erase_ratio_"+row.Workload)
+			}
+		}
+	}
+}
+
+// --- Figure 4a/4b: db-writer association sweep ---
+
+func benchFigure4(b *testing.B, wl string) {
+	for i := 0; i < b.N; i++ {
+		res, err := noftl.Figure4(noftl.Fig4Config{
+			Workload: wl,
+			Dies:     []int{1, 4, 8},
+			Workers:  12,
+			DriveMB:  96,
+			Frames:   192,
+			Warm:     500 * sim.Millisecond,
+			Measure:  3 * sim.Second,
+			TPCB:     workload.TPCBConfig{Branches: 16},
+			TPCC:     workload.TPCCConfig{Warehouses: 1},
+			Seed:     int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.Speedup(), "max_diewise_speedup")
+			for j, dies := range []int{1, 4, 8} {
+				b.ReportMetric(res.DieWise.Y[j], "tps_diewise_"+itoa(dies))
+				b.ReportMetric(res.Global.Y[j], "tps_global_"+itoa(dies))
+			}
+		}
+	}
+}
+
+func BenchmarkFigure4a_TPCC_Writers(b *testing.B) { benchFigure4(b, "tpcc") }
+
+func BenchmarkFigure4b_TPCB_Writers(b *testing.B) { benchFigure4(b, "tpcb") }
+
+// --- Headline: end-to-end TPS per storage stack ---
+
+func BenchmarkHeadline_TPS_Stacks(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := noftl.Headline(noftl.HeadlineConfig{
+			Workload: "tpcc",
+			Dies:     4,
+			DriveMB:  96,
+			Workers:  12,
+			Writers:  4,
+			Frames:   256,
+			Warm:     500 * sim.Millisecond,
+			Measure:  3 * sim.Second,
+			TPCC:     workload.TPCCConfig{Warehouses: 1},
+			Seed:     int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.NoFTLSpeedupOverFaster(), "noftl_vs_faster")
+			b.ReportMetric(res.DFTLSlowdownVsPagemap(), "pagemap_vs_dftl")
+			for _, row := range res.Rows {
+				b.ReportMetric(row.Result.TPS, "tps_"+string(row.Stack))
+			}
+		}
+	}
+}
+
+// --- §3 latency: 4KB random writes, FTL outliers vs NoFTL ---
+
+func BenchmarkLatency_RandomWrite(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := noftl.Latency(noftl.LatencyConfig{
+			Ops: 8000, DriveMB: 32, Dies: 2, Seed: int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			f := res.HistOf(bench.StackFaster)
+			n := res.HistOf(bench.StackNoFTL)
+			b.ReportMetric(f.Mean().Seconds()*1e3, "faster_mean_ms")
+			b.ReportMetric(f.Max().Seconds()*1e3, "faster_max_ms")
+			b.ReportMetric(n.Mean().Seconds()*1e3, "noftl_mean_ms")
+			b.ReportMetric(n.Max().Seconds()*1e3, "noftl_max_ms")
+		}
+	}
+}
+
+// --- Demo 1: emulator validation ---
+
+func BenchmarkEmulatorValidation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := noftl.Validate(noftl.ValidateConfig{Ops: 800, Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.MaxErrorPct(), "max_model_error_pct")
+			b.ReportMetric(res.ScalingIOPS[8]/res.ScalingIOPS[1], "iops_scaling_8dies")
+		}
+	}
+}
+
+// --- §5 longevity: erase reduction -> lifetime factor ---
+
+func BenchmarkLongevity_Erases(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := noftl.Figure3(noftl.Fig3Config{
+			TPCB:         workload.TPCBConfig{Branches: 8, AccountsPerBranch: 2000},
+			TPCC:         workload.TPCCConfig{Warehouses: 1, CustomersPerDistrict: 60, Items: 200, InitialOrdersPerDistrict: 20},
+			TPCE:         workload.TPCEConfig{Customers: 200, Securities: 200},
+			Transactions: 2000,
+			Seed:         int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, l := range res.Longevity() {
+				b.ReportMetric(l.Factor, "lifetime_factor_"+l.Workload)
+			}
+		}
+	}
+}
+
+// --- Ablations A1-A4 ---
+
+func BenchmarkAblation_GCPolicy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.AblationGCPolicy(int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, p := range res.Points {
+				b.ReportMetric(p.WA, "wa_"+p.Param)
+			}
+		}
+	}
+}
+
+func BenchmarkAblation_DFTLCMT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.AblationDFTLCMT(int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 && len(res.Points) >= 2 {
+			b.ReportMetric(float64(res.Points[0].MapIO), "mapio_smallest_cmt")
+			b.ReportMetric(float64(res.Points[len(res.Points)-1].MapIO), "mapio_largest_cmt")
+		}
+	}
+}
+
+func BenchmarkAblation_FasterLog(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.AblationFasterLog(int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, p := range res.Points {
+				b.ReportMetric(p.WA, "wa_log_"+ftoa(p.Value))
+			}
+		}
+	}
+}
+
+func BenchmarkAblation_OverProvisioning(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.AblationOverProvision(int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, p := range res.Points {
+				b.ReportMetric(p.WA, "wa_op_"+ftoa(p.Value))
+			}
+		}
+	}
+}
+
+// --- Micro-benchmarks: the building blocks ---
+
+func BenchmarkDevice_ProgramPage(b *testing.B) {
+	dev := flash.New(flash.EmulatorConfig(4, 64, nand.SLC))
+	geo := dev.Geometry()
+	w := &sim.ClockWaiter{}
+	buf := make([]byte, geo.PageSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		die := i % geo.Dies()
+		block := (i / geo.Dies()) % geo.BlocksPerDie() / geo.PlanesPerDie
+		page := i % geo.PagesPerBlock
+		ppn := geo.PPNOf(die, 0, block%geo.BlocksPerPlane, page)
+		st, _ := dev.Array().PageState(ppn)
+		if st == nand.PageProgrammed || dev.Array().NextProgramPage(geo.BlockOf(ppn)) != geo.PageIndex(ppn) {
+			b.StopTimer()
+			_ = dev.EraseBlock(w, geo.BlockOf(ppn))
+			b.StartTimer()
+		}
+		_ = dev.ProgramPage(w, ppn, buf, nand.OOB{})
+	}
+}
+
+func BenchmarkPageFTL_RandomWrite(b *testing.B) {
+	dev := flash.New(flash.EmulatorConfig(4, 64, nand.SLC))
+	f, err := ftl.NewPageFTL(dev, ftl.PageFTLConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := &sim.ClockWaiter{}
+	buf := make([]byte, dev.Geometry().PageSize)
+	n := f.LogicalPages()
+	rng := newBenchRand(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := f.Write(w, rng.Int63n(n), buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngine_TPCBTransaction(b *testing.B) {
+	data := storage.NewMemVolume(4096, 1<<17)
+	logv := storage.NewMemVolume(4096, 1<<15)
+	ctx := storage.NewIOCtx(nil)
+	if err := storage.Format(ctx, data, logv); err != nil {
+		b.Fatal(err)
+	}
+	e, err := storage.Open(ctx, data, logv, storage.EngineConfig{BufferFrames: 1024})
+	if err != nil {
+		b.Fatal(err)
+	}
+	wl := workload.NewTPCB(workload.TPCBConfig{Branches: 8})
+	if err := wl.Load(ctx, e); err != nil {
+		b.Fatal(err)
+	}
+	rng := newBenchRand(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := wl.RunOne(ctx, e, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBTree_Insert(b *testing.B) {
+	data := storage.NewMemVolume(4096, 1<<18)
+	logv := storage.NewMemVolume(4096, 1<<15)
+	ctx := storage.NewIOCtx(nil)
+	if err := storage.Format(ctx, data, logv); err != nil {
+		b.Fatal(err)
+	}
+	e, err := storage.Open(ctx, data, logv, storage.EngineConfig{BufferFrames: 2048})
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx, err := e.CreateIndex(ctx, "bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tx := e.Begin()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := int64(i)*2654435761%(1<<40) + int64(i)
+		_ = e.IdxInsert(ctx, tx, idx, key, storage.RID{Page: storage.PageID(i)})
+	}
+}
+
+// small helpers (no fmt in hot paths)
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	p := len(buf)
+	for i > 0 {
+		p--
+		buf[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[p:])
+}
+
+func ftoa(f float64) string {
+	return itoa(int(f*100)) + "pct"
+}
+
+func newBenchRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,180 @@
+// Command noftlbench regenerates the paper's experiments.
+//
+// Usage:
+//
+//	noftlbench -exp fig3      # Figure 3: GC overhead FASTer vs NoFTL
+//	noftlbench -exp fig4a     # Figure 4a: TPC-C db-writer association
+//	noftlbench -exp fig4b     # Figure 4b: TPC-B db-writer association
+//	noftlbench -exp headline  # abstract: NoFTL vs FASTer/DFTL/pagemap TPS
+//	noftlbench -exp latency   # §3: random-write latency distribution
+//	noftlbench -exp validate  # Demo 1: emulator validation
+//	noftlbench -exp ablations # design-choice sweeps (A1-A4)
+//	noftlbench -exp all
+//
+// Scale flags let the experiments approach the paper's full parameters
+// (they default to simulation-friendly sizes).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"noftl/internal/bench"
+	"noftl/internal/sim"
+	"noftl/internal/workload"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: fig3|fig4a|fig4b|headline|latency|validate|ablations|all")
+		seed    = flag.Int64("seed", 42, "deterministic seed")
+		txs     = flag.Int("txs", 4000, "transactions per workload (fig3)")
+		tpccWH  = flag.Int("tpcc-warehouses", 2, "TPC-C scale factor")
+		tpcbSF  = flag.Int("tpcb-branches", 24, "TPC-B scale factor")
+		tpceCu  = flag.Int("tpce-customers", 100, "TPC-E customers")
+		dies    = flag.String("dies", "", "comma list for fig4 (default 1,2,4,8,16,32)")
+		workers = flag.Int("workers", 16, "transaction processes")
+		driveMB = flag.Int("drive-mb", 192, "drive capacity for TPS runs")
+		measure = flag.Int("measure-s", 8, "measurement window, simulated seconds")
+	)
+	flag.Parse()
+
+	run := func(name string, fn func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		fmt.Printf("=== %s ===\n", name)
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	run("fig3", func() error {
+		res, err := bench.Figure3(bench.Fig3Config{
+			TPCC:         workload.TPCCConfig{Warehouses: *tpccWH},
+			TPCB:         workload.TPCBConfig{Branches: *tpcbSF},
+			TPCE:         workload.TPCEConfig{Customers: *tpceCu},
+			Transactions: *txs,
+			Seed:         *seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println("Figure 3: GC overhead of FASTer vs NoFTL (off-line trace replay)")
+		fmt.Print(res.Table())
+		fmt.Println("\nLongevity (§5): NoFTL lifetime factor = relative erase reduction:")
+		for _, l := range res.Longevity() {
+			fmt.Printf("  %-6s %.2fx\n", l.Workload, l.Factor)
+		}
+		return nil
+	})
+
+	fig4 := func(wl string) func() error {
+		return func() error {
+			cfg := bench.Fig4Config{
+				Workload: wl,
+				Workers:  *workers,
+				DriveMB:  *driveMB,
+				Measure:  sim.Time(*measure) * sim.Second,
+				Seed:     *seed,
+			}
+			if *dies != "" {
+				cfg.Dies = parseInts(*dies)
+			}
+			res, err := bench.Figure4(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("Figure 4 (%s): TPS vs dies, global vs die-wise db-writers\n", wl)
+			fmt.Print(res.Table())
+			fmt.Printf("max die-wise speedup: %.2fx\n", res.Speedup())
+			return nil
+		}
+	}
+	run("fig4a", fig4("tpcc"))
+	run("fig4b", fig4("tpcb"))
+
+	run("headline", func() error {
+		for _, wl := range []string{"tpcc", "tpcb"} {
+			res, err := bench.Headline(bench.HeadlineConfig{
+				Workload: wl,
+				Workers:  *workers,
+				DriveMB:  *driveMB,
+				Measure:  sim.Time(*measure) * sim.Second,
+				Seed:     *seed,
+				TPCC:     workload.TPCCConfig{Warehouses: *tpccWH},
+				TPCB:     workload.TPCBConfig{Branches: *tpcbSF},
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("Headline (%s): end-to-end TPS by storage stack\n", wl)
+			fmt.Print(res.Table())
+			fmt.Printf("NoFTL vs FASTer: %.2fx   pagemap vs DFTL: %.2fx\n\n",
+				res.NoFTLSpeedupOverFaster(), res.DFTLSlowdownVsPagemap())
+		}
+		return nil
+	})
+
+	run("latency", func() error {
+		res, err := bench.Latency(bench.LatencyConfig{Seed: *seed})
+		if err != nil {
+			return err
+		}
+		fmt.Println("§3: 4KB random-write latency (high utilisation)")
+		fmt.Print(res.Table())
+		return nil
+	})
+
+	run("validate", func() error {
+		res, err := bench.Validate(bench.ValidateConfig{Seed: *seed})
+		if err != nil {
+			return err
+		}
+		fmt.Println("Demo 1: emulator timing vs analytic model (queue depth 1)")
+		fmt.Print(res.Table())
+		fmt.Printf("max model error: %.3f%%\n", res.MaxErrorPct())
+		fmt.Println("random-read IOPS scaling with dies:")
+		for _, d := range []int{1, 2, 4, 8} {
+			fmt.Printf("  %2d dies: %.0f IOPS\n", d, res.ScalingIOPS[d])
+		}
+		return nil
+	})
+
+	run("ablations", func() error {
+		for _, f := range []func(int64) (*bench.AblationResult, error){
+			bench.AblationGCPolicy, bench.AblationDFTLCMT,
+			bench.AblationFasterLog, bench.AblationOverProvision,
+		} {
+			res, err := f(*seed)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("ablation: %s\n%s\n", res.Name, res.Table())
+		}
+		return nil
+	})
+}
+
+func parseInts(s string) []int {
+	var out []int
+	cur := 0
+	have := false
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if have {
+				out = append(out, cur)
+			}
+			cur, have = 0, false
+			continue
+		}
+		if s[i] >= '0' && s[i] <= '9' {
+			cur = cur*10 + int(s[i]-'0')
+			have = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,225 @@
+// Command tracereplay records page-level I/O traces of TPC workloads
+// and replays them against each flash-management scheme — the paper's
+// off-line methodology for Figure 3, exposed as a standalone tool.
+//
+// Usage:
+//
+//	tracereplay -record tpcb -txs 5000 -o tpcb.trace
+//	tracereplay -replay tpcb.trace -target faster
+//	tracereplay -replay tpcb.trace -target noftl
+//	tracereplay -replay tpcb.trace -target all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"noftl/internal/flash"
+	"noftl/internal/ftl"
+	"noftl/internal/nand"
+	"noftl/internal/noftl"
+	"noftl/internal/storage"
+	"noftl/internal/trace"
+	"noftl/internal/workload"
+)
+
+func main() {
+	var (
+		record = flag.String("record", "", "record a workload trace: tpcb|tpcc|tpce|tpch")
+		replay = flag.String("replay", "", "replay a trace file")
+		target = flag.String("target", "all", "replay target: pagemap|dftl|faster|noftl|all")
+		out    = flag.String("o", "workload.trace", "output trace file")
+		txs    = flag.Int("txs", 4000, "transactions to record")
+		sf     = flag.Int("sf", 8, "scale factor")
+		seed   = flag.Int64("seed", 42, "seed")
+	)
+	flag.Parse()
+
+	switch {
+	case *record != "":
+		if err := doRecord(*record, *out, *txs, *sf, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case *replay != "":
+		if err := doReplay(*replay, *target); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func doRecord(name, out string, txs, sf int, seed int64) error {
+	var wl workload.Workload
+	switch name {
+	case "tpcb":
+		wl = workload.NewTPCB(workload.TPCBConfig{Branches: sf})
+	case "tpcc":
+		wl = workload.NewTPCC(workload.TPCCConfig{Warehouses: sf})
+	case "tpce":
+		wl = workload.NewTPCE(workload.TPCEConfig{Customers: sf * 50})
+	case "tpch":
+		wl = workload.NewTPCH(workload.TPCHConfig{ScaleFactor: sf})
+	default:
+		return fmt.Errorf("unknown workload %q", name)
+	}
+	const pageSize = 4096
+	inner := storage.NewMemVolume(pageSize, 1<<20)
+	rec := trace.NewRecorder(inner)
+	logv := storage.NewMemVolume(pageSize, 1<<16)
+	ctx := storage.NewIOCtx(nil)
+	if err := storage.Format(ctx, rec, logv); err != nil {
+		return err
+	}
+	e, err := storage.Open(ctx, rec, logv, storage.EngineConfig{BufferFrames: 1024})
+	if err != nil {
+		return err
+	}
+	if err := wl.Load(ctx, e); err != nil {
+		return err
+	}
+	rng := newRand(seed)
+	for i := 0; i < txs; i++ {
+		if err := wl.RunOne(ctx, e, rng); err != nil {
+			return fmt.Errorf("tx %d: %w", i, err)
+		}
+		if (i+1)%200 == 0 {
+			if err := e.Checkpoint(ctx); err != nil {
+				return err
+			}
+		}
+	}
+	if err := e.Close(ctx); err != nil {
+		return err
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := rec.T.Encode(f); err != nil {
+		return err
+	}
+	r, w, t := rec.T.Counts()
+	fmt.Printf("recorded %s: %d ops (%d reads, %d writes, %d trims) -> %s\n",
+		name, len(rec.T.Ops), r, w, t, out)
+	return nil
+}
+
+func doReplay(path, target string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := trace.Decode(f)
+	if err != nil {
+		return err
+	}
+	maxLPN := int64(0)
+	for _, op := range tr.Ops {
+		if op.LPN > maxLPN {
+			maxLPN = op.LPN
+		}
+	}
+	devPages := (maxLPN + 1) * 10 / 7
+	targets := []string{target}
+	if target == "all" {
+		targets = []string{"pagemap", "dftl", "faster", "noftl"}
+	}
+	fmt.Printf("%-8s %10s %10s %10s %10s %8s\n",
+		"target", "copybacks", "gcR+W", "erases", "mapIO", "WA")
+	for _, t := range targets {
+		if err := replayOne(tr, t, devPages); err != nil {
+			return fmt.Errorf("%s: %w", t, err)
+		}
+	}
+	return nil
+}
+
+func replayOne(tr *trace.Trace, target string, devPages int64) error {
+	cfg := replayDevice(devPages, tr.PageSize)
+	dev := flash.New(cfg)
+	var tgt trace.Target
+	var statsFn func() ftl.Stats
+	opts := trace.ReplayOptions{DropTrims: true}
+	switch target {
+	case "pagemap":
+		f, err := ftl.NewPageFTL(dev, ftl.PageFTLConfig{})
+		if err != nil {
+			return err
+		}
+		tgt, statsFn = f, f.Stats
+	case "dftl":
+		f, err := ftl.NewDFTL(dev, ftl.DFTLConfig{})
+		if err != nil {
+			return err
+		}
+		tgt, statsFn = f, f.Stats
+	case "faster":
+		f, err := ftl.NewFasterFTL(dev, ftl.FasterConfig{SecondChance: true})
+		if err != nil {
+			return err
+		}
+		tgt, statsFn = f, f.Stats
+	case "noftl":
+		v, err := noftl.New(dev, noftl.Config{})
+		if err != nil {
+			return err
+		}
+		tgt, statsFn = trace.NoFTLTarget{V: v}, v.Stats
+		opts.DropTrims = false // the whole point: dead pages reach the GC
+	default:
+		return fmt.Errorf("unknown target %q", target)
+	}
+	if tgt.LogicalPages() <= devPages*7/10 {
+		// keep going: logical capacity differs per scheme; replay wraps.
+		_ = tgt
+	}
+	if err := trace.Replay(tr, tgt, opts); err != nil {
+		return err
+	}
+	s := statsFn()
+	d := dev.Stats()
+	fmt.Printf("%-8s %10d %10d %10d %10d %8.2f\n",
+		target, d.Copybacks, s.GCReads+s.GCWrites, d.Erases,
+		s.MapReads+s.MapWrites, s.WriteAmplification())
+	return nil
+}
+
+func replayDevice(pages int64, pageSize int) flash.Config {
+	const ppb = 64
+	blocks := int(pages/ppb) + 1
+	if blocks < 12 {
+		blocks = 12
+	}
+	dies := blocks / 16
+	if dies > 8 {
+		dies = 8
+	}
+	if dies < 1 {
+		dies = 1
+	}
+	channels := dies
+	if channels > 4 {
+		channels = 4
+	}
+	for dies%channels != 0 {
+		channels--
+	}
+	return flash.Config{
+		Geometry: nand.Geometry{
+			Channels: channels, ChipsPerChannel: dies / channels, DiesPerChip: 1,
+			PlanesPerDie: 1, BlocksPerPlane: blocks/dies + 2, PagesPerBlock: ppb,
+			PageSize: pageSize, OOBSize: 128,
+		},
+		Cell: nand.SLC,
+	}
+}
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

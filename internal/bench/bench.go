@@ -1,0 +1,224 @@
+// Package bench implements the paper's experiments: every table and
+// figure of the evaluation has a driver here that regenerates it
+// (Figure 3 GC overhead, Figures 4a/4b writer association, the headline
+// stack comparison, the latency study, emulator validation) plus the
+// ablations DESIGN.md calls out.
+package bench
+
+import (
+	"errors"
+	"fmt"
+
+	"noftl/internal/blockdev"
+	"noftl/internal/flash"
+	"noftl/internal/ftl"
+	"noftl/internal/noftl"
+	"noftl/internal/sim"
+	"noftl/internal/storage"
+	"noftl/internal/workload"
+)
+
+// Stack names a storage architecture under comparison.
+type Stack string
+
+// The storage stacks of Figure 6: the NoFTL architecture versus the
+// conventional architecture with an on-device FTL behind a block
+// interface.
+const (
+	StackNoFTL   Stack = "noftl"
+	StackFaster  Stack = "faster"
+	StackDFTL    Stack = "dftl"
+	StackPagemap Stack = "pagemap"
+)
+
+// System is an engine mounted on one storage stack.
+type System struct {
+	Stack    Stack
+	Engine   *storage.Engine
+	Dev      *flash.Device
+	Vol      storage.Volume
+	NoFTL    *noftl.Volume // nil for block-device stacks
+	FTLStats func() ftl.Stats
+	Ctx      *storage.IOCtx
+	K        *sim.Kernel // DES kernel; block-device queueing binds to it
+}
+
+// BuildSystem assembles a full system: NAND device, flash management
+// (host- or device-side), volume adapter, formatted engine. The log
+// lives on a zero-latency memory volume for every stack, so measured
+// differences come from the data path.
+func BuildSystem(stack Stack, devCfg flash.Config, frames int) (*System, error) {
+	devCfg.Nand.StoreData = true
+	dev := flash.New(devCfg)
+	k := sim.New()
+	s := &System{Stack: stack, Dev: dev, Ctx: storage.NewIOCtx(&sim.ClockWaiter{}), K: k}
+	pageSize := devCfg.Geometry.PageSize
+
+	switch stack {
+	case StackNoFTL:
+		v, err := noftl.New(dev, noftl.Config{})
+		if err != nil {
+			return nil, err
+		}
+		s.NoFTL = v
+		s.Vol = storage.NewNoFTLVolume(v)
+		s.FTLStats = v.Stats
+	case StackFaster:
+		f, err := ftl.NewFasterFTL(dev, ftl.FasterConfig{SecondChance: true})
+		if err != nil {
+			return nil, err
+		}
+		s.Vol = storage.NewBlockVolume(blockdev.New(f, blockdev.Config{Kernel: k}), pageSize)
+		s.FTLStats = f.Stats
+	case StackDFTL:
+		// CMT sized to ~2% of the device's pages: the device-RAM-to-
+		// capacity ratio of SATA-era controllers, which is what makes
+		// DFTL's translation traffic visible (§3.1).
+		cmt := int(devCfg.Geometry.TotalPages() / 50)
+		f, err := ftl.NewDFTL(dev, ftl.DFTLConfig{CMTEntries: cmt})
+		if err != nil {
+			return nil, err
+		}
+		s.Vol = storage.NewBlockVolume(blockdev.New(f, blockdev.Config{Kernel: k}), pageSize)
+		s.FTLStats = f.Stats
+	case StackPagemap:
+		f, err := ftl.NewPageFTL(dev, ftl.PageFTLConfig{})
+		if err != nil {
+			return nil, err
+		}
+		s.Vol = storage.NewBlockVolume(blockdev.New(f, blockdev.Config{Kernel: k}), pageSize)
+		s.FTLStats = f.Stats
+	default:
+		return nil, fmt.Errorf("bench: unknown stack %q", stack)
+	}
+
+	logVol := storage.NewMemVolume(pageSize, 1<<14)
+	if err := storage.Format(s.Ctx, s.Vol, logVol); err != nil {
+		return nil, err
+	}
+	e, err := storage.Open(s.Ctx, s.Vol, logVol, storage.EngineConfig{BufferFrames: frames})
+	if err != nil {
+		return nil, err
+	}
+	s.Engine = e
+	return s, nil
+}
+
+// TPSConfig drives a throughput measurement.
+type TPSConfig struct {
+	Workers     int // transaction processes ("read processes")
+	Writers     int // background db-writers
+	Association storage.WriterAssociation
+	Warm        sim.Time // excluded from the TPS window
+	Measure     sim.Time
+	CkptEvery   sim.Time // checkpoint period (log reclamation). Default 2s.
+	Seed        int64
+}
+
+// TPSResult is one throughput measurement.
+type TPSResult struct {
+	TPS       float64
+	Committed int64
+	Retries   int64 // lock-timeout restarts
+	Buffer    storage.BufferStats
+	FTL       ftl.Stats
+	Device    flash.Stats
+}
+
+// RunTPS loads wl on the system (serial phase), then measures
+// transaction throughput under the DES kernel with the configured
+// workers and db-writers.
+func RunTPS(sys *System, wl workload.Workload, cfg TPSConfig) (*TPSResult, error) {
+	if cfg.CkptEvery <= 0 {
+		cfg.CkptEvery = 2 * sim.Second
+	}
+	if err := wl.Load(sys.Ctx, sys.Engine); err != nil {
+		return nil, fmt.Errorf("bench: load %s: %w", wl.Name(), err)
+	}
+	if err := sys.Engine.Checkpoint(sys.Ctx); err != nil {
+		return nil, err
+	}
+	// The load ran on a private serial clock; restart the device
+	// timelines and counters for the measured phase.
+	sys.Dev.ResetTime()
+	sys.Dev.ResetStats()
+
+	k := sys.K
+	res := &TPSResult{}
+	counting := false
+	stopped := false
+	var fatal error
+
+	writerCfg := storage.WriterConfig{
+		N:           cfg.Writers,
+		Association: cfg.Association,
+	}
+	if sys.NoFTL != nil {
+		writerCfg.DriveGC = true
+		writerCfg.GC = sys.NoFTL.GCStep
+		writerCfg.NeedsGC = sys.NoFTL.NeedsGC
+	}
+	stopWriters := sys.Engine.StartWriters(k, writerCfg)
+
+	for i := 0; i < cfg.Workers; i++ {
+		seed := cfg.Seed + int64(i)*7919
+		k.Go("worker", func(p *sim.Proc) {
+			rng := newRand(seed)
+			ctx := storage.NewIOCtx(sim.ProcWaiter{P: p})
+			for !stopped {
+				err := wl.RunOne(ctx, sys.Engine, rng)
+				switch {
+				case err == nil:
+					if counting {
+						res.Committed++
+					}
+				case errors.Is(err, storage.ErrLockTimeout):
+					res.Retries++
+				default:
+					if fatal == nil {
+						fatal = err
+					}
+					return
+				}
+			}
+		})
+	}
+	k.Go("checkpointer", func(p *sim.Proc) {
+		ctx := storage.NewIOCtx(sim.ProcWaiter{P: p})
+		wal := sys.Engine.Log()
+		last := p.Now()
+		for !stopped {
+			p.Sleep(100 * sim.Millisecond)
+			if stopped {
+				return
+			}
+			// Checkpoint on schedule, or earlier when the log is halfway
+			// to wrapping into the anchored checkpoint.
+			if p.Now()-last < cfg.CkptEvery && wal.SinceAnchor()*2 < wal.Capacity() {
+				continue
+			}
+			if err := sys.Engine.Checkpoint(ctx); err != nil && fatal == nil {
+				fatal = err
+				return
+			}
+			last = p.Now()
+		}
+	})
+
+	k.RunFor(cfg.Warm)
+	counting = true
+	k.RunFor(cfg.Measure)
+	counting = false
+	stopped = true
+	stopWriters()
+	k.RunFor(10 * sim.Millisecond) // let loops observe the stop flag
+	k.Shutdown()
+	if fatal != nil {
+		return nil, fmt.Errorf("bench: %s on %s: %w", wl.Name(), sys.Stack, fatal)
+	}
+	res.TPS = float64(res.Committed) / cfg.Measure.Seconds()
+	res.Buffer = sys.Engine.Buffer().Stats()
+	res.FTL = sys.FTLStats()
+	res.Device = sys.Dev.Stats()
+	return res, nil
+}

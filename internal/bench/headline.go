@@ -1,0 +1,163 @@
+package bench
+
+import (
+	"fmt"
+
+	"noftl/internal/flash"
+	"noftl/internal/nand"
+	"noftl/internal/sim"
+	"noftl/internal/stats"
+	"noftl/internal/storage"
+	"noftl/internal/workload"
+)
+
+// HeadlineConfig parameterizes the end-to-end stack comparison behind
+// the paper's headline claims: NoFTL ≥2.4x over the conventional hybrid
+// FTL stack under TPC-C (2.25x TPC-B), and DFTL up to 3.7x slower than
+// pure page mapping.
+type HeadlineConfig struct {
+	Workload string  // "tpcc" or "tpcb"
+	Stacks   []Stack // default all four
+	Dies     int     // default 8
+	DriveMB  int     // default 160
+	Workers  int     // default 16
+	Writers  int     // default 8
+	Frames   int     // default 384
+	Warm     sim.Time
+	Measure  sim.Time
+	Seed     int64
+
+	TPCC workload.TPCCConfig
+	TPCB workload.TPCBConfig
+}
+
+func (c HeadlineConfig) withDefaults() HeadlineConfig {
+	if c.Workload == "" {
+		c.Workload = "tpcc"
+	}
+	if len(c.Stacks) == 0 {
+		c.Stacks = []Stack{StackNoFTL, StackPagemap, StackFaster, StackDFTL}
+	}
+	if c.Dies <= 0 {
+		c.Dies = 8
+	}
+	if c.DriveMB <= 0 {
+		c.DriveMB = 160
+	}
+	if c.Workers <= 0 {
+		c.Workers = 16
+	}
+	if c.Writers <= 0 {
+		c.Writers = 8
+	}
+	if c.Frames <= 0 {
+		c.Frames = 384
+	}
+	if c.Warm <= 0 {
+		c.Warm = 2 * sim.Second
+	}
+	if c.Measure <= 0 {
+		c.Measure = 8 * sim.Second
+	}
+	if c.TPCC.Warehouses == 0 {
+		c.TPCC = workload.TPCCConfig{Warehouses: 2}
+	}
+	if c.TPCB.Branches == 0 {
+		c.TPCB = workload.TPCBConfig{Branches: 24}
+	}
+	return c
+}
+
+// HeadlineRow is one stack's measurement.
+type HeadlineRow struct {
+	Stack  Stack
+	Result TPSResult
+}
+
+// HeadlineResult compares the stacks.
+type HeadlineResult struct {
+	Workload string
+	Rows     []HeadlineRow
+}
+
+// TPSOf returns a stack's throughput (0 if absent).
+func (r *HeadlineResult) TPSOf(s Stack) float64 {
+	for _, row := range r.Rows {
+		if row.Stack == s {
+			return row.Result.TPS
+		}
+	}
+	return 0
+}
+
+// NoFTLSpeedupOverFaster is the headline ratio (paper: 2.4x TPC-C,
+// 2.25x TPC-B).
+func (r *HeadlineResult) NoFTLSpeedupOverFaster() float64 {
+	if f := r.TPSOf(StackFaster); f > 0 {
+		return r.TPSOf(StackNoFTL) / f
+	}
+	return 0
+}
+
+// DFTLSlowdownVsPagemap is the mapping-cache penalty (paper: up to
+// 3.7x).
+func (r *HeadlineResult) DFTLSlowdownVsPagemap() float64 {
+	if d := r.TPSOf(StackDFTL); d > 0 {
+		return r.TPSOf(StackPagemap) / d
+	}
+	return 0
+}
+
+// Table renders the comparison.
+func (r *HeadlineResult) Table() string {
+	t := stats.NewTable("stack", "TPS", "vs faster", "WA", "copybacks", "erases", "mapIO")
+	faster := r.TPSOf(StackFaster)
+	for _, row := range r.Rows {
+		rel := 0.0
+		if faster > 0 {
+			rel = row.Result.TPS / faster
+		}
+		t.Row(string(row.Stack), row.Result.TPS, rel,
+			row.Result.FTL.WriteAmplification(),
+			row.Result.Device.Copybacks, row.Result.Device.Erases,
+			row.Result.FTL.MapReads+row.Result.FTL.MapWrites)
+	}
+	return t.String()
+}
+
+// Headline measures TPS for every stack on identical hardware and
+// workload.
+func Headline(cfg HeadlineConfig) (*HeadlineResult, error) {
+	cfg = cfg.withDefaults()
+	res := &HeadlineResult{Workload: cfg.Workload}
+	for _, stack := range cfg.Stacks {
+		devCfg := flash.EmulatorConfig(cfg.Dies, cfg.DriveMB, nand.SLC)
+		sys, err := BuildSystem(stack, devCfg, cfg.Frames)
+		if err != nil {
+			return nil, fmt.Errorf("headline %s: %w", stack, err)
+		}
+		var wl workload.Workload
+		if cfg.Workload == "tpcb" {
+			wl = workload.NewTPCB(cfg.TPCB)
+		} else {
+			wl = workload.NewTPCC(cfg.TPCC)
+		}
+		assoc := storage.AssocDieWise
+		if stack != StackNoFTL {
+			assoc = storage.AssocGlobal // the block device hides regions
+		}
+		r, err := RunTPS(sys, wl, TPSConfig{
+			Workers:     cfg.Workers,
+			Writers:     cfg.Writers,
+			Association: assoc,
+			Warm:        cfg.Warm,
+			Measure:     cfg.Measure,
+			Seed:        cfg.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("headline %s: %w", stack, err)
+		}
+		res.Rows = append(res.Rows, HeadlineRow{Stack: stack, Result: *r})
+	}
+	return res, nil
+}

@@ -1,0 +1,72 @@
+package flash
+
+import "noftl/internal/nand"
+
+// OpenSSDConfig approximates the OpenSSD (Jasmine-class) research board
+// the paper ports NoFTL to: a modest number of channels and banks with
+// MLC NAND. The exact board layout is proprietary-ish; this fixture keeps
+// the architectural ratios (few channels, several banks per channel,
+// two-plane dies, 4 KiB pages, 128-page blocks) so experiments
+// "configured as OpenSSD" exercise the same contention structure.
+func OpenSSDConfig() Config {
+	return Config{
+		Geometry: nand.Geometry{
+			Channels:        2,
+			ChipsPerChannel: 4,
+			DiesPerChip:     1,
+			PlanesPerDie:    2,
+			BlocksPerPlane:  512,
+			PagesPerBlock:   128,
+			PageSize:        4096,
+			OOBSize:         128,
+		},
+		Cell:        nand.MLC,
+		ChannelMBps: 160, // SATA2-era bus per channel
+		Nand:        nand.Options{StoreData: true},
+	}
+}
+
+// EmulatorConfig returns a parameterizable emulator geometry with the
+// requested number of dies (spread over min(dies, 8) channels), sized so
+// that the device holds roughly capacityMB of user data. This mirrors the
+// paper's enhanced emulator, which is reconfigured per experiment.
+func EmulatorConfig(dies, capacityMB int, cell nand.CellType) Config {
+	if dies < 1 {
+		dies = 1
+	}
+	// Largest channel count <= 8 that divides the die count, so every
+	// channel serves the same number of dies.
+	channels := 1
+	for c := 2; c <= 8 && c <= dies; c++ {
+		if dies%c == 0 {
+			channels = c
+		}
+	}
+	const (
+		pageSize      = 4096
+		pagesPerBlock = 64
+		planesPerDie  = 2
+	)
+	// blocksPerPlane chosen so dies * planes * blocks * pages * 4KiB ≈ capacity.
+	blockBytes := int64(pagesPerBlock) * pageSize
+	planeCount := int64(dies) * planesPerDie
+	blocksPerPlane := (int64(capacityMB) * 1 << 20) / (blockBytes * planeCount)
+	if blocksPerPlane < 8 {
+		blocksPerPlane = 8
+	}
+	return Config{
+		Geometry: nand.Geometry{
+			Channels:        channels,
+			ChipsPerChannel: dies / channels,
+			DiesPerChip:     1,
+			PlanesPerDie:    planesPerDie,
+			BlocksPerPlane:  int(blocksPerPlane),
+			PagesPerBlock:   pagesPerBlock,
+			PageSize:        pageSize,
+			OOBSize:         128,
+		},
+		Cell:        cell,
+		ChannelMBps: 200,
+		Nand:        nand.Options{StoreData: true},
+	}
+}

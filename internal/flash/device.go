@@ -1,0 +1,288 @@
+// Package flash implements the paper's data-driven flash emulator: a
+// multi-channel, multi-die NAND device exposing the native flash
+// interface (READ PAGE, PROGRAM PAGE, COPYBACK, ERASE BLOCK, IDENTIFY).
+//
+// Timing follows the standard SSD queueing model: every die and every
+// channel bus has a busy-until timeline; an operation arriving at time t
+// is serialized FCFS on the resources it touches. Reads occupy the die
+// (tR) and then the channel (transfer); programs transfer first, then
+// occupy the die (tPROG); erases and copybacks occupy only the die —
+// copyback never crosses the bus, which is exactly why the paper reports
+// copybacks separately from host I/O.
+//
+// The same device runs in three modes depending on the sim.Waiter the
+// caller passes: deterministic virtual time (sim.ProcWaiter), serial
+// counting-only replay (sim.ClockWaiter) or wall-clock real time
+// (sim.RealWaiter).
+package flash
+
+import (
+	"fmt"
+	"sync"
+
+	"noftl/internal/nand"
+	"noftl/internal/sim"
+)
+
+// Config describes a device to emulate.
+type Config struct {
+	Geometry nand.Geometry
+	Cell     nand.CellType
+	// Timing overrides the cell type's latencies when non-zero.
+	Timing nand.Timing
+	// ChannelMBps is the per-channel bus bandwidth. 0 defaults to 200 MB/s
+	// (ONFI 2.x class).
+	ChannelMBps int
+	// CmdOverhead is a fixed controller/command cycle cost added to every
+	// operation. 0 defaults to 2µs.
+	CmdOverhead sim.Time
+	// Nand configures data storage and failure injection.
+	Nand nand.Options
+}
+
+func (c Config) withDefaults() Config {
+	if c.Timing == (nand.Timing{}) {
+		c.Timing = c.Cell.Timing()
+	}
+	if c.ChannelMBps == 0 {
+		c.ChannelMBps = 200
+	}
+	if c.CmdOverhead == 0 {
+		c.CmdOverhead = 2 * sim.Microsecond
+	}
+	return c
+}
+
+// Identity is what the IDENTIFY command returns: everything a host needs
+// to manage the device natively (the flash analog of HDIO_GETGEO).
+type Identity struct {
+	Geometry     nand.Geometry
+	Cell         nand.CellType
+	Timing       nand.Timing
+	TransferPage sim.Time // per-page channel transfer time
+	Endurance    int      // erase budget per block
+}
+
+// Stats is a snapshot of device operation counters and busy times.
+type Stats struct {
+	Reads        int64
+	Programs     int64
+	Erases       int64
+	Copybacks    int64
+	ReadTime     sim.Time
+	ProgramTime  sim.Time
+	EraseTime    sim.Time
+	CopybackTime sim.Time
+	DieBusy      []sim.Time // per-die accumulated service time
+	ChannelBusy  []sim.Time // per-channel accumulated transfer time
+}
+
+// Device is the emulated native-flash device.
+type Device struct {
+	mu       sync.Mutex
+	cfg      Config
+	arr      *nand.Array
+	xferPage sim.Time
+	dieBusy  []sim.Time
+	chBusy   []sim.Time
+	stats    Stats
+}
+
+// New builds a device from cfg. Invalid geometry panics (it is a
+// programming-time constant).
+func New(cfg Config) *Device {
+	cfg = cfg.withDefaults()
+	geo := cfg.Geometry
+	d := &Device{
+		cfg:      cfg,
+		arr:      nand.NewArray(geo, cfg.Cell, cfg.Nand),
+		xferPage: sim.Time(int64(geo.PageSize+geo.OOBSize) * 1000 / int64(cfg.ChannelMBps)),
+		dieBusy:  make([]sim.Time, geo.Dies()),
+		chBusy:   make([]sim.Time, geo.Channels),
+	}
+	d.stats.DieBusy = make([]sim.Time, geo.Dies())
+	d.stats.ChannelBusy = make([]sim.Time, geo.Channels)
+	return d
+}
+
+// Identify implements the identification command of the native interface.
+func (d *Device) Identify() Identity {
+	return Identity{
+		Geometry:     d.cfg.Geometry,
+		Cell:         d.cfg.Cell,
+		Timing:       d.cfg.Timing,
+		TransferPage: d.xferPage,
+		Endurance:    d.arr.Endurance(),
+	}
+}
+
+// Geometry returns the device geometry (shorthand for Identify().Geometry).
+func (d *Device) Geometry() nand.Geometry { return d.cfg.Geometry }
+
+// Array exposes the underlying NAND array for state inspection (wear,
+// bad blocks, page states). Mutating it directly bypasses timing.
+func (d *Device) Array() *nand.Array { return d.arr }
+
+// Stats returns a snapshot of operation counters.
+func (d *Device) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s := d.stats
+	s.DieBusy = append([]sim.Time(nil), d.stats.DieBusy...)
+	s.ChannelBusy = append([]sim.Time(nil), d.stats.ChannelBusy...)
+	return s
+}
+
+// ResetTime rewinds the die and channel timelines to zero. Experiments
+// use it to splice phases that run on different timelines (e.g. a serial
+// load phase followed by a DES measurement phase starting at time 0).
+func (d *Device) ResetTime() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i := range d.dieBusy {
+		d.dieBusy[i] = 0
+	}
+	for i := range d.chBusy {
+		d.chBusy[i] = 0
+	}
+}
+
+// ResetStats zeroes the operation counters (timelines are preserved).
+func (d *Device) ResetStats() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats = Stats{
+		DieBusy:     make([]sim.Time, len(d.dieBusy)),
+		ChannelBusy: make([]sim.Time, len(d.chBusy)),
+	}
+}
+
+// ReadPage executes READ PAGE: tR on the die, then the transfer on the
+// die's channel. The caller's Waiter experiences the full latency.
+func (d *Device) ReadPage(w sim.Waiter, p nand.PPN, buf []byte) (nand.OOB, error) {
+	if !d.cfg.Geometry.ValidPPN(p) {
+		return nand.OOB{}, fmt.Errorf("flash: read: %w", errAddr(p))
+	}
+	die := d.cfg.Geometry.DieOf(p)
+	ch := d.cfg.Geometry.ChannelOfDie(die)
+	arrival := w.Now()
+
+	d.mu.Lock()
+	start := maxTime(arrival, d.dieBusy[die])
+	readEnd := start + d.cfg.CmdOverhead + d.cfg.Timing.ReadPage
+	xferStart := maxTime(readEnd, d.chBusy[ch])
+	end := xferStart + d.xferPage
+	d.dieBusy[die] = end // die holds the page register until transfer ends
+	d.chBusy[ch] = end
+	oob, err := d.arr.ReadPage(p, buf)
+	d.stats.Reads++
+	d.stats.ReadTime += end - start
+	d.stats.DieBusy[die] += end - start
+	d.stats.ChannelBusy[ch] += end - xferStart
+	d.mu.Unlock()
+
+	w.WaitUntil(end)
+	return oob, err
+}
+
+// ProgramPage executes PROGRAM PAGE: transfer on the channel, then tPROG
+// on the die.
+func (d *Device) ProgramPage(w sim.Waiter, p nand.PPN, data []byte, oob nand.OOB) error {
+	if !d.cfg.Geometry.ValidPPN(p) {
+		return fmt.Errorf("flash: program: %w", errAddr(p))
+	}
+	die := d.cfg.Geometry.DieOf(p)
+	ch := d.cfg.Geometry.ChannelOfDie(die)
+	arrival := w.Now()
+
+	d.mu.Lock()
+	xferStart := maxTime(arrival, d.chBusy[ch])
+	xferEnd := xferStart + d.cfg.CmdOverhead + d.xferPage
+	progStart := maxTime(xferEnd, d.dieBusy[die])
+	end := progStart + d.cfg.Timing.ProgramPage
+	d.chBusy[ch] = xferEnd
+	d.dieBusy[die] = end
+	err := d.arr.ProgramPage(p, data, oob)
+	d.stats.Programs++
+	d.stats.ProgramTime += end - xferStart
+	d.stats.DieBusy[die] += end - progStart
+	d.stats.ChannelBusy[ch] += xferEnd - xferStart
+	d.mu.Unlock()
+
+	w.WaitUntil(end)
+	return err
+}
+
+// EraseBlock executes BLOCK ERASE: tBERS on the die, no bus traffic.
+func (d *Device) EraseBlock(w sim.Waiter, b nand.PBN) error {
+	if !d.cfg.Geometry.ValidPBN(b) {
+		return fmt.Errorf("flash: erase: %w", errAddr(nand.PPN(b)))
+	}
+	die := d.cfg.Geometry.DieOfBlock(b)
+	arrival := w.Now()
+
+	d.mu.Lock()
+	start := maxTime(arrival, d.dieBusy[die])
+	end := start + d.cfg.CmdOverhead + d.cfg.Timing.EraseBlock
+	d.dieBusy[die] = end
+	err := d.arr.EraseBlock(b)
+	d.stats.Erases++
+	d.stats.EraseTime += end - start
+	d.stats.DieBusy[die] += end - start
+	d.mu.Unlock()
+
+	w.WaitUntil(end)
+	return err
+}
+
+// Copyback executes COPYBACK PROGRAM: tR + tPROG entirely inside the die;
+// the data never crosses the channel. Source and target must share a
+// plane (nand.ErrCrossPlane otherwise).
+func (d *Device) Copyback(w sim.Waiter, src, dst nand.PPN, newOOB *nand.OOB) error {
+	if !d.cfg.Geometry.ValidPPN(src) || !d.cfg.Geometry.ValidPPN(dst) {
+		return fmt.Errorf("flash: copyback: %w", errAddr(src))
+	}
+	die := d.cfg.Geometry.DieOf(src)
+	arrival := w.Now()
+
+	d.mu.Lock()
+	start := maxTime(arrival, d.dieBusy[die])
+	end := start + d.cfg.CmdOverhead + d.cfg.Timing.ReadPage + d.cfg.Timing.ProgramPage
+	d.dieBusy[die] = end
+	err := d.arr.Copyback(src, dst, newOOB)
+	d.stats.Copybacks++
+	d.stats.CopybackTime += end - start
+	d.stats.DieBusy[die] += end - start
+	d.mu.Unlock()
+
+	w.WaitUntil(end)
+	return err
+}
+
+// ReadPages reads a series of pages (not necessarily adjacent), the
+// native-interface convenience the paper describes; each page is charged
+// individually but pipelines across dies and channels.
+func (d *Device) ReadPages(w sim.Waiter, ppns []nand.PPN, bufs [][]byte) ([]nand.OOB, error) {
+	oobs := make([]nand.OOB, len(ppns))
+	for i, p := range ppns {
+		var buf []byte
+		if bufs != nil {
+			buf = bufs[i]
+		}
+		oob, err := d.ReadPage(w, p, buf)
+		if err != nil {
+			return oobs, err
+		}
+		oobs[i] = oob
+	}
+	return oobs, nil
+}
+
+func errAddr(p nand.PPN) error { return fmt.Errorf("%w (%d)", nand.ErrBadAddress, p) }
+
+func maxTime(a, b sim.Time) sim.Time {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,35 @@
+package ftl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DebugString renders per-plane block-state histograms, useful when
+// diagnosing capacity or GC-liveness issues.
+func (f *PageFTL) DebugString() string {
+	var b strings.Builder
+	for _, d := range f.dies {
+		fmt.Fprintf(&b, "die %d:\n", d.sp.Die)
+		for plane := 0; plane < d.sp.Planes(); plane++ {
+			var free, frontier, used, bad, validPages int
+			start := plane * d.sp.Geo().BlocksPerPlane
+			for i := start; i < start+d.sp.Geo().BlocksPerPlane; i++ {
+				switch d.bt.Info[i].State {
+				case BlockFree:
+					free++
+				case BlockFrontier:
+					frontier++
+				case BlockUsed:
+					used++
+				case BlockBad:
+					bad++
+				}
+				validPages += d.bt.Info[i].Valid
+			}
+			fmt.Fprintf(&b, "  plane %d: free=%d frontier=%d used=%d bad=%d valid=%d host=%+v gc=%+v\n",
+				plane, free, frontier, used, bad, validPages, d.host[plane], d.gc[plane])
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,261 @@
+package ftl
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"noftl/internal/nand"
+	"noftl/internal/sim"
+)
+
+func newTestDFTL(t *testing.T, cmtEntries int) (*DFTL, *sim.ClockWaiter) {
+	t.Helper()
+	dev := testDevice(nand.Options{})
+	f, err := NewDFTL(dev, DFTLConfig{OverProvision: 0.2, CMTEntries: cmtEntries})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, &sim.ClockWaiter{}
+}
+
+func TestDFTLRoundTrip(t *testing.T) {
+	f, w := newTestDFTL(t, 0)
+	data := fillPage(256, 3, 9)
+	if err := f.Write(w, 3, data); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 256)
+	if err := f.Read(w, 3, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != string(data) {
+		t.Error("round trip corrupted data")
+	}
+}
+
+func TestDFTLUnwrittenReadsZeroWithoutMapIO(t *testing.T) {
+	f, w := newTestDFTL(t, 0)
+	buf := fillPage(256, 1, 1)
+	if err := f.Read(w, 100, buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range buf {
+		if b != 0 {
+			t.Fatal("unwritten page not zero")
+		}
+	}
+	if st := f.Stats(); st.MapReads != 0 {
+		t.Errorf("MapReads = %d for a page with no translation page", st.MapReads)
+	}
+}
+
+func TestDFTLMissesCauseMapReads(t *testing.T) {
+	// Tiny CMT (8 entries/die minimum) with a working set far larger
+	// forces evictions and translation-page traffic.
+	f, w := newTestDFTL(t, 16)
+	n := f.LogicalPages()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < int(n)*2; i++ {
+		lpn := rng.Int63n(n)
+		if err := f.Write(w, lpn, fillPage(256, lpn, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := f.Stats()
+	if st.MapWrites == 0 {
+		t.Error("expected dirty CMT evictions to write translation pages")
+	}
+	if st.MapReads == 0 {
+		t.Error("expected CMT misses to read translation pages")
+	}
+	if hr := f.CMTHitRate(); hr >= 0.95 {
+		t.Errorf("hit rate %.2f implausibly high for tiny CMT", hr)
+	}
+}
+
+func TestDFTLLargeCMTBeatsSmallCMT(t *testing.T) {
+	run := func(entries int) int64 {
+		dev := testDevice(nand.Options{})
+		f, err := NewDFTL(dev, DFTLConfig{OverProvision: 0.2, CMTEntries: entries})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := &sim.ClockWaiter{}
+		n := f.LogicalPages()
+		rng := rand.New(rand.NewSource(4))
+		for i := 0; i < int(n)*3; i++ {
+			lpn := rng.Int63n(n)
+			if err := f.Write(w, lpn, fillPage(256, lpn, i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return f.Stats().MapReads + f.Stats().MapWrites
+	}
+	small := run(16)
+	large := run(1 << 20) // effectively the whole table cached
+	if large >= small {
+		t.Errorf("map I/O should shrink with CMT size: small=%d large=%d", small, large)
+	}
+	if large != 0 {
+		// With everything cached, the only map I/O is first-touch misses
+		// and GC patching; it must be far below the thrashing case.
+		if large*4 > small {
+			t.Errorf("large CMT map I/O %d not << small %d", large, small)
+		}
+	}
+}
+
+func TestDFTLGCPreservesDataAndPatchesMappings(t *testing.T) {
+	f, w := newTestDFTL(t, 64)
+	n := f.LogicalPages()
+	version := make(map[int64]int)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < int(n)*5; i++ {
+		lpn := rng.Int63n(n)
+		version[lpn] = i
+		if err := f.Write(w, lpn, fillPage(256, lpn, i)); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	st := f.Stats()
+	if st.Erases == 0 || st.GCCopybacks == 0 {
+		t.Fatalf("expected GC activity: %+v", st)
+	}
+	buf := make([]byte, 256)
+	for lpn, v := range version {
+		if err := f.Read(w, lpn, buf); err != nil {
+			t.Fatalf("read %d: %v", lpn, err)
+		}
+		if got := binary.LittleEndian.Uint64(buf[8:]); got != uint64(v) {
+			t.Fatalf("lpn %d: version %d, want %d", lpn, got, v)
+		}
+	}
+}
+
+// Property: DFTL agrees with a model map under arbitrary write/trim
+// sequences, regardless of CMT pressure.
+func TestDFTLReadYourWritesProperty(t *testing.T) {
+	type op struct {
+		LPN  uint16
+		Kind uint8
+	}
+	f := func(ops []op, seed int64) bool {
+		dev := testDevice(nand.Options{Seed: seed})
+		ftl, err := NewDFTL(dev, DFTLConfig{OverProvision: 0.2, CMTEntries: 32})
+		if err != nil {
+			return false
+		}
+		w := &sim.ClockWaiter{}
+		model := map[int64]int{}
+		n := ftl.LogicalPages()
+		for i, o := range ops {
+			lpn := int64(o.LPN) % n
+			if o.Kind%3 == 2 {
+				if err := ftl.Trim(w, lpn); err != nil {
+					return false
+				}
+				delete(model, lpn)
+				continue
+			}
+			model[lpn] = i + 1
+			if err := ftl.Write(w, lpn, fillPage(256, lpn, i+1)); err != nil {
+				return false
+			}
+		}
+		buf := make([]byte, 256)
+		for lpn := int64(0); lpn < n; lpn++ {
+			if err := ftl.Read(w, lpn, buf); err != nil {
+				return false
+			}
+			if binary.LittleEndian.Uint64(buf[8:]) != uint64(model[lpn]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDFTLSlowerThanPageMapInTime(t *testing.T) {
+	// The headline DFTL result: identical workloads take longer through
+	// DFTL than pure page mapping because of translation I/O.
+	workload := func(f FTL, w *sim.ClockWaiter) sim.Time {
+		n := f.LogicalPages()
+		rng := rand.New(rand.NewSource(6))
+		start := w.Now()
+		for i := 0; i < 2000; i++ {
+			lpn := rng.Int63n(n)
+			if err := f.Write(w, lpn, fillPage(256, lpn, i)); err != nil {
+				t.Fatal(err)
+			}
+			if i%4 == 0 {
+				if err := f.Read(w, rng.Int63n(n), nil); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return w.Now() - start
+	}
+	devA := testDevice(nand.Options{})
+	pm, err := NewPageFTL(devA, PageFTLConfig{OverProvision: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wA := &sim.ClockWaiter{}
+	tPage := workload(pm, wA)
+
+	devB := testDevice(nand.Options{})
+	df, err := NewDFTL(devB, DFTLConfig{OverProvision: 0.2, CMTEntries: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wB := &sim.ClockWaiter{}
+	tDFTL := workload(df, wB)
+
+	if tDFTL <= tPage {
+		t.Errorf("DFTL (%v) should be slower than page mapping (%v)", tDFTL, tPage)
+	}
+	if ratio := float64(tDFTL) / float64(tPage); ratio < 1.2 {
+		t.Errorf("DFTL slowdown %.2fx implausibly small under a thrashing CMT", ratio)
+	}
+}
+
+func TestCMTCacheLRUOrder(t *testing.T) {
+	c := newCMTCache(2)
+	c.insert(1, false)
+	c.insert(2, false)
+	if !c.touch(1) { // 1 becomes MRU; LRU is 2
+		t.Fatal("touch(1) missed")
+	}
+	n, ok := c.lru()
+	if !ok || n.dlpn != 2 {
+		t.Fatalf("lru = %v, want 2", n)
+	}
+	c.remove(2)
+	c.insert(3, true)
+	if c.touch(2) {
+		t.Error("removed entry still cached")
+	}
+	n, _ = c.lru()
+	if n.dlpn != 1 {
+		t.Errorf("lru = %d, want 1", n.dlpn)
+	}
+}
+
+func TestCMTCleanPage(t *testing.T) {
+	c := newCMTCache(8)
+	for i := int64(0); i < 6; i++ {
+		c.insert(i, true)
+	}
+	c.cleanPage(0, 4) // cleans dlpn 0..3
+	for n := c.head.next; n != c.tail; n = n.next {
+		wantDirty := n.dlpn >= 4
+		if n.dirty != wantDirty {
+			t.Errorf("dlpn %d dirty=%v, want %v", n.dlpn, n.dirty, wantDirty)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package ftl
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"noftl/internal/nand"
+	"noftl/internal/sim"
+)
+
+// checkFasterInvariants verifies the structural invariants of a FASTer
+// die after every operation:
+//   - every dlpn has at most one valid slot device-wide,
+//   - every logMap entry points at a slot that owns it,
+//   - every owned slot of a data block belongs to the lbn mapped there,
+//     at its in-place offset.
+func checkFasterInvariants(t *testing.T, f *FasterFTL, tag string) {
+	t.Helper()
+	for _, d := range f.dies {
+		seen := map[int64]int{}
+		for b := range d.bt.Info {
+			info := &d.bt.Info[b]
+			if info.State == BlockFree || info.State == BlockBad {
+				continue
+			}
+			for pg, own := range info.Owners {
+				if own == NoOwner {
+					continue
+				}
+				seen[own]++
+				if seen[own] > 1 {
+					t.Fatalf("%s: die %d dlpn %d valid in multiple slots (block %d page %d)",
+						tag, d.sp.Die, own, b, pg)
+				}
+				if info.Kind == kindFData {
+					lbn := own / int64(d.ppb())
+					if d.dataMap[lbn] != b {
+						t.Fatalf("%s: die %d block %d owns dlpn %d but dataMap[%d]=%d",
+							tag, d.sp.Die, b, own, lbn, d.dataMap[lbn])
+					}
+					if int64(pg) != own%int64(d.ppb()) {
+						t.Fatalf("%s: die %d block %d page %d owns dlpn %d at wrong offset",
+							tag, d.sp.Die, b, pg, own)
+					}
+				}
+			}
+		}
+		for dlpn, ppn := range d.logMap {
+			l, pg := d.sp.LocalOfPPN(ppn)
+			if d.bt.Info[l].Owners[pg] != dlpn {
+				t.Fatalf("%s: die %d logMap[%d] points at slot owned by %d",
+					tag, d.sp.Die, dlpn, d.bt.Info[l].Owners[pg])
+			}
+		}
+	}
+}
+
+// TestFasterInvariantsUnderSkewedUpdates is a regression test for the
+// full-merge/SW-block interaction: merging a logical block whose
+// sequential-write block is active must cancel the SW stream (seed 12
+// reproduced the original bug at write 605).
+func TestFasterInvariantsUnderSkewedUpdates(t *testing.T) {
+	for _, second := range []bool{true, false} {
+		second := second
+		t.Run(fmt.Sprintf("secondChance=%v", second), func(t *testing.T) {
+			dev := testDevice(nand.Options{})
+			f, err := NewFasterFTL(dev, FasterConfig{SecondChance: second})
+			if err != nil {
+				t.Fatal(err)
+			}
+			w := &sim.ClockWaiter{}
+			n := f.LogicalPages()
+			for lpn := int64(0); lpn < n; lpn++ {
+				if err := f.Write(w, lpn, fillPage(256, lpn, 0)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			checkFasterInvariants(t, f, "after load")
+			rng := rand.New(rand.NewSource(12))
+			hot := n / 10
+			for i := 0; i < int(n)*3; i++ {
+				lpn := rng.Int63n(n)
+				if rng.Float64() < 0.9 {
+					lpn = rng.Int63n(hot)
+				}
+				if err := f.Write(w, lpn, fillPage(256, lpn, i)); err != nil {
+					t.Fatalf("write %d: %v", i, err)
+				}
+				if i%50 == 0 {
+					checkFasterInvariants(t, f, fmt.Sprintf("write %d", i))
+				}
+			}
+			checkFasterInvariants(t, f, "final")
+		})
+	}
+}

@@ -1,0 +1,370 @@
+package nand
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// Errors returned by Array operations.
+var (
+	ErrBadAddress   = errors.New("nand: address out of range")
+	ErrBadBlock     = errors.New("nand: block is marked bad")
+	ErrNotErased    = errors.New("nand: program target page is not erased")
+	ErrProgramOrder = errors.New("nand: pages must be programmed in order within a block")
+	ErrPageErased   = errors.New("nand: page is erased (reads as 0xFF)")
+	ErrCrossPlane   = errors.New("nand: copyback source and target must share a plane")
+	ErrWornOut      = errors.New("nand: block exceeded its erase endurance")
+	ErrDataSize     = errors.New("nand: data length does not match page size")
+)
+
+// OOB is the out-of-band (spare area) metadata programmed with a page.
+// FTLs use it to rebuild mapping tables after power loss.
+type OOB struct {
+	LPN   uint64 // logical page the data belongs to
+	Seq   uint64 // monotonically increasing write sequence number
+	Flags uint32 // owner-defined bits (e.g. translation-page marker)
+}
+
+// PageState is the physical condition of a page.
+type PageState uint8
+
+// Page states.
+const (
+	PageErased     PageState = iota // never programmed since last erase
+	PageProgrammed                  // holds data
+)
+
+type blockState struct {
+	eraseCount int
+	nextPage   int // in-order programming cursor
+	bad        bool
+	programmed []bool // len PagesPerBlock, lazily allocated
+	oob        []OOB  // lazily allocated
+	data       [][]byte
+}
+
+// Options configures failure injection and storage behaviour of an Array.
+type Options struct {
+	// StoreData keeps page contents in memory. Disable for counting-only
+	// replays (metadata, wear and OOB are still tracked).
+	StoreData bool
+	// InitialBadFraction marks roughly this fraction of blocks factory-bad.
+	InitialBadFraction float64
+	// ProgramFailProb is the per-program probability of a failure that
+	// retires the block (grown bad block).
+	ProgramFailProb float64
+	// EraseFailProb is the per-erase probability of a failure that retires
+	// the block.
+	EraseFailProb float64
+	// Endurance overrides the cell type's erase budget; 0 keeps the default.
+	// Blocks erased beyond the budget wear out and become bad.
+	Endurance int
+	// Seed drives factory bad-block placement and failure injection.
+	Seed int64
+}
+
+// Array is a raw NAND flash array: pure state, no timing. It enforces the
+// physical rules real NAND imposes: erase-before-program, strictly
+// in-order page programming inside a block, and same-plane copyback.
+type Array struct {
+	geo       Geometry
+	cell      CellType
+	opts      Options
+	endurance int
+	blocks    []blockState
+	rng       *rand.Rand
+
+	totalReads     int64
+	totalPrograms  int64
+	totalErases    int64
+	totalCopybacks int64
+	grownBad       int
+	factoryBad     int
+}
+
+// NewArray builds a pristine array. It panics if the geometry is invalid
+// (geometry is a programming-time constant, not runtime input).
+func NewArray(geo Geometry, cell CellType, opts Options) *Array {
+	if err := geo.Validate(); err != nil {
+		panic(err)
+	}
+	a := &Array{
+		geo:       geo,
+		cell:      cell,
+		opts:      opts,
+		endurance: opts.Endurance,
+		blocks:    make([]blockState, geo.TotalBlocks()),
+		rng:       rand.New(rand.NewSource(opts.Seed)),
+	}
+	if a.endurance == 0 {
+		a.endurance = cell.Endurance()
+	}
+	if opts.InitialBadFraction > 0 {
+		for i := range a.blocks {
+			if a.rng.Float64() < opts.InitialBadFraction {
+				a.blocks[i].bad = true
+				a.factoryBad++
+			}
+		}
+	}
+	return a
+}
+
+// Geometry returns the array's geometry.
+func (a *Array) Geometry() Geometry { return a.geo }
+
+// Cell returns the array's cell technology.
+func (a *Array) Cell() CellType { return a.cell }
+
+// Endurance returns the per-block erase budget in effect.
+func (a *Array) Endurance() int { return a.endurance }
+
+func (a *Array) block(b PBN) *blockState { return &a.blocks[int(b)] }
+
+// ensure allocates the lazy per-page slices of a block.
+func (a *Array) ensure(bs *blockState) {
+	if bs.programmed == nil {
+		bs.programmed = make([]bool, a.geo.PagesPerBlock)
+		bs.oob = make([]OOB, a.geo.PagesPerBlock)
+		if a.opts.StoreData {
+			bs.data = make([][]byte, a.geo.PagesPerBlock)
+		}
+	}
+}
+
+// ReadPage copies the page's data into buf (if the array stores data and
+// buf is non-nil) and returns its OOB. Reading an erased page returns
+// ErrPageErased, mirroring the all-0xFF pattern real NAND returns.
+func (a *Array) ReadPage(p PPN, buf []byte) (OOB, error) {
+	if !a.geo.ValidPPN(p) {
+		return OOB{}, fmt.Errorf("%w: ppn %d", ErrBadAddress, p)
+	}
+	// Reads from bad blocks are allowed: a grown-bad block keeps its data
+	// readable so the bad-block manager can salvage it before retiring.
+	bs := a.block(a.geo.BlockOf(p))
+	a.totalReads++
+	idx := a.geo.PageIndex(p)
+	if bs.programmed == nil || !bs.programmed[idx] {
+		return OOB{}, ErrPageErased
+	}
+	if buf != nil && a.opts.StoreData {
+		if len(buf) != a.geo.PageSize {
+			return OOB{}, fmt.Errorf("%w: buf %d, page %d", ErrDataSize, len(buf), a.geo.PageSize)
+		}
+		if d := bs.data[idx]; d != nil {
+			copy(buf, d)
+		} else {
+			for i := range buf {
+				buf[i] = 0
+			}
+		}
+	}
+	return bs.oob[idx], nil
+}
+
+// ProgramPage writes data and OOB to an erased page. Pages inside a block
+// must be programmed in ascending order. A ProgramFailProb failure retires
+// the block and returns ErrBadBlock; the caller (FTL/BBM) must remap.
+func (a *Array) ProgramPage(p PPN, data []byte, oob OOB) error {
+	if !a.geo.ValidPPN(p) {
+		return fmt.Errorf("%w: ppn %d", ErrBadAddress, p)
+	}
+	b := a.geo.BlockOf(p)
+	bs := a.block(b)
+	if bs.bad {
+		return fmt.Errorf("%w: block %d", ErrBadBlock, b)
+	}
+	idx := a.geo.PageIndex(p)
+	a.ensure(bs)
+	if bs.programmed[idx] {
+		return fmt.Errorf("%w: ppn %d", ErrNotErased, p)
+	}
+	if idx != bs.nextPage {
+		return fmt.Errorf("%w: ppn %d is page %d, next programmable is %d",
+			ErrProgramOrder, p, idx, bs.nextPage)
+	}
+	if a.opts.StoreData {
+		if data != nil && len(data) != a.geo.PageSize {
+			return fmt.Errorf("%w: data %d, page %d", ErrDataSize, len(data), a.geo.PageSize)
+		}
+	}
+	if a.opts.ProgramFailProb > 0 && a.rng.Float64() < a.opts.ProgramFailProb {
+		bs.bad = true
+		a.grownBad++
+		return fmt.Errorf("%w: program failure on block %d", ErrBadBlock, b)
+	}
+	a.totalPrograms++
+	bs.programmed[idx] = true
+	bs.nextPage = idx + 1
+	bs.oob[idx] = oob
+	if a.opts.StoreData && data != nil {
+		d := make([]byte, a.geo.PageSize)
+		copy(d, data)
+		bs.data[idx] = d
+	}
+	return nil
+}
+
+// EraseBlock erases a block, incrementing its wear counter. Exceeding the
+// endurance budget (or an injected failure) retires the block.
+func (a *Array) EraseBlock(b PBN) error {
+	if !a.geo.ValidPBN(b) {
+		return fmt.Errorf("%w: pbn %d", ErrBadAddress, b)
+	}
+	bs := a.block(b)
+	if bs.bad {
+		return fmt.Errorf("%w: block %d", ErrBadBlock, b)
+	}
+	if a.opts.EraseFailProb > 0 && a.rng.Float64() < a.opts.EraseFailProb {
+		bs.bad = true
+		a.grownBad++
+		return fmt.Errorf("%w: erase failure on block %d", ErrBadBlock, b)
+	}
+	a.totalErases++
+	bs.eraseCount++
+	bs.nextPage = 0
+	if bs.programmed != nil {
+		for i := range bs.programmed {
+			bs.programmed[i] = false
+			bs.oob[i] = OOB{}
+			if bs.data != nil {
+				bs.data[i] = nil
+			}
+		}
+	}
+	if bs.eraseCount > a.endurance {
+		bs.bad = true
+		a.grownBad++
+		return fmt.Errorf("%w: block %d after %d erases", ErrWornOut, b, bs.eraseCount)
+	}
+	return nil
+}
+
+// Copyback moves a programmed page to an erased page in the same plane
+// without the data crossing the channel bus. newOOB, when non-nil,
+// replaces the OOB (controllers may modify the register before program).
+// The target must respect the in-order programming rule.
+func (a *Array) Copyback(src, dst PPN, newOOB *OOB) error {
+	if !a.geo.ValidPPN(src) || !a.geo.ValidPPN(dst) {
+		return fmt.Errorf("%w: src %d dst %d", ErrBadAddress, src, dst)
+	}
+	if a.geo.DieOf(src) != a.geo.DieOf(dst) || a.geo.PlaneOf(src) != a.geo.PlaneOf(dst) {
+		return fmt.Errorf("%w: src die %d plane %d, dst die %d plane %d", ErrCrossPlane,
+			a.geo.DieOf(src), a.geo.PlaneOf(src), a.geo.DieOf(dst), a.geo.PlaneOf(dst))
+	}
+	sb := a.block(a.geo.BlockOf(src))
+	if sb.bad {
+		return fmt.Errorf("%w: source block %d", ErrBadBlock, a.geo.BlockOf(src))
+	}
+	sidx := a.geo.PageIndex(src)
+	if sb.programmed == nil || !sb.programmed[sidx] {
+		return ErrPageErased
+	}
+	oob := sb.oob[sidx]
+	if newOOB != nil {
+		oob = *newOOB
+	}
+	var data []byte
+	if a.opts.StoreData && sb.data[sidx] != nil {
+		data = sb.data[sidx]
+	}
+	// Account the internal read+program as a single copyback, not as a
+	// host read and program.
+	reads, progs := a.totalReads, a.totalPrograms
+	err := a.ProgramPage(dst, data, oob)
+	a.totalReads, a.totalPrograms = reads, progs
+	if err != nil {
+		return err
+	}
+	a.totalCopybacks++
+	return nil
+}
+
+// PageState reports whether a page is erased or programmed.
+func (a *Array) PageState(p PPN) (PageState, error) {
+	if !a.geo.ValidPPN(p) {
+		return PageErased, fmt.Errorf("%w: ppn %d", ErrBadAddress, p)
+	}
+	bs := a.block(a.geo.BlockOf(p))
+	idx := a.geo.PageIndex(p)
+	if bs.programmed == nil || !bs.programmed[idx] {
+		return PageErased, nil
+	}
+	return PageProgrammed, nil
+}
+
+// NextProgramPage returns the index of the next programmable page in the
+// block (PagesPerBlock when the block is full).
+func (a *Array) NextProgramPage(b PBN) int { return a.block(b).nextPage }
+
+// EraseCount returns the block's wear counter.
+func (a *Array) EraseCount(b PBN) int { return a.block(b).eraseCount }
+
+// IsBad reports whether the block is retired (factory or grown bad).
+func (a *Array) IsBad(b PBN) bool { return a.block(b).bad }
+
+// MarkBad retires a block explicitly (used by bad-block managers after
+// external error detection).
+func (a *Array) MarkBad(b PBN) {
+	bs := a.block(b)
+	if !bs.bad {
+		bs.bad = true
+		a.grownBad++
+	}
+}
+
+// Counters is a snapshot of the array's lifetime operation counts.
+type Counters struct {
+	Reads      int64
+	Programs   int64
+	Erases     int64
+	Copybacks  int64
+	FactoryBad int
+	GrownBad   int
+}
+
+// Counters returns lifetime operation counts.
+func (a *Array) Counters() Counters {
+	return Counters{
+		Reads:      a.totalReads,
+		Programs:   a.totalPrograms,
+		Erases:     a.totalErases,
+		Copybacks:  a.totalCopybacks,
+		FactoryBad: a.factoryBad,
+		GrownBad:   a.grownBad,
+	}
+}
+
+// WearStats summarises the wear distribution over non-bad blocks.
+type WearStats struct {
+	Min, Max   int
+	Mean       float64
+	TotalBlock int
+}
+
+// Wear computes the wear distribution across usable blocks.
+func (a *Array) Wear() WearStats {
+	ws := WearStats{Min: int(^uint(0) >> 1)}
+	var sum int64
+	for i := range a.blocks {
+		bs := &a.blocks[i]
+		if bs.bad {
+			continue
+		}
+		ws.TotalBlock++
+		if bs.eraseCount < ws.Min {
+			ws.Min = bs.eraseCount
+		}
+		if bs.eraseCount > ws.Max {
+			ws.Max = bs.eraseCount
+		}
+		sum += int64(bs.eraseCount)
+	}
+	if ws.TotalBlock == 0 {
+		ws.Min = 0
+		return ws
+	}
+	ws.Mean = float64(sum) / float64(ws.TotalBlock)
+	return ws
+}

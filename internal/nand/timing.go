@@ -1,0 +1,82 @@
+package nand
+
+import (
+	"fmt"
+
+	"noftl/internal/sim"
+)
+
+// CellType is the NAND cell technology. It determines operation latencies
+// and endurance (program/erase cycles before wear-out).
+type CellType int
+
+// Supported cell technologies.
+const (
+	SLC CellType = iota // 1 bit/cell
+	MLC                 // 2 bits/cell
+	TLC                 // 3 bits/cell
+)
+
+// String returns "SLC", "MLC" or "TLC".
+func (c CellType) String() string {
+	switch c {
+	case SLC:
+		return "SLC"
+	case MLC:
+		return "MLC"
+	case TLC:
+		return "TLC"
+	default:
+		return fmt.Sprintf("CellType(%d)", int(c))
+	}
+}
+
+// Timing holds chip-level operation latencies (excluding bus transfer,
+// which depends on the channel and is modeled by package flash).
+type Timing struct {
+	ReadPage    sim.Time // tR: cell array -> page register
+	ProgramPage sim.Time // tPROG: page register -> cell array
+	EraseBlock  sim.Time // tBERS
+}
+
+// Timing returns datasheet-typical latencies for the cell type.
+// Values follow the ranges the paper and the FTL literature cite for
+// SLC/MLC/TLC NAND of the era (e.g. SLC tR 25µs, tPROG 200µs, tBERS 1.5ms).
+func (c CellType) Timing() Timing {
+	switch c {
+	case SLC:
+		return Timing{
+			ReadPage:    25 * sim.Microsecond,
+			ProgramPage: 200 * sim.Microsecond,
+			EraseBlock:  1500 * sim.Microsecond,
+		}
+	case MLC:
+		return Timing{
+			ReadPage:    50 * sim.Microsecond,
+			ProgramPage: 660 * sim.Microsecond,
+			EraseBlock:  3000 * sim.Microsecond,
+		}
+	case TLC:
+		return Timing{
+			ReadPage:    75 * sim.Microsecond,
+			ProgramPage: 1500 * sim.Microsecond,
+			EraseBlock:  4500 * sim.Microsecond,
+		}
+	default:
+		return Timing{}
+	}
+}
+
+// Endurance returns the nominal program/erase cycle budget per block.
+func (c CellType) Endurance() int {
+	switch c {
+	case SLC:
+		return 100_000
+	case MLC:
+		return 10_000
+	case TLC:
+		return 3_000
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,94 @@
+package noftl
+
+import (
+	"errors"
+	"fmt"
+
+	"noftl/internal/flash"
+	"noftl/internal/nand"
+	"noftl/internal/sim"
+)
+
+// Rebuild reconstructs a Volume's mapping state from the out-of-band
+// metadata on flash — the host-side restart path: NoFTL keeps the
+// translation table in DBMS memory, so after a restart the table is
+// rebuilt by scanning page OOBs and keeping the highest write sequence
+// per logical page. The scan is charged as real page reads.
+//
+// Rebuild restores the last-written version of every page; pages the
+// DBMS had invalidated before the restart reappear as valid until the
+// storage engine's recovery re-applies its free-space knowledge (the
+// engine, not the volume, is the authority on dead pages).
+func Rebuild(dev *flash.Device, cfg Config, w sim.Waiter) (*Volume, error) {
+	v, err := New(dev, cfg)
+	if err != nil {
+		return nil, err
+	}
+	geo := dev.Geometry()
+	arr := dev.Array()
+	type best struct {
+		seq uint64
+		ppn nand.PPN
+	}
+	latest := make(map[int64]best)
+	maxSeq := uint64(0)
+
+	for b := 0; b < geo.TotalBlocks(); b++ {
+		pbn := nand.PBN(b)
+		die := geo.DieOfBlock(pbn)
+		d := v.dies[die]
+		local := d.sp.Local(pbn)
+		if arr.IsBad(pbn) {
+			d.bt.Retire(local)
+			continue
+		}
+		programmed := arr.NextProgramPage(pbn)
+		if programmed == 0 {
+			continue // free block, already in the pool
+		}
+		// Take the block out of the free pool; it holds data.
+		d.claimScanned(local)
+		for pg := 0; pg < programmed; pg++ {
+			ppn := geo.FirstPage(pbn) + nand.PPN(pg)
+			oob, err := dev.ReadPage(w, ppn, nil)
+			if errors.Is(err, nand.ErrPageErased) {
+				continue
+			}
+			if err != nil {
+				return nil, fmt.Errorf("noftl: rebuild scan: %w", err)
+			}
+			lpn := int64(oob.LPN)
+			if lpn < 0 || lpn >= v.st.Total() {
+				continue // filler or foreign page
+			}
+			if oob.Seq > maxSeq {
+				maxSeq = oob.Seq
+			}
+			if cur, ok := latest[lpn]; !ok || oob.Seq > cur.seq {
+				latest[lpn] = best{seq: oob.Seq, ppn: ppn}
+			}
+		}
+	}
+	for lpn, b := range latest {
+		die := v.st.DieOf(lpn)
+		d := v.dies[die]
+		d.l2p[v.st.DieLPN(lpn)] = b.ppn
+		local, page := d.sp.LocalOfPPN(b.ppn)
+		d.bt.SetOwner(local, page, v.st.DieLPN(lpn))
+	}
+	for _, d := range v.dies {
+		d.seq = maxSeq + 1
+	}
+	return v, nil
+}
+
+// claimScanned moves a free block into the Used state during a rebuild
+// scan (it contains programmed pages).
+func (d *dieMgr) claimScanned(local int) {
+	plane := d.sp.PlaneOf(local)
+	if got, ok := d.bt.TakeFree(plane, local); !ok || got != local {
+		// Should not happen: rebuild starts from a fresh table where
+		// every non-bad block is free.
+		panic(fmt.Sprintf("noftl: rebuild could not claim block %d", local))
+	}
+}

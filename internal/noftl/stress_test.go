@@ -1,0 +1,72 @@
+package noftl
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"math/rand"
+	"noftl/internal/flash"
+	"noftl/internal/ftl"
+	"noftl/internal/nand"
+	"noftl/internal/sim"
+)
+
+// debugString dumps per-plane block-state histograms.
+func (v *Volume) debugString() string {
+	var b strings.Builder
+	for _, d := range v.dies {
+		fmt.Fprintf(&b, "die %d:\n", d.sp.Die)
+		for plane := 0; plane < d.sp.Planes(); plane++ {
+			var free, frontier, used, bad, valid, fullyValid int
+			start := plane * d.sp.Geo().BlocksPerPlane
+			for i := start; i < start+d.sp.Geo().BlocksPerPlane; i++ {
+				switch d.bt.Info[i].State {
+				case ftl.BlockFree:
+					free++
+				case ftl.BlockFrontier:
+					frontier++
+				case ftl.BlockUsed:
+					used++
+					if d.bt.Info[i].Valid == d.sp.PagesPerBlock() {
+						fullyValid++
+					}
+				case ftl.BlockBad:
+					bad++
+				}
+				valid += d.bt.Info[i].Valid
+			}
+			fmt.Fprintf(&b, "  plane %d: free=%d frontier=%d used=%d (full=%d) bad=%d valid=%d hot=%+v cold=%+v gc=%+v\n",
+				plane, free, frontier, used, fullyValid, bad, valid,
+				d.hot[plane], d.cold[plane], d.gc[plane])
+		}
+	}
+	return b.String()
+}
+
+// TestVolumeColdFillHotChurn reproduces the wear-leveling example: cold
+// fill of the whole volume followed by a heavy hot churn.
+func TestVolumeColdFillHotChurn(t *testing.T) {
+	cfg := flash.EmulatorConfig(2, 16, nand.SLC)
+	cfg.Nand.StoreData = false
+	dev := flash.New(cfg)
+	v, err := New(dev, Config{WearDelta: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &sim.ClockWaiter{}
+	n := v.LogicalPages()
+	page := make([]byte, cfg.Geometry.PageSize)
+	for lpn := int64(0); lpn < n; lpn++ {
+		if err := v.WriteHint(w, lpn, page, HintCold); err != nil {
+			t.Fatalf("cold %d: %v\n%s", lpn, err, v.debugString())
+		}
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < int(n)*12; i++ {
+		lpn := rng.Int63n(n / 10)
+		if err := v.WriteHint(w, lpn, page, HintHot); err != nil {
+			t.Fatalf("hot %d: %v\n%s", i, err, v.debugString())
+		}
+	}
+}

@@ -1,0 +1,663 @@
+// Package noftl implements the paper's contribution: DBMS-integrated
+// native flash management. A noftl.Volume gives the storage engine a
+// logical page space directly over native flash — no file system, no
+// block-device layer, no on-device FTL. The flash maintenance that an
+// FTL would hide inside the device runs here, in the host, where it can
+// use DBMS knowledge:
+//
+//   - Address translation is a complete page-level table in host RAM
+//     (host memory is plentiful; device RAM is not — §3.1).
+//   - Invalidate lets the DBMS free-space manager declare pages dead, so
+//     garbage collection never copies stale database pages.
+//   - Regions group dies; the buffer manager's db-writers can be
+//     associated die-wise to remove chip contention (§3.2).
+//   - GCStep exposes incremental garbage collection for DBMS-scheduled
+//     background cleaning, keeping it off the critical write path.
+//   - Wear leveling and bad-block management run host-side with the same
+//     machinery (§3, Figure 2).
+package noftl
+
+import (
+	"errors"
+	"fmt"
+
+	"noftl/internal/flash"
+	"noftl/internal/ftl"
+	"noftl/internal/nand"
+	"noftl/internal/sim"
+)
+
+// Hint steers physical placement of a write.
+type Hint uint8
+
+// Placement hints. Hot pages (indexes, frequently updated heap pages)
+// and cold pages (bulk loads, history tables) go to separate write
+// frontiers, which lowers GC copy cost because blocks die more uniformly.
+const (
+	HintDefault Hint = iota
+	HintHot
+	HintCold
+)
+
+// Config tunes a Volume.
+type Config struct {
+	// OverProvision is the capacity share reserved for GC headroom.
+	// NoFTL needs less than an FTL because the DBMS invalidates dead
+	// pages. Default 0.07.
+	OverProvision float64
+	// Policy selects GC victims. Default ftl.GreedyPolicy.
+	Policy ftl.GCPolicy
+	// LowWater per-plane free-block threshold triggering inline GC.
+	// Default 2. Background GCStep starts earlier (LowWater+2).
+	LowWater int
+	// WearLevel enables static wear leveling. Default on (set
+	// DisableWearLevel to turn off).
+	DisableWearLevel bool
+	// WearDelta is the erase-count spread triggering a wear move.
+	// Default 64.
+	WearDelta int
+	// HotColdSeparation keeps separate frontiers per hint. Default on.
+	DisableHotCold bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.OverProvision <= 0 {
+		c.OverProvision = 0.07
+	}
+	if c.LowWater < 2 {
+		c.LowWater = 2
+	}
+	if c.WearDelta == 0 {
+		c.WearDelta = 64
+	}
+	return c
+}
+
+// Volume is a native-flash logical volume managed by the DBMS.
+type Volume struct {
+	dev  *flash.Device
+	st   ftl.Striping
+	cfg  Config
+	dies []*dieMgr
+}
+
+// Frontier kinds.
+const (
+	kindHot uint8 = iota
+	kindCold
+	kindGC
+)
+
+type dieMgr struct {
+	sp            ftl.DieSpace
+	bt            *ftl.BlockTable
+	cfg           Config
+	l2p           []nand.PPN
+	hot           []ftl.Frontier // per plane
+	cold          []ftl.Frontier
+	gc            []ftl.Frontier
+	rr            int
+	seq           uint64
+	gcActive      []bool
+	erasesSinceWL int
+	stats         ftl.Stats
+}
+
+// New builds a Volume over a native flash device.
+func New(dev *flash.Device, cfg Config) (*Volume, error) {
+	cfg = cfg.withDefaults()
+	geo := dev.Geometry()
+	v := &Volume{dev: dev, cfg: cfg}
+	perDie := int64(1<<62 - 1)
+	for die := 0; die < geo.Dies(); die++ {
+		d, err := newDieMgr(dev, die, cfg)
+		if err != nil {
+			return nil, err
+		}
+		v.dies = append(v.dies, d)
+		if n := d.logicalPages(); n < perDie {
+			perDie = n
+		}
+	}
+	for _, d := range v.dies {
+		d.l2p = make([]nand.PPN, perDie)
+		for i := range d.l2p {
+			d.l2p[i] = nand.InvalidPPN
+		}
+	}
+	v.st = ftl.Striping{Dies: geo.Dies(), PerDie: perDie}
+	return v, nil
+}
+
+func newDieMgr(dev *flash.Device, die int, cfg Config) (*dieMgr, error) {
+	sp := ftl.NewDieSpace(dev, die)
+	d := &dieMgr{
+		sp:       sp,
+		bt:       ftl.NewBlockTable(sp),
+		cfg:      cfg,
+		hot:      make([]ftl.Frontier, sp.Planes()),
+		cold:     make([]ftl.Frontier, sp.Planes()),
+		gc:       make([]ftl.Frontier, sp.Planes()),
+		gcActive: make([]bool, sp.Planes()),
+	}
+	for p := 0; p < sp.Planes(); p++ {
+		d.hot[p] = ftl.NewFrontier()
+		d.cold[p] = ftl.NewFrontier()
+		d.gc[p] = ftl.NewFrontier()
+	}
+	if d.logicalPages() <= 0 {
+		return nil, fmt.Errorf("noftl: die %d has no usable capacity", die)
+	}
+	return d, nil
+}
+
+func (d *dieMgr) logicalPages() int64 {
+	ppb := int64(d.sp.PagesPerBlock())
+	usable := int64(d.bt.Usable())
+	reserve := int64(d.sp.Planes()) * int64(3+d.cfg.LowWater)
+	maxSafe := (usable - reserve) * ppb
+	want := int64(float64(usable*ppb) * (1 - d.cfg.OverProvision))
+	if want > maxSafe {
+		want = maxSafe
+	}
+	return want
+}
+
+// LogicalPages is the volume's capacity in pages.
+func (v *Volume) LogicalPages() int64 { return v.st.Total() }
+
+// Regions returns the number of physical regions (dies) the volume
+// manages; region i is die i.
+func (v *Volume) Regions() int { return v.st.Dies }
+
+// RegionOf maps a logical page to its physical region. Because the
+// volume stripes die-wise, the DBMS can partition dirty pages by region
+// and bind one db-writer per region (§3.2).
+func (v *Volume) RegionOf(lpn int64) int { return v.st.DieOf(lpn) }
+
+// Device exposes the underlying native flash device.
+func (v *Volume) Device() *flash.Device { return v.dev }
+
+// Identify forwards the native IDENTIFY command.
+func (v *Volume) Identify() flash.Identity { return v.dev.Identify() }
+
+// Stats aggregates flash-maintenance counters across regions.
+func (v *Volume) Stats() ftl.Stats {
+	var s ftl.Stats
+	for _, d := range v.dies {
+		s = s.Add(d.stats)
+	}
+	return s
+}
+
+// RegionStats returns one region's counters.
+func (v *Volume) RegionStats(region int) ftl.Stats { return v.dies[region].stats }
+
+// Read reads a logical page. Unwritten or invalidated pages read as
+// zeros without touching flash.
+func (v *Volume) Read(w sim.Waiter, lpn int64, buf []byte) error {
+	if err := v.check(lpn); err != nil {
+		return err
+	}
+	return v.dies[v.st.DieOf(lpn)].read(w, v.st.DieLPN(lpn), buf)
+}
+
+// Write writes a logical page out-of-place with default placement.
+func (v *Volume) Write(w sim.Waiter, lpn int64, data []byte) error {
+	return v.WriteHint(w, lpn, data, HintDefault)
+}
+
+// WriteHint writes a logical page with a placement hint.
+func (v *Volume) WriteHint(w sim.Waiter, lpn int64, data []byte, h Hint) error {
+	if err := v.check(lpn); err != nil {
+		return err
+	}
+	return v.dies[v.st.DieOf(lpn)].write(w, v.st.DieLPN(lpn), lpn, data, h)
+}
+
+// Invalidate declares a logical page dead. This is the free-space-manager
+// integration: a dropped table, a freed B-tree node or a truncated heap
+// page stops being GC copy work immediately. It costs no flash I/O.
+func (v *Volume) Invalidate(lpn int64) error {
+	if err := v.check(lpn); err != nil {
+		return err
+	}
+	v.dies[v.st.DieOf(lpn)].invalidate(v.st.DieLPN(lpn))
+	return nil
+}
+
+// NeedsGC reports whether a region is below the background cleaning
+// watermark; db-writers use it to schedule GCStep off the commit path.
+func (v *Volume) NeedsGC(region int) bool {
+	d := v.dies[region]
+	for plane := 0; plane < d.sp.Planes(); plane++ {
+		if d.bt.FreeCount(plane) < d.cfg.LowWater+2 {
+			return true
+		}
+	}
+	return false
+}
+
+// GCStep performs at most one victim collection in the region, returning
+// whether it did work. Background callers drive it while NeedsGC.
+func (v *Volume) GCStep(w sim.Waiter, region int) (bool, error) {
+	d := v.dies[region]
+	for plane := 0; plane < d.sp.Planes(); plane++ {
+		if d.bt.FreeCount(plane) < d.cfg.LowWater+2 && !d.gcActive[plane] {
+			if err := d.gcOnce(w, plane); err != nil {
+				if errors.Is(err, ftl.ErrGCStuck) {
+					continue // nothing collectable in this plane now
+				}
+				return false, err
+			}
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+func (v *Volume) check(lpn int64) error {
+	if lpn < 0 || lpn >= v.st.Total() {
+		return fmt.Errorf("%w: lpn %d of %d", ftl.ErrOutOfRange, lpn, v.st.Total())
+	}
+	return nil
+}
+
+func (d *dieMgr) read(w sim.Waiter, dlpn int64, buf []byte) error {
+	ppn := d.l2p[dlpn]
+	if ppn == nand.InvalidPPN {
+		for i := range buf {
+			buf[i] = 0
+		}
+		return nil
+	}
+	d.stats.HostReads++
+	_, err := d.sp.Dev.ReadPage(w, ppn, buf)
+	return err
+}
+
+func (d *dieMgr) invalidate(dlpn int64) {
+	if ppn := d.l2p[dlpn]; ppn != nand.InvalidPPN {
+		local, page := d.sp.LocalOfPPN(ppn)
+		d.bt.Invalidate(local, page)
+		d.l2p[dlpn] = nand.InvalidPPN
+	}
+	d.stats.Trims++
+}
+
+func (d *dieMgr) frontierFor(h Hint, plane int) *ftl.Frontier {
+	if h == HintCold && !d.cfg.DisableHotCold {
+		return &d.cold[plane]
+	}
+	return &d.hot[plane]
+}
+
+func kindFor(h Hint) uint8 {
+	if h == HintCold {
+		return kindCold
+	}
+	return kindHot
+}
+
+func (d *dieMgr) write(w sim.Waiter, dlpn, globalLPN int64, data []byte, h Hint) error {
+	for attempt := 0; ; attempt++ {
+		if attempt > d.sp.Blocks() {
+			return fmt.Errorf("%w: noftl die %d cannot place a write", ftl.ErrGCStuck, d.sp.Die)
+		}
+		plane, err := d.pickWritePlane(w)
+		if err != nil {
+			return err
+		}
+		ppn, err := d.allocPage(plane, d.frontierFor(h, plane), kindFor(h))
+		if err != nil {
+			continue
+		}
+		d.seq++
+		oob := nand.OOB{LPN: uint64(globalLPN), Seq: d.seq}
+		if old := d.l2p[dlpn]; old != nand.InvalidPPN {
+			l, pg := d.sp.LocalOfPPN(old)
+			d.bt.Invalidate(l, pg)
+		}
+		local, page := d.sp.LocalOfPPN(ppn)
+		d.bt.SetOwner(local, page, dlpn)
+		d.l2p[dlpn] = ppn
+		d.stats.HostWrites++
+
+		perr := d.sp.Dev.ProgramPage(w, ppn, data, oob)
+		if perr == nil {
+			return nil
+		}
+		if !errors.Is(perr, nand.ErrBadBlock) {
+			return perr
+		}
+		// Bad-block manager: retire, salvage, retry.
+		d.stats.HostWrites--
+		d.bt.Invalidate(local, page)
+		d.l2p[dlpn] = nand.InvalidPPN
+		if err := d.retireAndSalvage(w, local); err != nil {
+			return err
+		}
+	}
+}
+
+func (d *dieMgr) pickWritePlane(w sim.Waiter) (int, error) {
+	planes := d.sp.Planes()
+	var firstErr error
+	for i := 0; i < planes; i++ {
+		plane := (d.rr + i) % planes
+		err := d.ensureSpace(w, plane)
+		if err == nil {
+			d.rr = (plane + 1) % planes
+			return plane, nil
+		}
+		if !errors.Is(err, ftl.ErrGCStuck) {
+			return 0, err
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	for i := 0; i < planes; i++ {
+		plane := (d.rr + i) % planes
+		if !d.hot[plane].Full(d.sp.PagesPerBlock()) || d.bt.FreeCount(plane) > 0 {
+			d.rr = (plane + 1) % planes
+			return plane, nil
+		}
+	}
+	return 0, firstErr
+}
+
+func (d *dieMgr) allocPage(plane int, fr *ftl.Frontier, kind uint8) (nand.PPN, error) {
+	ppb := d.sp.PagesPerBlock()
+	if fr.Full(ppb) {
+		if fr.Block >= 0 {
+			d.bt.MarkFull(fr.Block)
+		}
+		b, ok := d.bt.AllocFree(plane, kind)
+		if !ok {
+			return 0, fmt.Errorf("%w: noftl plane %d of die %d has no free blocks",
+				ftl.ErrGCStuck, plane, d.sp.Die)
+		}
+		fr.Block, fr.Next = b, 0
+	}
+	ppn := d.sp.PPN(fr.Block, fr.Next)
+	fr.Next++
+	return ppn, nil
+}
+
+func (d *dieMgr) ensureSpace(w sim.Waiter, plane int) error {
+	const maxSpins = 1 << 16
+	for spins := 0; d.bt.FreeCount(plane) < d.cfg.LowWater; spins++ {
+		if spins > maxSpins {
+			return fmt.Errorf("%w: noftl plane %d of die %d", ftl.ErrGCStuck, plane, d.sp.Die)
+		}
+		if d.gcActive[plane] {
+			if d.bt.FreeCount(plane) > 0 {
+				return nil
+			}
+			w.WaitUntil(w.Now() + 50*sim.Microsecond)
+			continue
+		}
+		if err := d.gcOnce(w, plane); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (d *dieMgr) gcOnce(w sim.Waiter, plane int) error {
+	victim, ok := d.bt.PickVictim(plane, ftl.AnyKind, d.cfg.Policy)
+	if !ok {
+		return fmt.Errorf("%w: noftl no victim in plane %d of die %d", ftl.ErrGCStuck, plane, d.sp.Die)
+	}
+	if d.bt.Info[victim].Valid >= d.sp.PagesPerBlock() {
+		victim, ok = d.bt.PickVictim(plane, ftl.AnyKind, ftl.GreedyPolicy)
+		if !ok || d.bt.Info[victim].Valid >= d.sp.PagesPerBlock() {
+			return fmt.Errorf("%w: noftl plane %d of die %d fully valid", ftl.ErrGCStuck, plane, d.sp.Die)
+		}
+	}
+	d.gcActive[plane] = true
+	defer func() { d.gcActive[plane] = false }()
+
+	if err := d.collectBlock(w, victim, plane); err != nil {
+		return err
+	}
+	d.maybeWearLevel(w, plane)
+	return nil
+}
+
+func (d *dieMgr) collectBlock(w sim.Waiter, victim, plane int) error {
+	d.bt.Info[victim].State = ftl.BlockFrontier
+	ppb := d.sp.PagesPerBlock()
+	for page := 0; page < ppb; page++ {
+		dlpn := d.bt.Info[victim].Owners[page]
+		if dlpn == ftl.NoOwner {
+			continue // dead page: the DBMS already told us; no copy
+		}
+		if err := d.relocate(w, victim, page, dlpn, plane); err != nil {
+			d.bt.Info[victim].State = ftl.BlockUsed
+			return err
+		}
+	}
+	return d.eraseAndRelease(w, victim)
+}
+
+func (d *dieMgr) allocRelocTarget(srcPlane int) (nand.PPN, int, error) {
+	if ppn, err := d.allocPage(srcPlane, &d.gc[srcPlane], kindGC); err == nil {
+		return ppn, srcPlane, nil
+	}
+	if !d.hot[srcPlane].Full(d.sp.PagesPerBlock()) {
+		if ppn, err := d.allocPage(srcPlane, &d.hot[srcPlane], kindHot); err == nil {
+			return ppn, srcPlane, nil
+		}
+	}
+	for i := 1; i < d.sp.Planes(); i++ {
+		q := (srcPlane + i) % d.sp.Planes()
+		if !d.gc[q].Full(d.sp.PagesPerBlock()) || d.bt.FreeCount(q) > d.cfg.LowWater {
+			if ppn, err := d.allocPage(q, &d.gc[q], kindGC); err == nil {
+				return ppn, q, nil
+			}
+		}
+		if !d.hot[q].Full(d.sp.PagesPerBlock()) {
+			if ppn, err := d.allocPage(q, &d.hot[q], kindHot); err == nil {
+				return ppn, q, nil
+			}
+		}
+	}
+	return 0, 0, fmt.Errorf("%w: noftl die %d has no relocation room", ftl.ErrGCStuck, d.sp.Die)
+}
+
+func (d *dieMgr) relocate(w sim.Waiter, srcLocal, srcPage int, dlpn int64, plane int) error {
+	src := d.sp.PPN(srcLocal, srcPage)
+	for {
+		dst, dstPlane, err := d.allocRelocTarget(plane)
+		if err != nil {
+			return err
+		}
+		d.seq++
+		oob := nand.OOB{LPN: uint64(d.globalLPN(dlpn)), Seq: d.seq}
+		d.bt.Invalidate(srcLocal, srcPage)
+		dl, dp := d.sp.LocalOfPPN(dst)
+		d.bt.SetOwner(dl, dp, dlpn)
+		d.l2p[dlpn] = dst
+
+		var cerr error
+		if dstPlane == plane {
+			d.stats.GCCopybacks++
+			cerr = d.sp.Dev.Copyback(w, src, dst, &oob)
+			if cerr != nil {
+				d.stats.GCCopybacks--
+			}
+		} else {
+			d.stats.GCReads++
+			buf := make([]byte, d.sp.Geo().PageSize)
+			if _, rerr := d.sp.Dev.ReadPage(w, src, buf); rerr != nil && !errors.Is(rerr, nand.ErrPageErased) {
+				cerr = rerr
+			} else {
+				d.stats.GCWrites++
+				cerr = d.sp.Dev.ProgramPage(w, dst, buf, oob)
+				if cerr != nil {
+					d.stats.GCWrites--
+				}
+			}
+		}
+		if cerr == nil {
+			return nil
+		}
+		d.bt.Invalidate(dl, dp)
+		d.bt.SetOwner(srcLocal, srcPage, dlpn)
+		d.l2p[dlpn] = src
+		if !errors.Is(cerr, nand.ErrBadBlock) {
+			return cerr
+		}
+		if err := d.retireAndSalvage(w, dl); err != nil {
+			return err
+		}
+	}
+}
+
+func (d *dieMgr) globalLPN(dlpn int64) int64 {
+	return dlpn*int64(d.sp.Geo().Dies()) + int64(d.sp.Die)
+}
+
+func (d *dieMgr) eraseAndRelease(w sim.Waiter, local int) error {
+	d.stats.Erases++
+	err := d.sp.Dev.EraseBlock(w, d.sp.PBN(local))
+	switch {
+	case err == nil:
+		d.bt.Release(local)
+		d.erasesSinceWL++
+		return nil
+	case errors.Is(err, nand.ErrBadBlock) || errors.Is(err, nand.ErrWornOut):
+		d.stats.Erases--
+		d.bt.Retire(local)
+		return nil
+	default:
+		return err
+	}
+}
+
+func (d *dieMgr) retireAndSalvage(w sim.Waiter, local int) error {
+	d.bt.Retire(local)
+	plane := d.sp.PlaneOf(local)
+	for _, fr := range []*ftl.Frontier{&d.hot[plane], &d.cold[plane], &d.gc[plane]} {
+		if fr.Block == local {
+			*fr = ftl.NewFrontier()
+		}
+	}
+	info := &d.bt.Info[local]
+	ppb := d.sp.PagesPerBlock()
+	buf := make([]byte, d.sp.Geo().PageSize)
+	for page := 0; page < ppb; page++ {
+		dlpn := info.Owners[page]
+		if dlpn == ftl.NoOwner {
+			continue
+		}
+		src := d.sp.PPN(local, page)
+		d.stats.GCReads++
+		if _, err := d.sp.Dev.ReadPage(w, src, buf); err != nil && !errors.Is(err, nand.ErrPageErased) {
+			return err
+		}
+		dst, _, err := d.allocRelocTarget(plane)
+		if err != nil {
+			return err
+		}
+		d.seq++
+		info.Owners[page] = ftl.NoOwner
+		info.Valid--
+		dl, dp := d.sp.LocalOfPPN(dst)
+		d.bt.SetOwner(dl, dp, dlpn)
+		d.l2p[dlpn] = dst
+		d.stats.GCWrites++
+		if err := d.sp.Dev.ProgramPage(w, dst, buf, nand.OOB{LPN: uint64(d.globalLPN(dlpn)), Seq: d.seq}); err != nil {
+			if errors.Is(err, nand.ErrBadBlock) {
+				d.stats.GCWrites--
+				d.bt.Invalidate(dl, dp)
+				info.Owners[page] = dlpn
+				info.Valid++
+				if err := d.retireAndSalvage(w, dl); err != nil {
+					return err
+				}
+				page--
+				continue
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+func (d *dieMgr) maybeWearLevel(w sim.Waiter, plane int) {
+	if d.cfg.DisableWearLevel || d.erasesSinceWL < 16 {
+		return
+	}
+	d.erasesSinceWL = 0
+	arr := d.sp.Dev.Array()
+	minWear, maxWear := int(^uint(0)>>1), -1
+	coldest := -1
+	start := plane * d.sp.Geo().BlocksPerPlane
+	end := start + d.sp.Geo().BlocksPerPlane
+	for b := start; b < end; b++ {
+		if d.bt.Info[b].State == ftl.BlockBad {
+			continue
+		}
+		wear := arr.EraseCount(d.sp.PBN(b))
+		if wear > maxWear {
+			maxWear = wear
+		}
+		if wear < minWear {
+			minWear = wear
+			if d.bt.Info[b].State == ftl.BlockUsed {
+				coldest = b
+			}
+		}
+	}
+	if coldest < 0 || maxWear-minWear <= d.cfg.WearDelta {
+		return
+	}
+	moves := d.bt.Info[coldest].Valid
+	if err := d.collectBlock(w, coldest, plane); err != nil {
+		return
+	}
+	d.stats.WearMoves += int64(moves)
+}
+
+// checkAccounting audits internal invariants: every mapped logical page
+// owns exactly one slot, per-block valid counters match owned slots, and
+// no two logical pages share a physical slot. Used by property tests.
+func (v *Volume) checkAccounting() error {
+	for _, d := range v.dies {
+		owned := make(map[nand.PPN]int64)
+		for b := range d.bt.Info {
+			info := &d.bt.Info[b]
+			count := 0
+			for pg, own := range info.Owners {
+				if own == ftl.NoOwner {
+					continue
+				}
+				count++
+				ppn := d.sp.PPN(b, pg)
+				if prev, dup := owned[ppn]; dup {
+					return fmt.Errorf("die %d: slot %d owned twice (%d, %d)", d.sp.Die, ppn, prev, own)
+				}
+				owned[ppn] = own
+				if d.l2p[own] != ppn {
+					return fmt.Errorf("die %d: slot %d owned by %d but l2p says %d",
+						d.sp.Die, ppn, own, d.l2p[own])
+				}
+			}
+			if count != info.Valid {
+				return fmt.Errorf("die %d block %d: valid=%d but %d owned slots", d.sp.Die, b, info.Valid, count)
+			}
+		}
+		for dlpn, ppn := range d.l2p {
+			if ppn == nand.InvalidPPN {
+				continue
+			}
+			if owned[ppn] != int64(dlpn) {
+				return fmt.Errorf("die %d: l2p[%d]=%d not owned back", d.sp.Die, dlpn, ppn)
+			}
+		}
+	}
+	return nil
+}

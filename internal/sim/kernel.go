@@ -1,0 +1,145 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// event is a scheduled callback. Events with equal time fire in insertion
+// order (seq), which makes the simulation deterministic.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is a deterministic discrete-event scheduler. The zero value is
+// not usable; create kernels with New.
+type Kernel struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	yielded chan struct{} // signalled by a process when it hands control back
+	parked  map[*Proc]struct{}
+	alive   int
+	panicv  any
+	trapped bool
+}
+
+// New returns an empty kernel at time zero.
+func New() *Kernel {
+	return &Kernel{
+		yielded: make(chan struct{}),
+		parked:  make(map[*Proc]struct{}),
+	}
+}
+
+// Now returns the current simulated time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Alive reports the number of processes that have started and not yet
+// terminated.
+func (k *Kernel) Alive() int { return k.alive }
+
+// Pending reports the number of scheduled, not yet fired events.
+func (k *Kernel) Pending() int { return len(k.events) }
+
+// After schedules fn to run d after the current time. It may be called
+// from process context or from outside Run. Negative delays fire
+// immediately (at the current time).
+func (k *Kernel) After(d Time, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	k.at(k.now+d, fn)
+}
+
+func (k *Kernel) at(t Time, fn func()) {
+	k.seq++
+	heap.Push(&k.events, &event{at: t, seq: k.seq, fn: fn})
+}
+
+// Run executes events until the queue drains. Processes blocked on a
+// queue or resource with no future wake-up are left parked; call
+// Shutdown to unwind them.
+func (k *Kernel) Run() {
+	for len(k.events) > 0 {
+		k.step()
+	}
+}
+
+// RunUntil executes all events scheduled at or before t, then advances
+// the clock to t.
+func (k *Kernel) RunUntil(t Time) {
+	for len(k.events) > 0 && k.events[0].at <= t {
+		k.step()
+	}
+	if k.now < t {
+		k.now = t
+	}
+}
+
+// RunFor executes events for the next d of simulated time.
+func (k *Kernel) RunFor(d Time) { k.RunUntil(k.now + d) }
+
+func (k *Kernel) step() {
+	e := heap.Pop(&k.events).(*event)
+	if e.at > k.now {
+		k.now = e.at
+	}
+	e.fn()
+	if k.trapped {
+		v := k.panicv
+		k.trapped = false
+		k.panicv = nil
+		panic(fmt.Sprintf("sim: process panic: %v", v))
+	}
+}
+
+// Shutdown unwinds every parked process (their deferred functions run)
+// and clears the event queue. The kernel remains usable afterwards.
+func (k *Kernel) Shutdown() {
+	// Killing a process runs its defers, which may park other processes
+	// or schedule events, so iterate until quiescent.
+	for len(k.parked) > 0 {
+		var p *Proc
+		for q := range k.parked {
+			if p == nil || q.id < p.id {
+				p = q
+			}
+		}
+		p.killed = true
+		k.resume(p)
+	}
+	k.events = nil
+}
+
+// resume transfers control to p and blocks until p parks or terminates.
+func (k *Kernel) resume(p *Proc) {
+	if p.terminated {
+		return
+	}
+	delete(k.parked, p)
+	p.wake <- struct{}{}
+	<-k.yielded
+}

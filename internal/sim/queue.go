@@ -1,0 +1,85 @@
+package sim
+
+// Queue is an unbounded FIFO mailbox between simulated processes.
+// Put never blocks; Get parks the caller while the queue is empty.
+// Blocked consumers are served in arrival order.
+type Queue[T any] struct {
+	k       *Kernel
+	items   []T
+	waiters []*Proc
+	closed  bool
+}
+
+// NewQueue returns an empty queue bound to kernel k.
+func NewQueue[T any](k *Kernel) *Queue[T] {
+	return &Queue[T]{k: k}
+}
+
+// Len reports the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Put appends v and wakes the longest-waiting consumer, if any.
+// Put on a closed queue panics.
+func (q *Queue[T]) Put(v T) {
+	if q.closed {
+		panic("sim: Put on closed Queue")
+	}
+	q.items = append(q.items, v)
+	q.wakeOne()
+}
+
+// Close marks the queue closed. Blocked and future Get calls return
+// ok=false once the queue drains. Items already queued are still
+// delivered.
+func (q *Queue[T]) Close() {
+	if q.closed {
+		return
+	}
+	q.closed = true
+	for _, p := range q.waiters {
+		p.wakeLater()
+	}
+	q.waiters = nil
+}
+
+// Closed reports whether Close has been called.
+func (q *Queue[T]) Closed() bool { return q.closed }
+
+// Get removes and returns the head item, parking p while the queue is
+// empty. It returns ok=false if the queue is closed and drained.
+func (q *Queue[T]) Get(p *Proc) (v T, ok bool) {
+	for len(q.items) == 0 {
+		if q.closed {
+			return v, false
+		}
+		q.waiters = append(q.waiters, p)
+		p.park()
+	}
+	v = q.items[0]
+	q.items = q.items[1:]
+	// An item may have arrived for another parked consumer while this one
+	// was scheduled; keep the chain going if items remain.
+	if len(q.items) > 0 {
+		q.wakeOne()
+	}
+	return v, true
+}
+
+// TryGet removes and returns the head item without blocking.
+func (q *Queue[T]) TryGet() (v T, ok bool) {
+	if len(q.items) == 0 {
+		return v, false
+	}
+	v = q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}
+
+func (q *Queue[T]) wakeOne() {
+	if len(q.waiters) == 0 {
+		return
+	}
+	p := q.waiters[0]
+	q.waiters = q.waiters[1:]
+	p.wakeLater()
+}

@@ -1,0 +1,69 @@
+package sim
+
+// Resource is a counted FCFS resource (a semaphore with strict arrival
+// ordering). Release hands the slot directly to the longest-waiting
+// process, so later arrivals cannot barge past parked ones.
+type Resource struct {
+	k        *Kernel
+	capacity int
+	inUse    int
+	waiters  []*resWaiter
+}
+
+type resWaiter struct {
+	p       *Proc
+	granted bool
+}
+
+// NewResource returns a resource with the given concurrent capacity.
+// Capacity must be >= 1.
+func NewResource(k *Kernel, capacity int) *Resource {
+	if capacity < 1 {
+		panic("sim: resource capacity must be >= 1")
+	}
+	return &Resource{k: k, capacity: capacity}
+}
+
+// InUse reports how many slots are currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+// Waiting reports how many processes are queued for a slot.
+func (r *Resource) Waiting() int { return len(r.waiters) }
+
+// Acquire blocks p until a slot is available. Slots are granted in strict
+// arrival order.
+func (r *Resource) Acquire(p *Proc) {
+	if r.inUse < r.capacity && len(r.waiters) == 0 {
+		r.inUse++
+		return
+	}
+	w := &resWaiter{p: p}
+	r.waiters = append(r.waiters, w)
+	for !w.granted {
+		p.park()
+	}
+}
+
+// Release frees one slot. If processes are waiting the slot transfers to
+// the head of the queue without becoming observable as free.
+func (r *Resource) Release() {
+	if r.inUse <= 0 {
+		panic("sim: Release without matching Acquire")
+	}
+	if len(r.waiters) == 0 {
+		r.inUse--
+		return
+	}
+	w := r.waiters[0]
+	r.waiters = r.waiters[1:]
+	w.granted = true
+	w.p.wakeLater()
+}
+
+// Use acquires the resource, holds it for d of simulated time, and
+// releases it. It models a FCFS server with deterministic service time.
+func (r *Resource) Use(p *Proc, d Time) {
+	r.Acquire(p)
+	p.Sleep(d)
+	r.Release()
+}

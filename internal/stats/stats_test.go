@@ -1,0 +1,103 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"noftl/internal/sim"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Percentile(50) != 0 {
+		t.Error("empty histogram not zero")
+	}
+	for i := 1; i <= 100; i++ {
+		h.Add(sim.Time(i) * sim.Microsecond)
+	}
+	if h.Count() != 100 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if h.Min() != sim.Microsecond || h.Max() != 100*sim.Microsecond {
+		t.Errorf("min/max = %v/%v", h.Min(), h.Max())
+	}
+	if got := h.Mean(); got != 50*sim.Microsecond+500*sim.Nanosecond {
+		t.Errorf("mean = %v", got)
+	}
+	p50 := h.Percentile(50)
+	if p50 < 40*sim.Microsecond || p50 > 80*sim.Microsecond {
+		t.Errorf("p50 = %v, want ≈50µs", p50)
+	}
+	if h.Percentile(100) != h.Max() {
+		t.Errorf("p100 = %v, want max", h.Percentile(100))
+	}
+	if !strings.Contains(h.String(), "n=100") {
+		t.Error("String missing count")
+	}
+}
+
+// Property: percentiles are monotone and bounded by max.
+func TestHistogramPercentileMonotoneProperty(t *testing.T) {
+	f := func(samples []uint32) bool {
+		if len(samples) == 0 {
+			return true
+		}
+		var h Histogram
+		for _, s := range samples {
+			h.Add(sim.Time(s%10_000_000) + 1)
+		}
+		prev := sim.Time(0)
+		for _, p := range []float64{1, 25, 50, 75, 90, 99, 100} {
+			v := h.Percentile(p)
+			if v < prev || v > h.Max() {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("IO type", "Absolute", "Relative")
+	tb.Row("COPYBACK", 16465930, 1.98)
+	tb.Row("ERASE", 129317, 1.73)
+	out := tb.String()
+	if !strings.Contains(out, "COPYBACK") || !strings.Contains(out, "1.98") {
+		t.Errorf("table output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Errorf("want 4 lines, got %d", len(lines))
+	}
+}
+
+func TestSeriesRatio(t *testing.T) {
+	a := &Series{Label: "die-wise"}
+	b := &Series{Label: "global"}
+	for i, y := range []float64{100, 200, 400} {
+		a.Add(float64(i), y*1.5)
+		b.Add(float64(i), y)
+	}
+	r := a.Ratio(b)
+	for _, v := range r {
+		if v != 1.5 {
+			t.Errorf("ratio = %v", r)
+		}
+	}
+	if a.MaxRatio(b) != 1.5 {
+		t.Errorf("MaxRatio = %v", a.MaxRatio(b))
+	}
+}
+
+func TestSorted(t *testing.T) {
+	in := []float64{3, 1, 2}
+	out := Sorted(in)
+	if out[0] != 1 || out[2] != 3 || in[0] != 3 {
+		t.Error("Sorted wrong or mutated input")
+	}
+}

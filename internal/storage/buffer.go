@@ -1,0 +1,350 @@
+package storage
+
+import (
+	"fmt"
+
+	"noftl/internal/sim"
+)
+
+// Frame is a buffer-pool slot holding one page.
+type Frame struct {
+	ID      PageID
+	Data    []byte
+	P       Page // view over Data
+	pin     int
+	dirty   bool
+	ref     bool
+	loading bool
+	recLSN  uint64 // LSN of first change since last clean
+	flushTo uint64 // log must be durable to here before the page is written
+}
+
+// Dirty reports whether the frame holds unflushed changes.
+func (f *Frame) Dirty() bool { return f.dirty }
+
+// BufferStats counts buffer-pool events.
+type BufferStats struct {
+	Hits        int64
+	Misses      int64
+	Evictions   int64
+	SyncWrites  int64 // foreground write-backs (eviction of dirty victims)
+	AsyncWrites int64 // db-writer write-backs
+}
+
+// BufferPool caches data-volume pages. Eviction is clock second-chance.
+// Dirty pages are tracked per volume region so db-writers can be
+// associated die-wise (§3.2 of the paper); a page whose region writer
+// lags gets written back synchronously by the evicting reader — the
+// contention signal the Figure-4 experiment measures.
+type BufferPool struct {
+	vol    Volume
+	wal    *WAL
+	frames []*Frame
+	table  map[PageID]*Frame
+	hand   int
+	dirty  []map[PageID]*Frame // per region
+	stats  BufferStats
+}
+
+// NewBufferPool creates a pool of n frames over vol, honouring the
+// WAL-before-data rule through wal.
+func NewBufferPool(vol Volume, wal *WAL, n int) *BufferPool {
+	if n < 4 {
+		n = 4
+	}
+	bp := &BufferPool{
+		vol:    vol,
+		wal:    wal,
+		frames: make([]*Frame, n),
+		table:  make(map[PageID]*Frame, n),
+		dirty:  make([]map[PageID]*Frame, vol.Regions()),
+	}
+	for i := range bp.frames {
+		data := make([]byte, vol.PageSize())
+		bp.frames[i] = &Frame{ID: InvalidPageID, Data: data, P: Page{B: data}}
+	}
+	for i := range bp.dirty {
+		bp.dirty[i] = make(map[PageID]*Frame)
+	}
+	return bp
+}
+
+// Stats returns a snapshot of pool counters.
+func (bp *BufferPool) Stats() BufferStats { return bp.stats }
+
+// DirtyCount returns the number of dirty pages in a region.
+func (bp *BufferPool) DirtyCount(region int) int { return len(bp.dirty[region]) }
+
+// TotalDirty returns the number of dirty pages across regions.
+func (bp *BufferPool) TotalDirty() int {
+	n := 0
+	for _, m := range bp.dirty {
+		n += len(m)
+	}
+	return n
+}
+
+// Pin fetches a page into the pool and pins it. fresh skips the read for
+// newly allocated pages (their content is initialized by the caller).
+//
+// The page-table entry is reserved with a placeholder BEFORE the first
+// wait (victim write-back, page read): concurrent pins of the same page
+// must coalesce onto one frame, or updates split across twins and the
+// page is silently corrupted.
+func (bp *BufferPool) Pin(ctx *IOCtx, id PageID, fresh bool) (*Frame, error) {
+	wait := ctx.waiter()
+	for {
+		if f, ok := bp.table[id]; ok {
+			if f.loading {
+				wait.WaitUntil(wait.Now() + 10*sim.Microsecond)
+				continue
+			}
+			f.pin++
+			f.ref = true
+			bp.stats.Hits++
+			return f, nil
+		}
+		placeholder := &Frame{ID: id, loading: true}
+		bp.table[id] = placeholder
+		f, err := bp.grabVictim(ctx)
+		if err != nil {
+			if bp.table[id] == placeholder {
+				delete(bp.table, id)
+			}
+			return nil, err
+		}
+		bp.stats.Misses++
+		f.ID = id
+		f.loading = true
+		bp.table[id] = f
+		if fresh {
+			InitPage(f.Data, id, PageFree)
+		} else {
+			if err := bp.vol.ReadPage(ctx, id, f.Data); err != nil {
+				f.loading = false
+				if bp.table[id] == f {
+					delete(bp.table, id)
+				}
+				f.ID = InvalidPageID
+				f.pin = 0
+				return nil, err
+			}
+		}
+		f.loading = false
+		return f, nil
+	}
+}
+
+// Unpin releases a pin. When dirty, lsn is the log record LSN of the
+// change (for the WAL-before-data rule).
+func (bp *BufferPool) Unpin(f *Frame, dirty bool, lsn uint64) {
+	if f.pin <= 0 {
+		panic(fmt.Sprintf("storage: unpin of unpinned page %d", f.ID))
+	}
+	f.pin--
+	if dirty {
+		if !f.dirty {
+			f.dirty = true
+			f.recLSN = lsn
+			bp.dirty[bp.vol.RegionOf(f.ID)][f.ID] = f
+		}
+		if lsn > f.P.LSN() {
+			f.P.SetLSN(lsn)
+		}
+		// The change's record ends at the WAL's current append position
+		// (the unpin follows its append immediately); the page must not
+		// reach storage before the log does.
+		if bp.wal != nil {
+			if nl := bp.wal.NextLSN(); nl > f.flushTo {
+				f.flushTo = nl
+			}
+		}
+	}
+}
+
+// grabVictim returns an empty, pinned frame, evicting a page if needed.
+// When every frame is pinned it waits and rescans (another process's
+// unpin is the only cure).
+func (bp *BufferPool) grabVictim(ctx *IOCtx) (*Frame, error) {
+	wait := ctx.waiter()
+	for round := 0; ; round++ {
+		if round > 1<<16 {
+			return nil, fmt.Errorf("storage: buffer pool wedged (all %d frames pinned)", len(bp.frames))
+		}
+		for scanned := 0; scanned < 2*len(bp.frames); scanned++ {
+			f := bp.frames[bp.hand]
+			bp.hand = (bp.hand + 1) % len(bp.frames)
+			if f.pin > 0 || f.loading {
+				continue
+			}
+			if f.ref {
+				f.ref = false
+				continue
+			}
+			f.pin = 1 // claim
+			if f.dirty {
+				bp.stats.SyncWrites++
+				if err := bp.writeFrame(ctx, f); err != nil {
+					f.pin = 0
+					return nil, err
+				}
+			}
+			// The write-back waited on device I/O; another process may
+			// have pinned (or re-dirtied) the page meanwhile — it is no
+			// longer evictable.
+			if f.pin != 1 || f.dirty {
+				f.pin--
+				continue
+			}
+			if f.ID != InvalidPageID {
+				// Only drop the mapping if it still points at this frame
+				// (a reservation placeholder may have claimed the id).
+				if bp.table[f.ID] == f {
+					delete(bp.table, f.ID)
+				}
+				bp.stats.Evictions++
+			}
+			return f, nil
+		}
+		wait.WaitUntil(wait.Now() + 50*sim.Microsecond)
+	}
+}
+
+// writeFrame flushes WAL up to the page LSN, then writes the page.
+// The caller must hold a pin.
+//
+// The dirty flag clears BEFORE the device write: the volume captures the
+// page bytes when the write is submitted, so a modification arriving
+// during the write's latency re-dirties the frame and must not be wiped
+// afterwards (clearing after the wait silently loses that update).
+func (bp *BufferPool) writeFrame(ctx *IOCtx, f *Frame) error {
+	if !f.dirty {
+		return nil
+	}
+	if bp.wal != nil {
+		if err := bp.wal.Flush(ctx, f.flushTo); err != nil {
+			return err
+		}
+	}
+	f.dirty = false
+	delete(bp.dirty[bp.vol.RegionOf(f.ID)], f.ID)
+	// Pages leaving the buffer pool were modified recently: hot placement.
+	if err := bp.vol.WritePage(ctx, f.ID, f.Data, HintHotData); err != nil {
+		f.dirty = true
+		bp.dirty[bp.vol.RegionOf(f.ID)][f.ID] = f
+		return err
+	}
+	return nil
+}
+
+// WriteBack flushes one dirty unpinned page of the region; db-writers
+// call it in a loop. ok=false when the region has no writable page.
+func (bp *BufferPool) WriteBack(ctx *IOCtx, region int) (bool, error) {
+	var pick *Frame
+	var minID PageID
+	for id, f := range bp.dirty[region] {
+		if f.pin > 0 || f.loading {
+			continue
+		}
+		if pick == nil || id < minID {
+			pick, minID = f, id
+		}
+	}
+	if pick == nil {
+		return false, nil
+	}
+	pick.pin++
+	bp.stats.AsyncWrites++
+	err := bp.writeFrame(ctx, pick)
+	pick.pin--
+	if err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// MinRecLSN returns the oldest first-change LSN among dirty pages (the
+// redo start bound for fuzzy checkpoints), or ^0 when nothing is dirty.
+func (bp *BufferPool) MinRecLSN() uint64 {
+	min := ^uint64(0)
+	for _, region := range bp.dirty {
+		for _, f := range region {
+			if f.recLSN < min {
+				min = f.recLSN
+			}
+		}
+	}
+	return min
+}
+
+// FlushSnapshot writes back the pages dirty at call time, without
+// chasing pages dirtied afterwards — the fuzzy-checkpoint flush that
+// terminates under constant load. Pinned pages are waited for briefly
+// and skipped if they stay pinned (their recLSN keeps them covered by
+// the checkpoint's redo bound).
+func (bp *BufferPool) FlushSnapshot(ctx *IOCtx) error {
+	wait := ctx.waiter()
+	var snapshot []*Frame
+	for _, region := range bp.dirty {
+		snapshot = append(snapshot, sortedFrames(region)...)
+	}
+	for _, f := range snapshot {
+		for spin := 0; f.dirty && (f.pin > 0 || f.loading); spin++ {
+			if spin > 64 {
+				break
+			}
+			wait.WaitUntil(wait.Now() + 20*sim.Microsecond)
+		}
+		if !f.dirty || f.pin > 0 || f.loading {
+			continue
+		}
+		f.pin++
+		err := bp.writeFrame(ctx, f)
+		f.pin--
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FlushAll writes back every dirty page (checkpoints, shutdown).
+func (bp *BufferPool) FlushAll(ctx *IOCtx) error {
+	wait := ctx.waiter()
+	for _, region := range bp.dirty {
+		for len(region) > 0 {
+			progressed := false
+			for _, f := range sortedFrames(region) {
+				if f.pin > 0 || f.loading {
+					continue
+				}
+				f.pin++
+				err := bp.writeFrame(ctx, f)
+				f.pin--
+				if err != nil {
+					return err
+				}
+				progressed = true
+			}
+			if !progressed {
+				wait.WaitUntil(wait.Now() + 50*sim.Microsecond)
+			}
+		}
+	}
+	return nil
+}
+
+// sortedFrames returns the region's dirty frames in page order for
+// deterministic iteration.
+func sortedFrames(m map[PageID]*Frame) []*Frame {
+	fs := make([]*Frame, 0, len(m))
+	for _, f := range m {
+		fs = append(fs, f)
+	}
+	for i := 1; i < len(fs); i++ {
+		for j := i; j > 0 && fs[j-1].ID > fs[j].ID; j-- {
+			fs[j-1], fs[j] = fs[j], fs[j-1]
+		}
+	}
+	return fs
+}

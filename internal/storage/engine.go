@@ -1,0 +1,303 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"noftl/internal/sim"
+)
+
+// EngineConfig tunes the storage engine.
+type EngineConfig struct {
+	// BufferFrames is the buffer-pool size in pages. Default 256.
+	BufferFrames int
+	// LockTimeout bounds lock waits (deadlock escape). Default 50ms.
+	LockTimeout sim.Time
+}
+
+// Engine is the storage engine: buffer pool, WAL, catalog, heap files,
+// B+-trees and transactions over a data volume and a log volume.
+type Engine struct {
+	vol    Volume
+	logVol Volume
+	bp     *BufferPool
+	wal    *WAL
+	lt     *LockTable
+	cat    *catalog
+	alloc  *allocator
+	nextTx uint64
+	active map[uint64]*Tx
+
+	// Commits and Aborts count finished transactions.
+	Commits int64
+	Aborts  int64
+	// Recovered reports whether Open performed crash recovery.
+	Recovered bool
+}
+
+// Format initializes a fresh database on the data and log volumes.
+func Format(ctx *IOCtx, dataVol, logVol Volume) error {
+	buf := make([]byte, dataVol.PageSize())
+	p := InitPage(buf, metaPageID, PageMeta)
+	hdr := make([]byte, 16)
+	binary.LittleEndian.PutUint64(hdr, metaMagic)
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(metaPageID+1))
+	if _, err := p.Insert(hdr); err != nil {
+		return err
+	}
+	if err := dataVol.WritePage(ctx, metaPageID, buf, HintHotData); err != nil {
+		return err
+	}
+	w := NewWAL(logVol)
+	return w.WriteAnchor(ctx, 0)
+}
+
+// Open mounts a database, running crash recovery if the log holds work
+// beyond the last checkpoint.
+func Open(ctx *IOCtx, dataVol, logVol Volume, cfg EngineConfig) (*Engine, error) {
+	if cfg.BufferFrames <= 0 {
+		cfg.BufferFrames = 256
+	}
+	e := &Engine{
+		vol:    dataVol,
+		logVol: logVol,
+		wal:    NewWAL(logVol),
+		lt:     NewLockTable(cfg.LockTimeout),
+		alloc:  &allocator{limit: dataVol.Pages()},
+		active: map[uint64]*Tx{},
+	}
+	e.bp = NewBufferPool(dataVol, e.wal, cfg.BufferFrames)
+	if err := e.recover(ctx); err != nil {
+		return nil, err
+	}
+	if err := e.loadMeta(ctx); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// Buffer exposes the buffer pool (db-writers, experiments).
+func (e *Engine) Buffer() *BufferPool { return e.bp }
+
+// Log exposes the WAL (statistics).
+func (e *Engine) Log() *WAL { return e.wal }
+
+// DataVolume returns the data volume.
+func (e *Engine) DataVolume() Volume { return e.vol }
+
+// Checkpoint flushes dirty pages and records a checkpoint, bounding
+// recovery work and letting the log wrap.
+func (e *Engine) Checkpoint(ctx *IOCtx) error {
+	// Persist the catalog/allocator, then flush the pages dirty right
+	// now (fuzzy: later arrivals stay dirty and are covered by the
+	// checkpoint's redo bound).
+	if err := e.saveMeta(ctx); err != nil {
+		return err
+	}
+	if err := e.bp.FlushSnapshot(ctx); err != nil {
+		return err
+	}
+	act := make(map[uint64]uint64, len(e.active))
+	for id, tx := range e.active {
+		act[id] = tx.firstLSN
+	}
+	redoStart := e.bp.MinRecLSN() // still-dirty pages need redo from here
+	if next := e.wal.NextLSN(); redoStart > next {
+		redoStart = next
+	}
+	lsn := e.wal.Append(&LogRecord{Type: RecCheckpoint, Active: act, Key: int64(redoStart)})
+	if err := e.wal.Flush(ctx, e.wal.NextLSN()); err != nil {
+		return err
+	}
+	return e.wal.WriteAnchor(ctx, lsn)
+}
+
+// Close checkpoints and shuts down.
+func (e *Engine) Close(ctx *IOCtx) error {
+	return e.Checkpoint(ctx)
+}
+
+// recover replays the log from the last checkpoint (redo), rolls back
+// loser transactions (undo) and re-checkpoints.
+func (e *Engine) recover(ctx *IOCtx) error {
+	ckpt, err := e.wal.ReadAnchor(ctx)
+	if err != nil {
+		return err
+	}
+	recs, end, err := e.wal.RecoverScan(ctx, ckpt)
+	if err != nil {
+		return err
+	}
+	if len(recs) == 0 {
+		return nil // fresh database
+	}
+	if len(recs) == 1 && recs[0].Type == RecCheckpoint && len(recs[0].Active) == 0 &&
+		uint64(recs[0].Key) >= recs[0].LSN {
+		e.wal.Adopt(end)
+		return nil // clean shutdown
+	}
+	e.Recovered = true
+
+	// Fuzzy checkpoints: redo may need to start before the checkpoint
+	// (pages dirty at checkpoint time), and undo may need records from
+	// even earlier (transactions active at checkpoint time).
+	var ckptRec *LogRecord
+	if recs[0].Type == RecCheckpoint {
+		ckptRec = recs[0]
+	}
+	redoFrom := ckpt
+	undoStart := ckpt
+	if ckptRec != nil {
+		// Key holds the checkpoint's redo bound; LSN 0 is a valid bound
+		// (the very first record), so no positivity guard.
+		if rs := uint64(ckptRec.Key); rs < redoFrom {
+			redoFrom = rs
+		}
+		for _, first := range ckptRec.Active {
+			if first < undoStart {
+				undoStart = first
+			}
+		}
+	}
+	if undoStart > redoFrom {
+		undoStart = redoFrom
+	}
+	if undoStart < ckpt {
+		pre, _, err := e.wal.RecoverScan(ctx, undoStart)
+		if err != nil {
+			return err
+		}
+		merged := make([]*LogRecord, 0, len(pre))
+		for _, r := range pre {
+			if r.LSN < ckpt {
+				merged = append(merged, r)
+			}
+		}
+		recs = append(merged, recs...)
+	}
+
+	// Redo phase: repeat history for records at/after the checkpoint.
+	var maxPage PageID
+	losers := map[uint64][]*LogRecord{}
+	if ckptRec != nil {
+		for id := range ckptRec.Active {
+			losers[id] = nil
+		}
+	}
+	for _, r := range recs {
+		if r.Page > maxPage {
+			maxPage = r.Page
+		}
+		switch r.Type {
+		case RecBegin:
+			losers[r.Tx] = nil
+		case RecCommit, RecAbort:
+			delete(losers, r.Tx)
+		}
+		if r.Tx != SystemTx {
+			if _, ok := losers[r.Tx]; ok {
+				losers[r.Tx] = append(losers[r.Tx], r)
+			}
+		}
+		if r.LSN >= redoFrom {
+			if err := e.redo(ctx, r); err != nil {
+				return err
+			}
+		}
+	}
+	e.alloc.nextFree = maxPage + 1
+
+	// Adopt the log tail so new records append after the scanned end.
+	e.wal.Adopt(end)
+
+	// Undo phase: roll back losers in reverse LSN order.
+	loserIDs := make([]uint64, 0, len(losers))
+	for id := range losers {
+		loserIDs = append(loserIDs, id)
+	}
+	for i := 1; i < len(loserIDs); i++ {
+		for j := i; j > 0 && loserIDs[j-1] > loserIDs[j]; j-- {
+			loserIDs[j-1], loserIDs[j] = loserIDs[j], loserIDs[j-1]
+		}
+	}
+	for _, id := range loserIDs {
+		undo := make([]undoRec, 0, len(losers[id]))
+		for _, r := range losers[id] {
+			switch r.Type {
+			case RecHeapInsert:
+				undo = append(undo, undoRec{kind: RecHeapInsert, page: r.Page, slot: r.Slot})
+			case RecHeapUpdate:
+				undo = append(undo, undoRec{kind: RecHeapUpdate, page: r.Page, slot: r.Slot, before: r.Before})
+			case RecHeapDelete:
+				undo = append(undo, undoRec{kind: RecHeapDelete, page: r.Page, slot: r.Slot, before: r.Before})
+			case RecIdxInsert:
+				undo = append(undo, undoRec{kind: RecIdxInsert, idx: r.Idx, key: r.Key, rid: r.RID})
+			case RecIdxDelete:
+				undo = append(undo, undoRec{kind: RecIdxDelete, idx: r.Idx, key: r.Key, rid: r.RID})
+			}
+		}
+		// Index undo needs the catalog; load it now if not yet done.
+		if e.cat == nil {
+			if err := e.loadMeta(ctx); err != nil {
+				return err
+			}
+		}
+		if err := e.applyUndo(ctx, undo); err != nil {
+			return err
+		}
+		e.wal.Append(&LogRecord{Type: RecAbort, Tx: id})
+	}
+	// Leave a clean state behind.
+	if e.cat == nil {
+		if err := e.loadMeta(ctx); err != nil {
+			return err
+		}
+	}
+	return e.Checkpoint(ctx)
+}
+
+// redo applies one record if its page has not seen it yet.
+func (e *Engine) redo(ctx *IOCtx, r *LogRecord) error {
+	switch r.Type {
+	case RecBegin, RecCommit, RecAbort, RecCheckpoint:
+		return nil
+	}
+	f, err := e.bp.Pin(ctx, r.Page, false)
+	if err != nil {
+		return err
+	}
+	if f.P.LSN() >= r.LSN && f.P.LSN() != 0 {
+		e.bp.Unpin(f, false, 0)
+		return nil
+	}
+	switch r.Type {
+	case RecPageImage:
+		copy(f.Data, r.After)
+	case RecHeapInsert:
+		if err := f.P.InsertAt(r.Slot, r.After); err != nil && !errors.Is(err, ErrBadSlot) {
+			e.bp.Unpin(f, false, 0)
+			return fmt.Errorf("redo insert %d.%d: %w", r.Page, r.Slot, err)
+		}
+	case RecHeapUpdate:
+		if err := f.P.Update(r.Slot, r.After); err != nil && !errors.Is(err, ErrBadSlot) {
+			e.bp.Unpin(f, false, 0)
+			return fmt.Errorf("redo update %d.%d: %w", r.Page, r.Slot, err)
+		}
+	case RecHeapDelete:
+		_ = f.P.Delete(r.Slot)
+	case RecIdxInsert:
+		if pos, found := btLeafFind(f.P, r.Key); !found {
+			if btCount(f.P) < btLeafCap(len(f.P.B)) {
+				btLeafInsertAt(f.P, pos, r.Key, r.RID)
+			}
+		}
+	case RecIdxDelete:
+		if pos, found := btLeafFind(f.P, r.Key); found {
+			btLeafDeleteAt(f.P, pos)
+		}
+	}
+	f.P.SetLSN(r.LSN)
+	e.bp.Unpin(f, true, r.LSN)
+	return nil
+}

@@ -1,0 +1,190 @@
+package storage
+
+import (
+	"errors"
+)
+
+// TxStatus is a transaction's lifecycle state.
+type TxStatus uint8
+
+// Transaction states.
+const (
+	TxActive TxStatus = iota
+	TxCommitted
+	TxAborted
+)
+
+// ErrTxDone rejects operations on finished transactions.
+var ErrTxDone = errors.New("storage: transaction already finished")
+
+type undoRec struct {
+	kind   RecType
+	page   PageID
+	slot   int
+	before []byte
+	idx    uint32
+	key    int64
+	rid    RID
+}
+
+type deferredDelete struct {
+	table uint32
+	rid   RID
+}
+
+// Tx is a transaction handle.
+type Tx struct {
+	id       uint64
+	firstLSN uint64
+	status   TxStatus
+	undo     []undoRec
+	locks    []lockKey
+	lockSet  map[lockKey]struct{}
+	deletes  []deferredDelete
+}
+
+// ID returns the transaction id.
+func (t *Tx) ID() uint64 { return t.id }
+
+// owns reports whether the transaction already holds the lock.
+func (t *Tx) owns(k lockKey) bool {
+	_, ok := t.lockSet[k]
+	return ok
+}
+
+// lockWait acquires k, waiting as needed.
+func (t *Tx) lockWait(ctx *IOCtx, e *Engine, k lockKey) error {
+	if t.owns(k) {
+		return nil
+	}
+	if err := e.lt.acquire(ctx, t.id, k); err != nil {
+		return err
+	}
+	t.lockSet[k] = struct{}{}
+	t.locks = append(t.locks, k)
+	return nil
+}
+
+// Begin starts a transaction.
+func (e *Engine) Begin() *Tx {
+	e.nextTx++
+	tx := &Tx{id: e.nextTx, lockSet: map[lockKey]struct{}{}}
+	tx.firstLSN = e.wal.Append(&LogRecord{Type: RecBegin, Tx: tx.id})
+	e.active[tx.id] = tx
+	return tx
+}
+
+// Commit applies deferred deletes, makes the transaction durable (group
+// commit) and releases its locks.
+func (e *Engine) Commit(ctx *IOCtx, tx *Tx) error {
+	if tx.status != TxActive {
+		return ErrTxDone
+	}
+	for _, d := range tx.deletes {
+		if err := e.applyDelete(ctx, tx, d); err != nil {
+			return err
+		}
+	}
+	lsn := e.wal.Append(&LogRecord{Type: RecCommit, Tx: tx.id})
+	if err := e.wal.Flush(ctx, lsn+1); err != nil {
+		return err
+	}
+	tx.status = TxCommitted
+	e.lt.releaseAll(tx.id, tx.locks)
+	delete(e.active, tx.id)
+	e.Commits++
+	return nil
+}
+
+func (e *Engine) applyDelete(ctx *IOCtx, tx *Tx, d deferredDelete) error {
+	f, err := e.bp.Pin(ctx, d.rid.Page, false)
+	if err != nil {
+		return err
+	}
+	rec, rerr := f.P.Record(int(d.rid.Slot))
+	if rerr != nil {
+		e.bp.Unpin(f, false, 0)
+		return nil // already gone; deletes are idempotent
+	}
+	before := append([]byte(nil), rec...)
+	if err := f.P.Delete(int(d.rid.Slot)); err != nil {
+		e.bp.Unpin(f, false, 0)
+		return err
+	}
+	lsn := e.wal.Append(&LogRecord{Type: RecHeapDelete, Tx: tx.id, Page: d.rid.Page,
+		Slot: int(d.rid.Slot), Before: before})
+	e.bp.Unpin(f, true, lsn)
+	e.noteFreeSpace(d.table, d.rid.Page)
+	return nil
+}
+
+// Abort rolls the transaction back: undo actions run in reverse order,
+// logged as system (redo-only) compensation records. Undo is idempotent,
+// so a crash mid-abort is handled by recovery redoing the compensations
+// and re-undoing the remainder.
+func (e *Engine) Abort(ctx *IOCtx, tx *Tx) error {
+	if tx.status != TxActive {
+		return ErrTxDone
+	}
+	if err := e.applyUndo(ctx, tx.undo); err != nil {
+		return err
+	}
+	e.wal.Append(&LogRecord{Type: RecAbort, Tx: tx.id})
+	tx.status = TxAborted
+	e.lt.releaseAll(tx.id, tx.locks)
+	delete(e.active, tx.id)
+	e.Aborts++
+	return nil
+}
+
+// applyUndo reverses a transaction's actions (newest first).
+func (e *Engine) applyUndo(ctx *IOCtx, undo []undoRec) error {
+	for i := len(undo) - 1; i >= 0; i-- {
+		u := undo[i]
+		switch u.kind {
+		case RecHeapInsert:
+			f, err := e.bp.Pin(ctx, u.page, false)
+			if err != nil {
+				return err
+			}
+			_ = f.P.Delete(u.slot) // idempotent: may already be gone
+			lsn := e.wal.Append(&LogRecord{Type: RecHeapDelete, Tx: SystemTx, Page: u.page, Slot: u.slot})
+			e.bp.Unpin(f, true, lsn)
+		case RecHeapUpdate:
+			f, err := e.bp.Pin(ctx, u.page, false)
+			if err != nil {
+				return err
+			}
+			if err := f.P.Update(u.slot, u.before); err != nil && !errors.Is(err, ErrBadSlot) {
+				e.bp.Unpin(f, false, 0)
+				return err
+			}
+			lsn := e.wal.Append(&LogRecord{Type: RecHeapUpdate, Tx: SystemTx, Page: u.page,
+				Slot: u.slot, After: u.before})
+			e.bp.Unpin(f, true, lsn)
+		case RecHeapDelete:
+			f, err := e.bp.Pin(ctx, u.page, false)
+			if err != nil {
+				return err
+			}
+			if err := f.P.InsertAt(u.slot, u.before); err != nil && !errors.Is(err, ErrBadSlot) {
+				e.bp.Unpin(f, false, 0)
+				return err
+			}
+			lsn := e.wal.Append(&LogRecord{Type: RecHeapInsert, Tx: SystemTx, Page: u.page,
+				Slot: u.slot, After: u.before})
+			e.bp.Unpin(f, true, lsn)
+		case RecIdxInsert:
+			// Logical undo: the key may have moved across splits.
+			if err := e.idxDeletePhysical(ctx, u.idx, u.key, true); err != nil {
+				return err
+			}
+		case RecIdxDelete:
+			if err := e.idxInsertPhysical(ctx, u.idx, u.key, u.rid, true); err != nil &&
+				!errors.Is(err, ErrDuplicateKey) {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,135 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+
+	"noftl/internal/sim"
+)
+
+// IOCtx carries the execution context of an I/O: the Waiter that
+// experiences latency. A nil IOCtx (or nil Waiter) gets a private serial
+// clock, convenient in unit tests.
+type IOCtx struct {
+	W sim.Waiter
+}
+
+// NewIOCtx wraps a waiter.
+func NewIOCtx(w sim.Waiter) *IOCtx { return &IOCtx{W: w} }
+
+func (c *IOCtx) waiter() sim.Waiter {
+	if c == nil || c.W == nil {
+		return &sim.ClockWaiter{}
+	}
+	return c.W
+}
+
+// WriteHint mirrors noftl placement hints at the engine level.
+type WriteHint uint8
+
+// Engine-level placement hints.
+const (
+	HintNone WriteHint = iota
+	HintHotData
+	HintColdData
+)
+
+// Volume is the engine's view of a storage device: a linear space of
+// fixed-size logical pages. Implementations: NoFTLVolume (native flash),
+// BlockVolume (legacy FTL device), MemVolume (RAM, trace recording).
+type Volume interface {
+	// PageSize returns the page size in bytes.
+	PageSize() int
+	// Pages returns the logical capacity in pages.
+	Pages() int64
+	// ReadPage fills buf with the page's contents.
+	ReadPage(ctx *IOCtx, id PageID, buf []byte) error
+	// WritePage stores a new version of the page.
+	WritePage(ctx *IOCtx, id PageID, data []byte, hint WriteHint) error
+	// Deallocate declares the page's contents dead. Volumes over legacy
+	// block devices have no way to convey this (the interface has no such
+	// command) and ignore it; the NoFTL volume forwards it to the GC.
+	Deallocate(id PageID)
+	// Regions reports the number of independent physical regions (dies)
+	// the volume spans; legacy volumes report 1 (the physical layout is
+	// hidden behind the FTL).
+	Regions() int
+	// RegionOf maps a page to its region (always 0 for legacy volumes).
+	RegionOf(id PageID) int
+}
+
+// MemVolume is an in-memory volume, used for unit tests and for the
+// paper's trace-recording methodology ("traces were recorded on an
+// in-memory database").
+type MemVolume struct {
+	mu       sync.Mutex
+	pageSize int
+	pages    [][]byte
+}
+
+// NewMemVolume creates an in-memory volume.
+func NewMemVolume(pageSize int, pages int64) *MemVolume {
+	return &MemVolume{pageSize: pageSize, pages: make([][]byte, pages)}
+}
+
+// PageSize implements Volume.
+func (v *MemVolume) PageSize() int { return v.pageSize }
+
+// Pages implements Volume.
+func (v *MemVolume) Pages() int64 { return int64(len(v.pages)) }
+
+// ReadPage implements Volume.
+func (v *MemVolume) ReadPage(ctx *IOCtx, id PageID, buf []byte) error {
+	if err := v.check(id, buf); err != nil {
+		return err
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if p := v.pages[id]; p != nil {
+		copy(buf, p)
+	} else {
+		for i := range buf {
+			buf[i] = 0
+		}
+	}
+	return nil
+}
+
+// WritePage implements Volume.
+func (v *MemVolume) WritePage(ctx *IOCtx, id PageID, data []byte, _ WriteHint) error {
+	if err := v.check(id, data); err != nil {
+		return err
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.pages[id] == nil {
+		v.pages[id] = make([]byte, v.pageSize)
+	}
+	copy(v.pages[id], data)
+	return nil
+}
+
+// Deallocate implements Volume.
+func (v *MemVolume) Deallocate(id PageID) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if id >= 0 && int64(id) < int64(len(v.pages)) {
+		v.pages[id] = nil
+	}
+}
+
+// Regions implements Volume.
+func (v *MemVolume) Regions() int { return 1 }
+
+// RegionOf implements Volume.
+func (v *MemVolume) RegionOf(PageID) int { return 0 }
+
+func (v *MemVolume) check(id PageID, buf []byte) error {
+	if id < 0 || int64(id) >= int64(len(v.pages)) {
+		return fmt.Errorf("storage: page %d out of range (%d pages)", id, len(v.pages))
+	}
+	if len(buf) != v.pageSize {
+		return fmt.Errorf("storage: buffer %d bytes, page size %d", len(buf), v.pageSize)
+	}
+	return nil
+}

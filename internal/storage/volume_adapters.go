@@ -1,0 +1,91 @@
+package storage
+
+import (
+	"noftl/internal/blockdev"
+	"noftl/internal/noftl"
+)
+
+// NoFTLVolume adapts a noftl.Volume to the engine: deallocations reach
+// the garbage collector, regions expose the die layout for db-writer
+// association, and placement hints steer hot/cold frontiers.
+type NoFTLVolume struct {
+	V        *noftl.Volume
+	pageSize int
+}
+
+// NewNoFTLVolume wraps v.
+func NewNoFTLVolume(v *noftl.Volume) *NoFTLVolume {
+	return &NoFTLVolume{V: v, pageSize: v.Identify().Geometry.PageSize}
+}
+
+// PageSize implements Volume.
+func (n *NoFTLVolume) PageSize() int { return n.pageSize }
+
+// Pages implements Volume.
+func (n *NoFTLVolume) Pages() int64 { return n.V.LogicalPages() }
+
+// ReadPage implements Volume.
+func (n *NoFTLVolume) ReadPage(ctx *IOCtx, id PageID, buf []byte) error {
+	return n.V.Read(ctx.waiter(), int64(id), buf)
+}
+
+// WritePage implements Volume.
+func (n *NoFTLVolume) WritePage(ctx *IOCtx, id PageID, data []byte, hint WriteHint) error {
+	h := noftl.HintDefault
+	switch hint {
+	case HintHotData:
+		h = noftl.HintHot
+	case HintColdData:
+		h = noftl.HintCold
+	}
+	return n.V.WriteHint(ctx.waiter(), int64(id), data, h)
+}
+
+// Deallocate implements Volume: the free-space manager's dead-page
+// knowledge flows straight into the flash GC (§3, contribution iii).
+func (n *NoFTLVolume) Deallocate(id PageID) { _ = n.V.Invalidate(int64(id)) }
+
+// Regions implements Volume.
+func (n *NoFTLVolume) Regions() int { return n.V.Regions() }
+
+// RegionOf implements Volume.
+func (n *NoFTLVolume) RegionOf(id PageID) int { return n.V.RegionOf(int64(id)) }
+
+// BlockVolume adapts a legacy block device. Deallocate is a no-op — the
+// interface cannot express it — and the physical layout is opaque, so
+// there is a single region.
+type BlockVolume struct {
+	D        *blockdev.Device
+	pageSize int
+}
+
+// NewBlockVolume wraps d; pageSize must match the device's logical page.
+func NewBlockVolume(d *blockdev.Device, pageSize int) *BlockVolume {
+	return &BlockVolume{D: d, pageSize: pageSize}
+}
+
+// PageSize implements Volume.
+func (b *BlockVolume) PageSize() int { return b.pageSize }
+
+// Pages implements Volume.
+func (b *BlockVolume) Pages() int64 { return b.D.Pages() }
+
+// ReadPage implements Volume.
+func (b *BlockVolume) ReadPage(ctx *IOCtx, id PageID, buf []byte) error {
+	return b.D.Read(ctx.waiter(), int64(id), buf)
+}
+
+// WritePage implements Volume.
+func (b *BlockVolume) WritePage(ctx *IOCtx, id PageID, data []byte, _ WriteHint) error {
+	return b.D.Write(ctx.waiter(), int64(id), data)
+}
+
+// Deallocate implements Volume: silently dropped, as on real SATA-era
+// block devices — the FTL will keep copying the dead page during GC.
+func (b *BlockVolume) Deallocate(PageID) {}
+
+// Regions implements Volume.
+func (b *BlockVolume) Regions() int { return 1 }
+
+// RegionOf implements Volume.
+func (b *BlockVolume) RegionOf(PageID) int { return 0 }

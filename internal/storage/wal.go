@@ -1,0 +1,434 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"noftl/internal/sim"
+)
+
+// Write-ahead log. Records form a byte stream segmented into log pages
+// on a dedicated log volume (volume page 0 is the anchor; stream page i
+// lives at volume page 1 + i mod (pages-1), so the log wraps after
+// checkpoints reclaim it).
+//
+// Log page layout: u64 streamPageIndex | u32 used | payload.
+// Record layout:   u32 len | u8 type | u64 lsn | u64 txid | body.
+// Records may span pages. LSNs are stream byte offsets.
+//
+// Transaction id 0 is the system transaction: its records are redo-only
+// (never undone) — used for structural changes (page formats, B-tree
+// splits) and compensation records written during rollback.
+
+// RecType enumerates log record types.
+type RecType uint8
+
+// Log record types.
+const (
+	RecBegin RecType = iota + 1
+	RecCommit
+	RecAbort
+	RecCheckpoint
+	RecHeapInsert // page, slot, img        — undo: delete slot
+	RecHeapUpdate // page, slot, before, after
+	RecHeapDelete // page, slot, before     — undo: reinsert at slot
+	RecPageImage  // page, full after image — redo-only
+	RecIdxInsert  // idx, page, key, rid    — undo: logical delete
+	RecIdxDelete  // idx, page, key, rid    — undo: logical insert
+)
+
+// SystemTx is the reserved redo-only transaction id.
+const SystemTx uint64 = 0
+
+// LogRecord is a decoded log record.
+type LogRecord struct {
+	Type   RecType
+	LSN    uint64
+	Tx     uint64
+	Page   PageID
+	Slot   int
+	Before []byte
+	After  []byte
+	Idx    uint32
+	Key    int64
+	RID    RID
+	// Checkpoint payload: active transactions and their first LSN.
+	Active map[uint64]uint64
+}
+
+// RID identifies a heap record.
+type RID struct {
+	Page PageID
+	Slot uint16
+}
+
+// String renders "page.slot".
+func (r RID) String() string { return fmt.Sprintf("%d.%d", r.Page, r.Slot) }
+
+const logPageHeader = 12
+
+// WAL is the write-ahead log manager.
+type WAL struct {
+	vol     Volume
+	payload int
+	// tail holds unflushed stream bytes starting at tailLSN (always
+	// aligned to a payload boundary so partial pages can be rebuilt).
+	tail    []byte
+	tailLSN uint64
+	nextLSN uint64
+	durable uint64
+
+	flushing bool
+	// anchor is the LSN the last checkpoint anchored; the stream page
+	// holding it must never be overwritten by the wrap.
+	anchor uint64
+
+	// Recovery scan scratch (RecoverScan fills, Adopt consumes).
+	recStream []byte
+	recStart  uint64
+
+	// Stats.
+	Appends     int64
+	Flushes     int64
+	PagesOut    int64
+	BytesLogged int64
+}
+
+// NewWAL creates a WAL on an empty log volume.
+func NewWAL(vol Volume) *WAL {
+	return &WAL{vol: vol, payload: vol.PageSize() - logPageHeader}
+}
+
+// NextLSN returns the LSN the next record will get.
+func (w *WAL) NextLSN() uint64 { return w.nextLSN }
+
+// DurableLSN returns the highest LSN known flushed.
+func (w *WAL) DurableLSN() uint64 { return w.durable }
+
+// Capacity returns the log volume's stream capacity in bytes; once
+// NextLSN outruns the last checkpoint anchor by this much, flushing
+// fails with ErrLogFull.
+func (w *WAL) Capacity() uint64 { return uint64(w.vol.Pages()-1) * uint64(w.payload) }
+
+// SinceAnchor returns the stream bytes appended since the last
+// checkpoint anchor — checkpoint schedulers compare it to Capacity.
+func (w *WAL) SinceAnchor() uint64 { return w.nextLSN - w.anchor }
+
+// Append encodes r, assigns it the next LSN and buffers it.
+func (w *WAL) Append(r *LogRecord) uint64 {
+	r.LSN = w.nextLSN
+	enc := encodeRecord(r)
+	w.tail = append(w.tail, enc...)
+	w.nextLSN += uint64(len(enc))
+	w.Appends++
+	w.BytesLogged += int64(len(enc))
+	return r.LSN
+}
+
+// Flush makes every record with LSN < upTo durable. Concurrent callers
+// coalesce: if another flush already covered upTo, it returns at once.
+func (w *WAL) Flush(ctx *IOCtx, upTo uint64) error {
+	if upTo > w.nextLSN {
+		upTo = w.nextLSN
+	}
+	wait := ctx.waiter()
+	for w.durable < upTo {
+		if w.flushing {
+			// Another process is flushing; it will advance durable.
+			wait.WaitUntil(wait.Now() + 20*sim.Microsecond)
+			continue
+		}
+		w.flushing = true
+		// Snapshot the target: flush everything buffered right now
+		// (group commit: waiters behind us get covered too).
+		target := w.nextLSN
+		err := w.writePages(ctx, target)
+		w.flushing = false
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writePages writes the stream pages covering [durable, target).
+func (w *WAL) writePages(ctx *IOCtx, target uint64) error {
+	if target <= w.durable {
+		return nil
+	}
+	firstPage := w.durable / uint64(w.payload)
+	lastPage := (target - 1) / uint64(w.payload)
+	// The wrap must not reach the stream page the anchor still needs:
+	// recovery reads from the anchored checkpoint forward.
+	capacityPages := uint64(w.vol.Pages() - 1)
+	if lastPage >= w.anchor/uint64(w.payload)+capacityPages {
+		return fmt.Errorf("%w: lsn %d would overwrite checkpoint at %d", ErrLogFull, target, w.anchor)
+	}
+	buf := make([]byte, w.vol.PageSize())
+	for pg := firstPage; pg <= lastPage; pg++ {
+		start := pg * uint64(w.payload)
+		if start < w.tailLSN {
+			return fmt.Errorf("storage: wal tail lost lsn %d (tail starts %d)", start, w.tailLSN)
+		}
+		off := start - w.tailLSN
+		n := uint64(w.payload)
+		if start+n > w.nextLSN {
+			n = w.nextLSN - start
+		}
+		for i := range buf {
+			buf[i] = 0
+		}
+		binary.LittleEndian.PutUint64(buf[0:], pg)
+		binary.LittleEndian.PutUint32(buf[8:], uint32(n))
+		copy(buf[logPageHeader:], w.tail[off:off+n])
+		if err := w.vol.WritePage(ctx, w.volPage(pg), buf, HintHotData); err != nil {
+			return err
+		}
+		w.PagesOut++
+	}
+	w.Flushes++
+	w.durable = target
+	// Drop tail bytes before the page containing durable.
+	keepFrom := (w.durable / uint64(w.payload)) * uint64(w.payload)
+	if keepFrom > w.tailLSN {
+		w.tail = append([]byte(nil), w.tail[keepFrom-w.tailLSN:]...)
+		w.tailLSN = keepFrom
+	}
+	return nil
+}
+
+// volPage maps a stream page index to a log-volume page (page 0 is the
+// anchor).
+func (w *WAL) volPage(streamPage uint64) PageID {
+	n := w.vol.Pages() - 1
+	return PageID(1 + int64(streamPage)%n)
+}
+
+// Anchor persistence: {magic, checkpointLSN}.
+const walMagic = 0x4e6f46544c57414c // "NoFTLWAL"
+
+// WriteAnchor records the checkpoint LSN on the anchor page.
+func (w *WAL) WriteAnchor(ctx *IOCtx, checkpointLSN uint64) error {
+	w.anchor = checkpointLSN
+	buf := make([]byte, w.vol.PageSize())
+	binary.LittleEndian.PutUint64(buf[0:], walMagic)
+	binary.LittleEndian.PutUint64(buf[8:], checkpointLSN)
+	binary.LittleEndian.PutUint64(buf[16:], w.nextLSN)
+	return w.vol.WritePage(ctx, 0, buf, HintHotData)
+}
+
+// ReadAnchor returns the last checkpoint LSN (0 on a fresh log).
+func (w *WAL) ReadAnchor(ctx *IOCtx) (uint64, error) {
+	buf := make([]byte, w.vol.PageSize())
+	if err := w.vol.ReadPage(ctx, 0, buf); err != nil {
+		return 0, err
+	}
+	if binary.LittleEndian.Uint64(buf[0:]) != walMagic {
+		return 0, nil
+	}
+	w.anchor = binary.LittleEndian.Uint64(buf[8:])
+	return w.anchor, nil
+}
+
+// ScanFrom reads the durable stream starting at lsn and decodes records
+// until the stream ends (torn/stale page or truncated record).
+func (w *WAL) ScanFrom(ctx *IOCtx, lsn uint64) ([]*LogRecord, error) {
+	recs, _, err := w.RecoverScan(ctx, lsn)
+	return recs, err
+}
+
+// RecoverScan reads records from lsn, returning them together with the
+// stream end (the LSN right after the last good record). The scanned
+// bytes are retained so Adopt can resume appending seamlessly.
+func (w *WAL) RecoverScan(ctx *IOCtx, lsn uint64) ([]*LogRecord, uint64, error) {
+	var stream []byte
+	streamStart := (lsn / uint64(w.payload)) * uint64(w.payload)
+	buf := make([]byte, w.vol.PageSize())
+	for pg := streamStart / uint64(w.payload); ; pg++ {
+		if err := w.vol.ReadPage(ctx, w.volPage(pg), buf); err != nil {
+			return nil, 0, err
+		}
+		gotIdx := binary.LittleEndian.Uint64(buf[0:])
+		used := binary.LittleEndian.Uint32(buf[8:])
+		if gotIdx != pg || used == 0 || int(used) > w.payload {
+			break
+		}
+		stream = append(stream, buf[logPageHeader:logPageHeader+used]...)
+		if int(used) < w.payload {
+			break // last, partially filled page
+		}
+	}
+	var recs []*LogRecord
+	pos := lsn - streamStart
+	for {
+		r, n := decodeRecord(stream[min64(pos, uint64(len(stream))):], streamStart+pos)
+		if r == nil {
+			break
+		}
+		recs = append(recs, r)
+		pos += n
+	}
+	w.recStream = stream
+	w.recStart = streamStart
+	return recs, streamStart + pos, nil
+}
+
+// Adopt resumes the log at end (the value RecoverScan returned): new
+// records append right after the recovered stream.
+func (w *WAL) Adopt(end uint64) {
+	boundary := (end / uint64(w.payload)) * uint64(w.payload)
+	w.nextLSN = end
+	w.durable = end
+	w.tailLSN = boundary
+	w.tail = nil
+	if boundary >= w.recStart && end >= boundary && end-w.recStart <= uint64(len(w.recStream)) {
+		w.tail = append([]byte(nil), w.recStream[boundary-w.recStart:end-w.recStart]...)
+	}
+	w.recStream = nil
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// --- record encoding ---
+
+func encodeRecord(r *LogRecord) []byte {
+	body := make([]byte, 0, 64)
+	put64 := func(v uint64) { body = binary.LittleEndian.AppendUint64(body, v) }
+	put32 := func(v uint32) { body = binary.LittleEndian.AppendUint32(body, v) }
+	put16 := func(v uint16) { body = binary.LittleEndian.AppendUint16(body, v) }
+	putBytes := func(b []byte) {
+		put16(uint16(len(b)))
+		body = append(body, b...)
+	}
+	switch r.Type {
+	case RecBegin, RecCommit, RecAbort:
+	case RecHeapInsert:
+		put64(uint64(r.Page))
+		put16(uint16(r.Slot))
+		putBytes(r.After)
+	case RecHeapUpdate:
+		put64(uint64(r.Page))
+		put16(uint16(r.Slot))
+		putBytes(r.Before)
+		putBytes(r.After)
+	case RecHeapDelete:
+		put64(uint64(r.Page))
+		put16(uint16(r.Slot))
+		putBytes(r.Before)
+	case RecPageImage:
+		put64(uint64(r.Page))
+		put32(uint32(len(r.After)))
+		body = append(body, r.After...)
+	case RecIdxInsert, RecIdxDelete:
+		put32(r.Idx)
+		put64(uint64(r.Page))
+		put64(uint64(r.Key))
+		put64(uint64(r.RID.Page))
+		put16(r.RID.Slot)
+	case RecCheckpoint:
+		put64(uint64(r.Key)) // redo start bound (fuzzy checkpoint)
+		put32(uint32(len(r.Active)))
+		// Deterministic order is unnecessary for correctness but keeps
+		// log bytes reproducible: emit sorted by txid.
+		for _, tx := range sortedKeys(r.Active) {
+			put64(tx)
+			put64(r.Active[tx])
+		}
+	}
+	rec := make([]byte, 0, 21+len(body))
+	rec = binary.LittleEndian.AppendUint32(rec, uint32(21+len(body)))
+	rec = append(rec, byte(r.Type))
+	rec = binary.LittleEndian.AppendUint64(rec, r.LSN)
+	rec = binary.LittleEndian.AppendUint64(rec, r.Tx)
+	rec = append(rec, body...)
+	return rec
+}
+
+// decodeRecord parses one record at the head of b (whose stream offset
+// is lsn). Returns nil if b is empty, truncated or corrupt.
+func decodeRecord(b []byte, lsn uint64) (*LogRecord, uint64) {
+	if len(b) < 21 {
+		return nil, 0
+	}
+	total := binary.LittleEndian.Uint32(b)
+	if total < 21 || int(total) > len(b) {
+		return nil, 0
+	}
+	r := &LogRecord{
+		Type: RecType(b[4]),
+		LSN:  binary.LittleEndian.Uint64(b[5:]),
+		Tx:   binary.LittleEndian.Uint64(b[13:]),
+	}
+	if r.LSN != lsn {
+		return nil, 0 // stale bytes from a previous wrap
+	}
+	body := b[21:total]
+	pos := 0
+	get64 := func() uint64 { v := binary.LittleEndian.Uint64(body[pos:]); pos += 8; return v }
+	get32 := func() uint32 { v := binary.LittleEndian.Uint32(body[pos:]); pos += 4; return v }
+	get16 := func() uint16 { v := binary.LittleEndian.Uint16(body[pos:]); pos += 2; return v }
+	getBytes := func() []byte {
+		n := int(get16())
+		v := append([]byte(nil), body[pos:pos+n]...)
+		pos += n
+		return v
+	}
+	switch r.Type {
+	case RecBegin, RecCommit, RecAbort:
+	case RecHeapInsert:
+		r.Page = PageID(get64())
+		r.Slot = int(get16())
+		r.After = getBytes()
+	case RecHeapUpdate:
+		r.Page = PageID(get64())
+		r.Slot = int(get16())
+		r.Before = getBytes()
+		r.After = getBytes()
+	case RecHeapDelete:
+		r.Page = PageID(get64())
+		r.Slot = int(get16())
+		r.Before = getBytes()
+	case RecPageImage:
+		r.Page = PageID(get64())
+		n := int(get32())
+		r.After = append([]byte(nil), body[pos:pos+n]...)
+	case RecIdxInsert, RecIdxDelete:
+		r.Idx = get32()
+		r.Page = PageID(get64())
+		r.Key = int64(get64())
+		r.RID = RID{Page: PageID(get64()), Slot: get16()}
+	case RecCheckpoint:
+		r.Key = int64(get64())
+		n := int(get32())
+		r.Active = make(map[uint64]uint64, n)
+		for i := 0; i < n; i++ {
+			tx := get64()
+			r.Active[tx] = get64()
+		}
+	default:
+		return nil, 0
+	}
+	return r, uint64(total)
+}
+
+func sortedKeys(m map[uint64]uint64) []uint64 {
+	keys := make([]uint64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j-1] > keys[j]; j-- {
+			keys[j-1], keys[j] = keys[j], keys[j-1]
+		}
+	}
+	return keys
+}
+
+// ErrLogFull reports log-volume exhaustion between checkpoints.
+var ErrLogFull = errors.New("storage: log volume wrapped into live records; checkpoint more often")

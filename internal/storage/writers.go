@@ -1,0 +1,140 @@
+package storage
+
+import (
+	"noftl/internal/sim"
+)
+
+// WriterAssociation selects how background db-writers divide the dirty
+// pages among themselves (§3.2 of the paper).
+type WriterAssociation int
+
+// Writer association strategies.
+const (
+	// AssocGlobal partitions dirty pages by page number across writers,
+	// ignoring physical placement: every writer ends up programming every
+	// die and they contend for the same flash chips.
+	AssocGlobal WriterAssociation = iota
+	// AssocDieWise binds writer i to volume region (die) i mod regions:
+	// each writer programs a disjoint set of dies, eliminating chip
+	// contention. Requires a region-aware volume (NoFTL).
+	AssocDieWise
+)
+
+// String names the strategy.
+func (a WriterAssociation) String() string {
+	if a == AssocDieWise {
+		return "die-wise"
+	}
+	return "global"
+}
+
+// WriterConfig configures the background writer pool.
+type WriterConfig struct {
+	// N is the number of db-writer processes.
+	N int
+	// Association selects the dirty-page partitioning.
+	Association WriterAssociation
+	// Interval is the idle poll period. Default 200µs simulated.
+	Interval sim.Time
+	// Watermark is the dirty-page count above which writers work
+	// continuously; below it they only trickle. Default: frames/8.
+	Watermark int
+	// DriveGC lets writers run background flash GC on their regions when
+	// the volume wants it (NoFTL integration).
+	DriveGC bool
+	// GC is the region-GC hook (wired to noftl.Volume.GCStep by the
+	// caller); nil disables.
+	GC func(w sim.Waiter, region int) (bool, error)
+	// NeedsGC reports whether a region wants background cleaning.
+	NeedsGC func(region int) bool
+}
+
+// StartWriters launches cfg.N db-writer processes on the kernel. The
+// returned stop function halts them (they drain at the next poll).
+func (e *Engine) StartWriters(k *sim.Kernel, cfg WriterConfig) (stop func()) {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 200 * sim.Microsecond
+	}
+	if cfg.Watermark <= 0 {
+		cfg.Watermark = len(e.bp.frames) / 8
+	}
+	stopped := false
+	regions := e.vol.Regions()
+	for i := 0; i < cfg.N; i++ {
+		i := i
+		k.Go("db-writer", func(p *sim.Proc) {
+			w := sim.ProcWaiter{P: p}
+			ctx := NewIOCtx(w)
+			for !stopped {
+				worked := false
+				switch cfg.Association {
+				case AssocDieWise:
+					region := i % regions
+					ok, err := e.bp.WriteBack(ctx, region)
+					if err == nil && ok {
+						worked = true
+					}
+					if cfg.DriveGC && cfg.GC != nil && cfg.NeedsGC != nil && cfg.NeedsGC(region) {
+						if did, err := cfg.GC(w, region); err == nil && did {
+							worked = true
+						}
+					}
+				default:
+					ok, err := e.bp.WriteBackGlobal(ctx, i, cfg.N)
+					if err == nil && ok {
+						worked = true
+					}
+					if cfg.DriveGC && cfg.GC != nil && cfg.NeedsGC != nil {
+						for r := 0; r < regions; r++ {
+							if cfg.NeedsGC(r) {
+								if did, err := cfg.GC(w, r); err == nil && did {
+									worked = true
+								}
+								break
+							}
+						}
+					}
+				}
+				if !worked || e.bp.TotalDirty() < cfg.Watermark {
+					p.Sleep(cfg.Interval)
+				}
+			}
+		})
+	}
+	return func() { stopped = true }
+}
+
+// WriteBackGlobal flushes the lowest dirty page assigned to writer
+// `idx` of `n` under global association. Pages are partitioned in
+// 64-page chunks of the logical address space, so every writer's set
+// spans every die (a plain modulo would alias onto the die-wise
+// striping when writers == dies and accidentally remove the chip
+// contention this strategy is supposed to exhibit).
+func (bp *BufferPool) WriteBackGlobal(ctx *IOCtx, idx, n int) (bool, error) {
+	var pick *Frame
+	var minID PageID = -1
+	for _, region := range bp.dirty {
+		for id, f := range region {
+			if f.pin > 0 || f.loading {
+				continue
+			}
+			if int(id>>6)%n != idx {
+				continue
+			}
+			if minID == -1 || id < minID {
+				pick, minID = f, id
+			}
+		}
+	}
+	if pick == nil {
+		return false, nil
+	}
+	pick.pin++
+	bp.stats.AsyncWrites++
+	err := bp.writeFrame(ctx, pick)
+	pick.pin--
+	if err != nil {
+		return false, err
+	}
+	return true, nil
+}

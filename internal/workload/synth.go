@@ -1,0 +1,123 @@
+package workload
+
+import (
+	"math/rand"
+
+	"noftl/internal/sim"
+	"noftl/internal/stats"
+)
+
+// PageTarget is the page-level device a synthetic workload drives — any
+// trace.Target (FTL, NoFTL volume adapter) qualifies; the local
+// interface avoids an import cycle.
+type PageTarget interface {
+	LogicalPages() int64
+	Read(w sim.Waiter, lpn int64, buf []byte) error
+	Write(w sim.Waiter, lpn int64, data []byte) error
+}
+
+// Pattern is an FIO-style access pattern.
+type Pattern int
+
+// Synthetic access patterns.
+const (
+	SeqRead Pattern = iota
+	SeqWrite
+	RandRead
+	RandWrite
+	RandMixed70 // 70% reads / 30% writes
+)
+
+// String names the pattern like FIO job types.
+func (p Pattern) String() string {
+	switch p {
+	case SeqRead:
+		return "seqread"
+	case SeqWrite:
+		return "seqwrite"
+	case RandRead:
+		return "randread"
+	case RandWrite:
+		return "randwrite"
+	case RandMixed70:
+		return "randrw70"
+	default:
+		return "unknown"
+	}
+}
+
+// SynthConfig describes one synthetic job.
+type SynthConfig struct {
+	Pattern  Pattern
+	Ops      int
+	PageSize int
+	Seed     int64
+	// Span restricts accesses to the first Span pages (0 = everything).
+	Span int64
+}
+
+// SynthResult collects the job's measurements.
+type SynthResult struct {
+	Pattern  Pattern
+	Ops      int
+	Elapsed  sim.Time
+	ReadLat  stats.Histogram
+	WriteLat stats.Histogram
+}
+
+// IOPS returns operations per simulated second.
+func (r *SynthResult) IOPS() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Elapsed.Seconds()
+}
+
+// RunSynthetic drives the target with the configured pattern, measuring
+// per-op latency on the caller's timeline.
+func RunSynthetic(w sim.Waiter, target PageTarget, cfg SynthConfig) (*SynthResult, error) {
+	n := target.LogicalPages()
+	if cfg.Span > 0 && cfg.Span < n {
+		n = cfg.Span
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	buf := make([]byte, cfg.PageSize)
+	res := &SynthResult{Pattern: cfg.Pattern, Ops: cfg.Ops}
+	start := w.Now()
+	seq := int64(0)
+	for i := 0; i < cfg.Ops; i++ {
+		var lpn int64
+		var write bool
+		switch cfg.Pattern {
+		case SeqRead:
+			lpn, write = seq, false
+		case SeqWrite:
+			lpn, write = seq, true
+		case RandRead:
+			lpn, write = rng.Int63n(n), false
+		case RandWrite:
+			lpn, write = rng.Int63n(n), true
+		case RandMixed70:
+			lpn = rng.Int63n(n)
+			write = rng.Intn(100) >= 70
+		}
+		seq = (seq + 1) % n
+		t0 := w.Now()
+		var err error
+		if write {
+			err = target.Write(w, lpn, buf)
+		} else {
+			err = target.Read(w, lpn, buf)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if write {
+			res.WriteLat.Add(w.Now() - t0)
+		} else {
+			res.ReadLat.Add(w.Now() - t0)
+		}
+	}
+	res.Elapsed = w.Now() - start
+	return res, nil
+}

@@ -1,0 +1,264 @@
+// Package noftl is the public API of the NoFTL reproduction: databases
+// on native flash storage (Hardock, Petrov, Gottstein, Buchmann — EDBT
+// 2015).
+//
+// The package re-exports the user-facing pieces of the internal
+// implementation:
+//
+//   - the flash device emulator and its NAND model (NewDevice,
+//     DeviceConfig, EmulatorConfig, OpenSSDConfig),
+//   - host-integrated flash management — the paper's contribution
+//     (NewVolume, VolumeConfig, RebuildVolume),
+//   - conventional on-device FTLs for comparison (NewPageFTL, NewDFTL,
+//     NewFasterFTL) and the legacy block-device wrapper (NewBlockDevice),
+//   - the Shore-MT-class storage engine (Format, Open, EngineConfig),
+//   - the TPC-B/-C/-E/-H workload generators and the FIO-style
+//     synthetic driver,
+//   - the experiment drivers that regenerate every table and figure of
+//     the paper (Figure3, Figure4, Headline, Latency, Validate).
+//
+// See examples/ for runnable walk-throughs and DESIGN.md for the
+// architecture and the per-experiment index.
+package noftl
+
+import (
+	"noftl/internal/bench"
+	"noftl/internal/blockdev"
+	"noftl/internal/flash"
+	"noftl/internal/ftl"
+	"noftl/internal/nand"
+	"noftl/internal/noftl"
+	"noftl/internal/sim"
+	"noftl/internal/storage"
+	"noftl/internal/workload"
+)
+
+// --- NAND + flash device emulator ---
+
+type (
+	// Geometry describes a flash device's physical architecture.
+	Geometry = nand.Geometry
+	// CellType selects SLC/MLC/TLC timing and endurance.
+	CellType = nand.CellType
+	// DeviceConfig configures the emulated device.
+	DeviceConfig = flash.Config
+	// Device is the native-flash device emulator.
+	Device = flash.Device
+	// DeviceIdentity is what the native IDENTIFY command returns.
+	DeviceIdentity = flash.Identity
+)
+
+// Cell technologies.
+const (
+	SLC = nand.SLC
+	MLC = nand.MLC
+	TLC = nand.TLC
+)
+
+// NewDevice creates an emulated native-flash device.
+func NewDevice(cfg DeviceConfig) *Device { return flash.New(cfg) }
+
+// EmulatorConfig builds a device geometry with the given die count and
+// approximate capacity, mirroring the paper's reconfigurable emulator.
+func EmulatorConfig(dies, capacityMB int, cell CellType) DeviceConfig {
+	return flash.EmulatorConfig(dies, capacityMB, cell)
+}
+
+// OpenSSDConfig approximates the OpenSSD research board the paper ports
+// NoFTL to.
+func OpenSSDConfig() DeviceConfig { return flash.OpenSSDConfig() }
+
+// --- simulation ---
+
+type (
+	// Kernel is the deterministic discrete-event simulation kernel.
+	Kernel = sim.Kernel
+	// Proc is a simulated process.
+	Proc = sim.Proc
+	// Waiter is how callers experience simulated latency.
+	Waiter = sim.Waiter
+	// ClockWaiter is a serial virtual clock (single synchronous client).
+	ClockWaiter = sim.ClockWaiter
+	// SimTime is simulated time in nanoseconds.
+	SimTime = sim.Time
+)
+
+// NewKernel creates a simulation kernel.
+func NewKernel() *Kernel { return sim.New() }
+
+// NewRealWaiter maps simulated time onto the wall clock (the paper's
+// real-time emulator mode); scale > 1 runs faster than real time.
+func NewRealWaiter(scale float64) *sim.RealWaiter { return sim.NewRealWaiter(scale) }
+
+// --- NoFTL: the paper's contribution ---
+
+type (
+	// Volume is DBMS-managed native flash: host-side page mapping, GC
+	// with dead-page knowledge, regions, wear leveling, BBM.
+	Volume = noftl.Volume
+	// VolumeConfig tunes a Volume.
+	VolumeConfig = noftl.Config
+	// PlacementHint steers hot/cold physical placement.
+	PlacementHint = noftl.Hint
+)
+
+// Placement hints.
+const (
+	HintDefault = noftl.HintDefault
+	HintHot     = noftl.HintHot
+	HintCold    = noftl.HintCold
+)
+
+// NewVolume creates a NoFTL volume over a native flash device.
+func NewVolume(dev *Device, cfg VolumeConfig) (*Volume, error) { return noftl.New(dev, cfg) }
+
+// RebuildVolume reconstructs a volume's mapping from flash OOB metadata
+// after a host restart.
+func RebuildVolume(dev *Device, cfg VolumeConfig, w Waiter) (*Volume, error) {
+	return noftl.Rebuild(dev, cfg, w)
+}
+
+// --- conventional FTLs + legacy block device (the comparison) ---
+
+type (
+	// FTL is a logical block device mapped by an on-device scheme.
+	FTL = ftl.FTL
+	// FTLStats counts FTL-level flash traffic.
+	FTLStats = ftl.Stats
+	// BlockDevice is the legacy READ/WRITE(lba) interface around an FTL.
+	BlockDevice = blockdev.Device
+)
+
+// NewPageFTL creates the pure page-mapping FTL (full table in RAM).
+func NewPageFTL(dev *Device, cfg ftl.PageFTLConfig) (*ftl.PageFTL, error) {
+	return ftl.NewPageFTL(dev, cfg)
+}
+
+// NewDFTL creates the demand-based FTL (cached mapping table).
+func NewDFTL(dev *Device, cfg ftl.DFTLConfig) (*ftl.DFTL, error) { return ftl.NewDFTL(dev, cfg) }
+
+// NewFasterFTL creates the FASTer hybrid log-block FTL.
+func NewFasterFTL(dev *Device, cfg ftl.FasterConfig) (*ftl.FasterFTL, error) {
+	return ftl.NewFasterFTL(dev, cfg)
+}
+
+// NewBlockDevice wraps an FTL behind the legacy block interface.
+func NewBlockDevice(f FTL, cfg blockdev.Config) *BlockDevice { return blockdev.New(f, cfg) }
+
+// --- storage engine ---
+
+type (
+	// Engine is the Shore-MT-class storage engine.
+	Engine = storage.Engine
+	// EngineConfig tunes buffer pool and locking.
+	EngineConfig = storage.EngineConfig
+	// EngineVolume is the engine's view of a storage device.
+	EngineVolume = storage.Volume
+	// IOCtx carries a Waiter through engine calls.
+	IOCtx = storage.IOCtx
+	// Tx is a transaction handle.
+	Tx = storage.Tx
+	// RID identifies a heap record.
+	RID = storage.RID
+	// WriterConfig configures background db-writers (§3.2).
+	WriterConfig = storage.WriterConfig
+)
+
+// Writer association strategies (§3.2, Figure 4).
+const (
+	AssocGlobal  = storage.AssocGlobal
+	AssocDieWise = storage.AssocDieWise
+)
+
+// NewIOCtx wraps a Waiter for engine calls.
+func NewIOCtx(w Waiter) *IOCtx { return storage.NewIOCtx(w) }
+
+// NewNoFTLEngineVolume adapts a NoFTL volume for the engine.
+func NewNoFTLEngineVolume(v *Volume) EngineVolume { return storage.NewNoFTLVolume(v) }
+
+// NewBlockEngineVolume adapts a legacy block device for the engine.
+func NewBlockEngineVolume(d *BlockDevice, pageSize int) EngineVolume {
+	return storage.NewBlockVolume(d, pageSize)
+}
+
+// NewMemEngineVolume creates an in-memory volume (tests, trace capture).
+func NewMemEngineVolume(pageSize int, pages int64) EngineVolume {
+	return storage.NewMemVolume(pageSize, pages)
+}
+
+// Format initializes a fresh database on data and log volumes.
+func Format(ctx *IOCtx, dataVol, logVol EngineVolume) error {
+	return storage.Format(ctx, dataVol, logVol)
+}
+
+// Open mounts a database, running crash recovery if needed.
+func Open(ctx *IOCtx, dataVol, logVol EngineVolume, cfg EngineConfig) (*Engine, error) {
+	return storage.Open(ctx, dataVol, logVol, cfg)
+}
+
+// --- workloads ---
+
+type (
+	// Workload is a transactional benchmark.
+	Workload = workload.Workload
+	// TPCBConfig scales TPC-B.
+	TPCBConfig = workload.TPCBConfig
+	// TPCCConfig scales TPC-C.
+	TPCCConfig = workload.TPCCConfig
+	// TPCEConfig scales the TPC-E-like workload.
+	TPCEConfig = workload.TPCEConfig
+	// TPCHConfig scales the TPC-H-like workload.
+	TPCHConfig = workload.TPCHConfig
+)
+
+// NewTPCB creates the TPC-B workload.
+func NewTPCB(cfg TPCBConfig) Workload { return workload.NewTPCB(cfg) }
+
+// NewTPCC creates the TPC-C workload.
+func NewTPCC(cfg TPCCConfig) Workload { return workload.NewTPCC(cfg) }
+
+// NewTPCE creates the TPC-E-like workload.
+func NewTPCE(cfg TPCEConfig) Workload { return workload.NewTPCE(cfg) }
+
+// NewTPCH creates the TPC-H-like workload.
+func NewTPCH(cfg TPCHConfig) Workload { return workload.NewTPCH(cfg) }
+
+// --- experiments (the paper's tables and figures) ---
+
+type (
+	// Fig3Config / Fig3Result: Figure 3, GC overhead FASTer vs NoFTL.
+	Fig3Config = bench.Fig3Config
+	// Fig3Result holds the Figure-3 table.
+	Fig3Result = bench.Fig3Result
+	// Fig4Config / Fig4Result: Figures 4a/4b, db-writer association.
+	Fig4Config = bench.Fig4Config
+	// Fig4Result holds one Figure-4 sub-figure.
+	Fig4Result = bench.Fig4Result
+	// HeadlineConfig / HeadlineResult: the end-to-end stack comparison.
+	HeadlineConfig = bench.HeadlineConfig
+	// HeadlineResult compares the stacks.
+	HeadlineResult = bench.HeadlineResult
+	// LatencyConfig / LatencyResult: the random-write latency study.
+	LatencyConfig = bench.LatencyConfig
+	// LatencyResult compares latency distributions.
+	LatencyResult = bench.LatencyResult
+	// ValidateConfig / ValidateResult: emulator validation (Demo 1).
+	ValidateConfig = bench.ValidateConfig
+	// ValidateResult is the validation table.
+	ValidateResult = bench.ValidateResult
+)
+
+// Figure3 regenerates the paper's Figure-3 table.
+func Figure3(cfg Fig3Config) (*Fig3Result, error) { return bench.Figure3(cfg) }
+
+// Figure4 regenerates Figure 4a (tpcc) or 4b (tpcb).
+func Figure4(cfg Fig4Config) (*Fig4Result, error) { return bench.Figure4(cfg) }
+
+// Headline regenerates the end-to-end stack comparison.
+func Headline(cfg HeadlineConfig) (*HeadlineResult, error) { return bench.Headline(cfg) }
+
+// Latency regenerates the write-latency study.
+func Latency(cfg LatencyConfig) (*LatencyResult, error) { return bench.Latency(cfg) }
+
+// Validate regenerates the emulator validation.
+func Validate(cfg ValidateConfig) (*ValidateResult, error) { return bench.Validate(cfg) }
