@@ -8,6 +8,7 @@
 //	noftlbench -exp headline  # abstract: NoFTL vs FASTer/DFTL/pagemap TPS
 //	noftlbench -exp latency   # §3: random-write latency distribution
 //	noftlbench -exp validate  # Demo 1: emulator validation
+//	noftlbench -exp delta     # A5: in-place appends (delta writes) vs full pages
 //	noftlbench -exp ablations # design-choice sweeps (A1-A4)
 //	noftlbench -exp all
 //
@@ -27,7 +28,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: fig3|fig4a|fig4b|headline|latency|validate|ablations|all")
+		exp     = flag.String("exp", "all", "experiment: fig3|fig4a|fig4b|headline|latency|validate|delta|ablations|all")
 		seed    = flag.Int64("seed", 42, "deterministic seed")
 		txs     = flag.Int("txs", 4000, "transactions per workload (fig3)")
 		tpccWH  = flag.Int("tpcc-warehouses", 2, "TPC-C scale factor")
@@ -140,6 +141,28 @@ func main() {
 		fmt.Println("random-read IOPS scaling with dies:")
 		for _, d := range []int{1, 2, 4, 8} {
 			fmt.Printf("  %2d dies: %.0f IOPS\n", d, res.ScalingIOPS[d])
+		}
+		return nil
+	})
+
+	run("delta", func() error {
+		for _, wl := range []string{"tpcb", "tpcc"} {
+			res, err := bench.DeltaAblation(bench.DeltaConfig{
+				Workload: wl,
+				Workers:  *workers,
+				DriveMB:  *driveMB,
+				Measure:  sim.Time(*measure) * sim.Second,
+				Seed:     *seed,
+				TPCC:     workload.TPCCConfig{Warehouses: *tpccWH},
+				TPCB:     workload.TPCBConfig{Branches: *tpcbSF},
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("Ablation A5 (%s): in-place appends (delta writes) vs full-page NoFTL vs FTL\n", wl)
+			fmt.Print(res.Table())
+			fmt.Printf("delta-NoFTL programs %.0f%% of full-page NoFTL's flash bytes per tx\n\n",
+				100*res.BytesPerTxRatio())
 		}
 		return nil
 	})

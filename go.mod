@@ -1,0 +1,3 @@
+module noftl
+
+go 1.24

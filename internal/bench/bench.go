@@ -29,6 +29,10 @@ const (
 	StackFaster  Stack = "faster"
 	StackDFTL    Stack = "dftl"
 	StackPagemap Stack = "pagemap"
+	// StackNoFTLDelta is the NoFTL architecture with the in-place-append
+	// flush path on: small buffer-pool flushes go out as page
+	// differentials instead of full page programs.
+	StackNoFTLDelta Stack = "noftl-delta"
 )
 
 // System is an engine mounted on one storage stack.
@@ -55,7 +59,7 @@ func BuildSystem(stack Stack, devCfg flash.Config, frames int) (*System, error) 
 	pageSize := devCfg.Geometry.PageSize
 
 	switch stack {
-	case StackNoFTL:
+	case StackNoFTL, StackNoFTLDelta:
 		v, err := noftl.New(dev, noftl.Config{})
 		if err != nil {
 			return nil, err
@@ -96,7 +100,8 @@ func BuildSystem(stack Stack, devCfg flash.Config, frames int) (*System, error) 
 	if err := storage.Format(s.Ctx, s.Vol, logVol); err != nil {
 		return nil, err
 	}
-	e, err := storage.Open(s.Ctx, s.Vol, logVol, storage.EngineConfig{BufferFrames: frames})
+	engCfg := storage.EngineConfig{BufferFrames: frames, DeltaWrites: stack == StackNoFTLDelta}
+	e, err := storage.Open(s.Ctx, s.Vol, logVol, engCfg)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,168 @@
+package bench
+
+import (
+	"fmt"
+
+	"noftl/internal/flash"
+	"noftl/internal/nand"
+	"noftl/internal/sim"
+	"noftl/internal/stats"
+	"noftl/internal/storage"
+	"noftl/internal/workload"
+)
+
+// DeltaAblation (A5) isolates the in-place-append design: the same
+// engine and workload run over (i) full-page NoFTL, (ii) delta-append
+// NoFTL and (iii) the conventional FTL block device, and the sweep
+// reports what the delta path buys — flash bytes programmed per
+// transaction, write amplification, GC copy work — and what it costs
+// (fold traffic, extra reads on chain folds).
+
+// DeltaConfig parameterizes the delta-write ablation.
+type DeltaConfig struct {
+	Workload string  // "tpcb" (default) or "tpcc"
+	Stacks   []Stack // default noftl, noftl-delta, faster
+	Dies     int     // default 8
+	DriveMB  int     // default 160
+	Workers  int     // default 16
+	Writers  int     // default 8
+	Frames   int     // default 384
+	Warm     sim.Time
+	Measure  sim.Time
+	Seed     int64
+
+	TPCC workload.TPCCConfig
+	TPCB workload.TPCBConfig
+}
+
+func (c DeltaConfig) withDefaults() DeltaConfig {
+	if c.Workload == "" {
+		c.Workload = "tpcb"
+	}
+	if len(c.Stacks) == 0 {
+		c.Stacks = []Stack{StackNoFTL, StackNoFTLDelta, StackFaster}
+	}
+	if c.Dies <= 0 {
+		c.Dies = 8
+	}
+	if c.DriveMB <= 0 {
+		c.DriveMB = 160
+	}
+	if c.Workers <= 0 {
+		c.Workers = 16
+	}
+	if c.Writers <= 0 {
+		c.Writers = 8
+	}
+	if c.Frames <= 0 {
+		c.Frames = 384
+	}
+	if c.Warm <= 0 {
+		c.Warm = 2 * sim.Second
+	}
+	if c.Measure <= 0 {
+		c.Measure = 8 * sim.Second
+	}
+	if c.TPCC.Warehouses == 0 {
+		c.TPCC = workload.TPCCConfig{Warehouses: 2}
+	}
+	if c.TPCB.Branches == 0 {
+		c.TPCB = workload.TPCBConfig{Branches: 24}
+	}
+	return c
+}
+
+// DeltaRow is one stack's measurement in the delta ablation.
+type DeltaRow struct {
+	Stack  Stack
+	Result TPSResult
+}
+
+// BytesPerTx is the acceptance metric: flash bytes programmed per
+// committed transaction (channel traffic into cells; copybacks excluded
+// since they never cross the bus).
+func (r DeltaRow) BytesPerTx() float64 {
+	if r.Result.Committed == 0 {
+		return 0
+	}
+	return float64(r.Result.Device.ProgramBytes) / float64(r.Result.Committed)
+}
+
+// DeltaResult is the ablation outcome.
+type DeltaResult struct {
+	Workload string
+	Rows     []DeltaRow
+}
+
+func (r *DeltaResult) row(s Stack) *DeltaRow {
+	for i := range r.Rows {
+		if r.Rows[i].Stack == s {
+			return &r.Rows[i]
+		}
+	}
+	return nil
+}
+
+// BytesPerTxRatio returns delta-NoFTL bytes/tx over full-page-NoFTL
+// bytes/tx (< 1 means the delta path writes less flash per transaction).
+func (r *DeltaResult) BytesPerTxRatio() float64 {
+	full := r.row(StackNoFTL)
+	dl := r.row(StackNoFTLDelta)
+	if full == nil || dl == nil || full.BytesPerTx() == 0 {
+		return 0
+	}
+	return dl.BytesPerTx() / full.BytesPerTx()
+}
+
+// Table renders the ablation.
+func (r *DeltaResult) Table() string {
+	t := stats.NewTable("stack", "TPS", "KB/tx", "WA", "deltaW", "folds",
+		"gcCopies", "erases", "progMB")
+	for _, row := range r.Rows {
+		d := row.Result.Device
+		f := row.Result.FTL
+		t.Row(string(row.Stack), row.Result.TPS,
+			row.BytesPerTx()/1024,
+			f.WriteAmplification(),
+			f.DeltaWrites, f.Folds,
+			f.GCCopybacks+f.GCWrites, d.Erases,
+			float64(d.ProgramBytes)/(1<<20))
+	}
+	return t.String()
+}
+
+// DeltaAblation runs the sweep.
+func DeltaAblation(cfg DeltaConfig) (*DeltaResult, error) {
+	cfg = cfg.withDefaults()
+	res := &DeltaResult{Workload: cfg.Workload}
+	for _, stack := range cfg.Stacks {
+		devCfg := flash.EmulatorConfig(cfg.Dies, cfg.DriveMB, nand.SLC)
+		sys, err := BuildSystem(stack, devCfg, cfg.Frames)
+		if err != nil {
+			return nil, fmt.Errorf("delta ablation %s: %w", stack, err)
+		}
+		var wl workload.Workload
+		if cfg.Workload == "tpcb" {
+			wl = workload.NewTPCB(cfg.TPCB)
+		} else {
+			wl = workload.NewTPCC(cfg.TPCC)
+		}
+		assoc := storage.AssocDieWise
+		if sys.NoFTL == nil {
+			assoc = storage.AssocGlobal // the block device hides regions
+		}
+		r, err := RunTPS(sys, wl, TPSConfig{
+			Workers:     cfg.Workers,
+			Writers:     cfg.Writers,
+			Association: assoc,
+			Warm:        cfg.Warm,
+			Measure:     cfg.Measure,
+			Seed:        cfg.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("delta ablation %s: %w", stack, err)
+		}
+		res.Rows = append(res.Rows, DeltaRow{Stack: stack, Result: *r})
+	}
+	return res, nil
+}

@@ -143,7 +143,7 @@ func Headline(cfg HeadlineConfig) (*HeadlineResult, error) {
 			wl = workload.NewTPCC(cfg.TPCC)
 		}
 		assoc := storage.AssocDieWise
-		if stack != StackNoFTL {
+		if sys.NoFTL == nil {
 			assoc = storage.AssocGlobal // the block device hides regions
 		}
 		r, err := RunTPS(sys, wl, TPSConfig{

@@ -61,20 +61,25 @@ type Identity struct {
 	Timing       nand.Timing
 	TransferPage sim.Time // per-page channel transfer time
 	Endurance    int      // erase budget per block
+	// PartialProgramsPerPage is the NOP budget: how many times a page can
+	// be programmed between erases via PROGRAM PARTIAL (append-only).
+	PartialProgramsPerPage int
 }
 
 // Stats is a snapshot of device operation counters and busy times.
 type Stats struct {
-	Reads        int64
-	Programs     int64
-	Erases       int64
-	Copybacks    int64
-	ReadTime     sim.Time
-	ProgramTime  sim.Time
-	EraseTime    sim.Time
-	CopybackTime sim.Time
-	DieBusy      []sim.Time // per-die accumulated service time
-	ChannelBusy  []sim.Time // per-channel accumulated transfer time
+	Reads           int64
+	Programs        int64
+	PartialPrograms int64
+	ProgramBytes    int64 // bytes programmed over the bus (full + partial)
+	Erases          int64
+	Copybacks       int64
+	ReadTime        sim.Time
+	ProgramTime     sim.Time
+	EraseTime       sim.Time
+	CopybackTime    sim.Time
+	DieBusy         []sim.Time // per-die accumulated service time
+	ChannelBusy     []sim.Time // per-channel accumulated transfer time
 }
 
 // Device is the emulated native-flash device.
@@ -113,6 +118,8 @@ func (d *Device) Identify() Identity {
 		Timing:       d.cfg.Timing,
 		TransferPage: d.xferPage,
 		Endurance:    d.arr.Endurance(),
+
+		PartialProgramsPerPage: d.arr.MaxPartialPrograms(),
 	}
 }
 
@@ -204,6 +211,46 @@ func (d *Device) ProgramPage(w sim.Waiter, p nand.PPN, data []byte, oob nand.OOB
 	d.dieBusy[die] = end
 	err := d.arr.ProgramPage(p, data, oob)
 	d.stats.Programs++
+	d.stats.ProgramBytes += int64(d.cfg.Geometry.PageSize)
+	d.stats.ProgramTime += end - xferStart
+	d.stats.DieBusy[die] += end - progStart
+	d.stats.ChannelBusy[ch] += xferEnd - xferStart
+	d.mu.Unlock()
+
+	w.WaitUntil(end)
+	return err
+}
+
+// ProgramPartial executes PROGRAM PARTIAL: an append-only sub-page
+// program (NAND NOP semantics, see nand.Array.ProgramPartial). The bus
+// and the die are occupied proportionally to the fragment size — the
+// property that makes in-place appends cheap on native flash: a 64-byte
+// delta costs ~1/64th of a 4 KiB page program instead of a full one.
+func (d *Device) ProgramPartial(w sim.Waiter, p nand.PPN, off int, data []byte, oob nand.OOB) error {
+	if !d.cfg.Geometry.ValidPPN(p) {
+		return fmt.Errorf("flash: program partial: %w", errAddr(p))
+	}
+	die := d.cfg.Geometry.DieOf(p)
+	ch := d.cfg.Geometry.ChannelOfDie(die)
+	arrival := w.Now()
+
+	frac := func(t sim.Time) sim.Time {
+		scaled := sim.Time(int64(t) * int64(len(data)) / int64(d.cfg.Geometry.PageSize))
+		if scaled < 1 {
+			scaled = 1
+		}
+		return scaled
+	}
+	d.mu.Lock()
+	xferStart := maxTime(arrival, d.chBusy[ch])
+	xferEnd := xferStart + d.cfg.CmdOverhead + frac(d.xferPage)
+	progStart := maxTime(xferEnd, d.dieBusy[die])
+	end := progStart + frac(d.cfg.Timing.ProgramPage)
+	d.chBusy[ch] = xferEnd
+	d.dieBusy[die] = end
+	err := d.arr.ProgramPartial(p, off, data, oob)
+	d.stats.PartialPrograms++
+	d.stats.ProgramBytes += int64(len(data))
 	d.stats.ProgramTime += end - xferStart
 	d.stats.DieBusy[die] += end - progStart
 	d.stats.ChannelBusy[ch] += xferEnd - xferStart

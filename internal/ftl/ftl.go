@@ -66,6 +66,10 @@ type Stats struct {
 	PartialMerges int64
 	FullMerges    int64
 	WearMoves     int64 // relocations forced by static wear leveling
+	// Delta-write path (NoFTL in-place appends).
+	DeltaWrites int64 // page-differential appends on behalf of the host
+	DeltaBytes  int64 // bytes programmed by those appends (incl. headers)
+	Folds       int64 // delta chains folded into a full page image
 }
 
 // Add returns the element-wise sum of two Stats.
@@ -83,6 +87,9 @@ func (s Stats) Add(o Stats) Stats {
 	s.PartialMerges += o.PartialMerges
 	s.FullMerges += o.FullMerges
 	s.WearMoves += o.WearMoves
+	s.DeltaWrites += o.DeltaWrites
+	s.DeltaBytes += o.DeltaBytes
+	s.Folds += o.Folds
 	return s
 }
 
@@ -96,9 +103,13 @@ func (s Stats) WriteAmplification() float64 {
 
 // String gives a one-line summary.
 func (s Stats) String() string {
-	return fmt.Sprintf("hostR=%d hostW=%d copyback=%d gcR=%d gcW=%d erase=%d mapR=%d mapW=%d WA=%.2f",
+	out := fmt.Sprintf("hostR=%d hostW=%d copyback=%d gcR=%d gcW=%d erase=%d mapR=%d mapW=%d WA=%.2f",
 		s.HostReads, s.HostWrites, s.GCCopybacks, s.GCReads, s.GCWrites, s.Erases,
 		s.MapReads, s.MapWrites, s.WriteAmplification())
+	if s.DeltaWrites > 0 {
+		out += fmt.Sprintf(" deltaW=%d deltaB=%d folds=%d", s.DeltaWrites, s.DeltaBytes, s.Folds)
+	}
+	return out
 }
 
 // Striping maps global logical pages onto per-die managers at page

@@ -16,6 +16,8 @@ var (
 	ErrCrossPlane   = errors.New("nand: copyback source and target must share a plane")
 	ErrWornOut      = errors.New("nand: block exceeded its erase endurance")
 	ErrDataSize     = errors.New("nand: data length does not match page size")
+	ErrPartialNOP   = errors.New("nand: page exhausted its partial-program budget")
+	ErrPartialOrder = errors.New("nand: partial program must not overwrite programmed bytes")
 )
 
 // OOB is the out-of-band (spare area) metadata programmed with a page.
@@ -42,6 +44,10 @@ type blockState struct {
 	programmed []bool // len PagesPerBlock, lazily allocated
 	oob        []OOB  // lazily allocated
 	data       [][]byte
+	// Partial-page programming (NOP) bookkeeping: programs issued per
+	// page and the append-only high-water offset of programmed bytes.
+	partials []uint8
+	high     []int
 }
 
 // Options configures failure injection and storage behaviour of an Array.
@@ -60,6 +66,13 @@ type Options struct {
 	// Endurance overrides the cell type's erase budget; 0 keeps the default.
 	// Blocks erased beyond the budget wear out and become bad.
 	Endurance int
+	// MaxPartialPrograms (NOP) is how many times a page may be programmed
+	// between erases via ProgramPartial. Real NAND allows a handful of
+	// partial programs per page (datasheet NOP, 4–8 on SLC, fewer on
+	// denser cells); hosts use them to append small records — the
+	// in-place-append pattern NoFTL's delta-write path relies on.
+	// 0 defaults to 4; 1 disables appends after the first program.
+	MaxPartialPrograms int
 	// Seed drives factory bad-block placement and failure injection.
 	Seed int64
 }
@@ -68,15 +81,19 @@ type Options struct {
 // physical rules real NAND imposes: erase-before-program, strictly
 // in-order page programming inside a block, and same-plane copyback.
 type Array struct {
-	geo       Geometry
-	cell      CellType
-	opts      Options
-	endurance int
-	blocks    []blockState
-	rng       *rand.Rand
+	geo        Geometry
+	cell       CellType
+	opts       Options
+	endurance  int
+	maxPartial int
+	blocks     []blockState
+	rng        *rand.Rand
 
-	totalReads     int64
-	totalPrograms  int64
+	totalReads    int64
+	totalPrograms int64
+	totalPartials int64
+	programBytes  int64
+
 	totalErases    int64
 	totalCopybacks int64
 	grownBad       int
@@ -100,6 +117,10 @@ func NewArray(geo Geometry, cell CellType, opts Options) *Array {
 	if a.endurance == 0 {
 		a.endurance = cell.Endurance()
 	}
+	a.maxPartial = opts.MaxPartialPrograms
+	if a.maxPartial == 0 {
+		a.maxPartial = 4
+	}
 	if opts.InitialBadFraction > 0 {
 		for i := range a.blocks {
 			if a.rng.Float64() < opts.InitialBadFraction {
@@ -120,6 +141,13 @@ func (a *Array) Cell() CellType { return a.cell }
 // Endurance returns the per-block erase budget in effect.
 func (a *Array) Endurance() int { return a.endurance }
 
+// MaxPartialPrograms returns the per-page partial-program budget (NOP).
+func (a *Array) MaxPartialPrograms() int { return a.maxPartial }
+
+// StoresData reports whether the array keeps page contents (false for
+// counting-only replays).
+func (a *Array) StoresData() bool { return a.opts.StoreData }
+
 func (a *Array) block(b PBN) *blockState { return &a.blocks[int(b)] }
 
 // ensure allocates the lazy per-page slices of a block.
@@ -127,6 +155,8 @@ func (a *Array) ensure(bs *blockState) {
 	if bs.programmed == nil {
 		bs.programmed = make([]bool, a.geo.PagesPerBlock)
 		bs.oob = make([]OOB, a.geo.PagesPerBlock)
+		bs.partials = make([]uint8, a.geo.PagesPerBlock)
+		bs.high = make([]int, a.geo.PagesPerBlock)
 		if a.opts.StoreData {
 			bs.data = make([][]byte, a.geo.PagesPerBlock)
 		}
@@ -195,13 +225,77 @@ func (a *Array) ProgramPage(p PPN, data []byte, oob OOB) error {
 		return fmt.Errorf("%w: program failure on block %d", ErrBadBlock, b)
 	}
 	a.totalPrograms++
+	a.programBytes += int64(a.geo.PageSize)
 	bs.programmed[idx] = true
 	bs.nextPage = idx + 1
 	bs.oob[idx] = oob
+	bs.partials[idx] = 1
+	bs.high[idx] = a.geo.PageSize // full program closes the page to appends
 	if a.opts.StoreData && data != nil {
 		d := make([]byte, a.geo.PageSize)
 		copy(d, data)
 		bs.data[idx] = d
+	}
+	return nil
+}
+
+// ProgramPartial programs only data's bytes at offset off of the page,
+// modeling NAND partial-page programming (NOP): a page may be programmed
+// up to MaxPartialPrograms times between erases, each program touching a
+// byte range strictly after the previously programmed bytes (append-only
+// within the page). The first partial program of a page must respect the
+// block's in-order rule; subsequent appends to an already-open page are
+// allowed at any time. A full ProgramPage closes the page to appends.
+//
+// OOB is stored on the first program of the page only (the spare area,
+// like the data area, cannot be reprogrammed); later appends must be
+// self-describing in their payload.
+func (a *Array) ProgramPartial(p PPN, off int, data []byte, oob OOB) error {
+	if !a.geo.ValidPPN(p) {
+		return fmt.Errorf("%w: ppn %d", ErrBadAddress, p)
+	}
+	if off < 0 || len(data) == 0 || off+len(data) > a.geo.PageSize {
+		return fmt.Errorf("%w: partial [%d,%d) in %d-byte page",
+			ErrDataSize, off, off+len(data), a.geo.PageSize)
+	}
+	b := a.geo.BlockOf(p)
+	bs := a.block(b)
+	if bs.bad {
+		return fmt.Errorf("%w: block %d", ErrBadBlock, b)
+	}
+	idx := a.geo.PageIndex(p)
+	a.ensure(bs)
+	if bs.programmed[idx] {
+		if int(bs.partials[idx]) >= a.maxPartial {
+			return fmt.Errorf("%w: ppn %d after %d programs", ErrPartialNOP, p, bs.partials[idx])
+		}
+		if off < bs.high[idx] {
+			return fmt.Errorf("%w: ppn %d offset %d below high-water %d",
+				ErrPartialOrder, p, off, bs.high[idx])
+		}
+	} else if idx != bs.nextPage {
+		return fmt.Errorf("%w: ppn %d is page %d, next programmable is %d",
+			ErrProgramOrder, p, idx, bs.nextPage)
+	}
+	if a.opts.ProgramFailProb > 0 && a.rng.Float64() < a.opts.ProgramFailProb {
+		bs.bad = true
+		a.grownBad++
+		return fmt.Errorf("%w: partial program failure on block %d", ErrBadBlock, b)
+	}
+	a.totalPartials++
+	a.programBytes += int64(len(data))
+	if !bs.programmed[idx] {
+		bs.programmed[idx] = true
+		bs.nextPage = idx + 1
+		bs.oob[idx] = oob
+	}
+	bs.partials[idx]++
+	bs.high[idx] = off + len(data)
+	if a.opts.StoreData {
+		if bs.data[idx] == nil {
+			bs.data[idx] = make([]byte, a.geo.PageSize)
+		}
+		copy(bs.data[idx][off:], data)
 	}
 	return nil
 }
@@ -228,6 +322,8 @@ func (a *Array) EraseBlock(b PBN) error {
 		for i := range bs.programmed {
 			bs.programmed[i] = false
 			bs.oob[i] = OOB{}
+			bs.partials[i] = 0
+			bs.high[i] = 0
 			if bs.data != nil {
 				bs.data[i] = nil
 			}
@@ -270,10 +366,11 @@ func (a *Array) Copyback(src, dst PPN, newOOB *OOB) error {
 		data = sb.data[sidx]
 	}
 	// Account the internal read+program as a single copyback, not as a
-	// host read and program.
-	reads, progs := a.totalReads, a.totalPrograms
+	// host read and program (and no channel bytes: the data never leaves
+	// the die).
+	reads, progs, pbytes := a.totalReads, a.totalPrograms, a.programBytes
 	err := a.ProgramPage(dst, data, oob)
-	a.totalReads, a.totalPrograms = reads, progs
+	a.totalReads, a.totalPrograms, a.programBytes = reads, progs, pbytes
 	if err != nil {
 		return err
 	}
@@ -298,6 +395,26 @@ func (a *Array) PageState(p PPN) (PageState, error) {
 // block (PagesPerBlock when the block is full).
 func (a *Array) NextProgramPage(b PBN) int { return a.block(b).nextPage }
 
+// PartialsUsed returns how many programs the page has received since its
+// last erase (0 for an erased page).
+func (a *Array) PartialsUsed(p PPN) int {
+	bs := a.block(a.geo.BlockOf(p))
+	if bs.partials == nil {
+		return 0
+	}
+	return int(bs.partials[a.geo.PageIndex(p)])
+}
+
+// HighWater returns the exclusive end offset of the page's programmed
+// bytes (PageSize after a full program).
+func (a *Array) HighWater(p PPN) int {
+	bs := a.block(a.geo.BlockOf(p))
+	if bs.high == nil {
+		return 0
+	}
+	return bs.high[a.geo.PageIndex(p)]
+}
+
 // EraseCount returns the block's wear counter.
 func (a *Array) EraseCount(b PBN) int { return a.block(b).eraseCount }
 
@@ -316,23 +433,27 @@ func (a *Array) MarkBad(b PBN) {
 
 // Counters is a snapshot of the array's lifetime operation counts.
 type Counters struct {
-	Reads      int64
-	Programs   int64
-	Erases     int64
-	Copybacks  int64
-	FactoryBad int
-	GrownBad   int
+	Reads           int64
+	Programs        int64
+	PartialPrograms int64
+	ProgramBytes    int64 // bytes crossing the channel into cells (full + partial)
+	Erases          int64
+	Copybacks       int64
+	FactoryBad      int
+	GrownBad        int
 }
 
 // Counters returns lifetime operation counts.
 func (a *Array) Counters() Counters {
 	return Counters{
-		Reads:      a.totalReads,
-		Programs:   a.totalPrograms,
-		Erases:     a.totalErases,
-		Copybacks:  a.totalCopybacks,
-		FactoryBad: a.factoryBad,
-		GrownBad:   a.grownBad,
+		Reads:           a.totalReads,
+		Programs:        a.totalPrograms,
+		PartialPrograms: a.totalPartials,
+		ProgramBytes:    a.programBytes,
+		Erases:          a.totalErases,
+		Copybacks:       a.totalCopybacks,
+		FactoryBad:      a.factoryBad,
+		GrownBad:        a.grownBad,
 	}
 }
 

@@ -1,0 +1,53 @@
+package noftl
+
+import "testing"
+
+func TestConfigLowWaterDefaults(t *testing.T) {
+	cases := []struct {
+		in   int
+		want int
+	}{
+		{0, 2},  // unset: default
+		{1, 1},  // explicit low value is honored
+		{2, 2},  //
+		{5, 5},  //
+		{-3, 1}, // nonsense clamps to the minimum
+	}
+	for _, c := range cases {
+		got := (Config{LowWater: c.in}).withDefaults().LowWater
+		if got != c.want {
+			t.Errorf("LowWater %d -> %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestConfigMaxDeltaChainDefaults(t *testing.T) {
+	if got := (Config{}).withDefaults().MaxDeltaChain; got != 4 {
+		t.Errorf("default MaxDeltaChain = %d, want 4", got)
+	}
+	if got := (Config{MaxDeltaChain: 1}).withDefaults().MaxDeltaChain; got != 1 {
+		t.Errorf("explicit MaxDeltaChain 1 -> %d", got)
+	}
+	if got := (Config{MaxDeltaChain: -1}).withDefaults().MaxDeltaChain; got != 1 {
+		t.Errorf("negative MaxDeltaChain -> %d, want 1", got)
+	}
+}
+
+// TestVolumeHonorsExplicitLowWater verifies the fixed semantics end to
+// end: LowWater 1 must survive into the running volume (the seed
+// silently overrode any value below 2).
+func TestVolumeHonorsExplicitLowWater(t *testing.T) {
+	v, _ := newTestVolume(t, Config{LowWater: 1})
+	for _, d := range v.dies {
+		if d.cfg.LowWater != 1 {
+			t.Fatalf("die %d runs with LowWater %d, want 1", d.sp.Die, d.cfg.LowWater)
+		}
+	}
+	// And an explicit 1 exports more logical capacity than the default 2
+	// (one fewer reserved block per plane).
+	v2, _ := newTestVolume(t, Config{})
+	if v.LogicalPages() <= v2.LogicalPages() {
+		t.Fatalf("LowWater 1 capacity %d not above default's %d",
+			v.LogicalPages(), v2.LogicalPages())
+	}
+}

@@ -3,6 +3,7 @@ package noftl
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"noftl/internal/flash"
 	"noftl/internal/nand"
@@ -14,6 +15,12 @@ import (
 // translation table in DBMS memory, so after a restart the table is
 // rebuilt by scanning page OOBs and keeping the highest write sequence
 // per logical page. The scan is charged as real page reads.
+//
+// Delta pages (OOB flag oobDeltaFlag) hold packed self-describing
+// records; the scan parses them and reattaches each page's delta chain:
+// records newer than the page's newest full image, ordered by sequence
+// number. Records the last fold or overwrite superseded are dead and
+// are left for GC.
 //
 // Rebuild restores the last-written version of every page; pages the
 // DBMS had invalidated before the restart reappear as valid until the
@@ -30,8 +37,18 @@ func Rebuild(dev *flash.Device, cfg Config, w sim.Waiter) (*Volume, error) {
 		seq uint64
 		ppn nand.PPN
 	}
+	type deltaRec struct {
+		seq    uint64
+		ppn    nand.PPN
+		off, n int
+	}
 	latest := make(map[int64]best)
+	deltas := make(map[int64][]deltaRec) // global LPN → scanned records
 	maxSeq := uint64(0)
+	var buf []byte
+	if arr.StoresData() {
+		buf = make([]byte, geo.PageSize)
+	}
 
 	for b := 0; b < geo.TotalBlocks(); b++ {
 		pbn := nand.PBN(b)
@@ -50,12 +67,31 @@ func Rebuild(dev *flash.Device, cfg Config, w sim.Waiter) (*Volume, error) {
 		d.claimScanned(local)
 		for pg := 0; pg < programmed; pg++ {
 			ppn := geo.FirstPage(pbn) + nand.PPN(pg)
-			oob, err := dev.ReadPage(w, ppn, nil)
+			oob, err := dev.ReadPage(w, ppn, buf)
 			if errors.Is(err, nand.ErrPageErased) {
 				continue
 			}
 			if err != nil {
 				return nil, fmt.Errorf("noftl: rebuild scan: %w", err)
+			}
+			if oob.Flags&oobDeltaFlag != 0 {
+				if buf == nil {
+					continue // counting-only array: payloads are gone
+				}
+				for off := 0; off+deltaHeaderSize <= len(buf); {
+					lpn, seq, _, n, perr := parseDeltaRecord(buf[off:])
+					if perr != nil {
+						break // end of packed records
+					}
+					if lpn >= 0 && lpn < v.st.Total() {
+						deltas[lpn] = append(deltas[lpn], deltaRec{seq: seq, ppn: ppn, off: off, n: n})
+						if seq > maxSeq {
+							maxSeq = seq
+						}
+					}
+					off += n
+				}
+				continue
 			}
 			lpn := int64(oob.LPN)
 			if lpn < 0 || lpn >= v.st.Total() {
@@ -76,7 +112,36 @@ func Rebuild(dev *flash.Device, cfg Config, w sim.Waiter) (*Volume, error) {
 		local, page := d.sp.LocalOfPPN(b.ppn)
 		d.bt.SetOwner(local, page, v.st.DieLPN(lpn))
 	}
+	// Reattach delta chains: records newer than the base image, oldest
+	// first.
+	for lpn, recs := range deltas {
+		baseSeq := latest[lpn].seq // zero when the page has no full image
+		sort.Slice(recs, func(i, j int) bool { return recs[i].seq < recs[j].seq })
+		d := v.dies[v.st.DieOf(lpn)]
+		dlpn := v.st.DieLPN(lpn)
+		for _, r := range recs {
+			if r.seq <= baseSeq {
+				continue // superseded by a later full image or fold
+			}
+			d.chains[dlpn] = append(d.chains[dlpn], chainRef{ppn: r.ppn, off: r.off, n: r.n})
+			pi := d.deltaPages[r.ppn]
+			if pi == nil {
+				pi = &deltaPageInfo{}
+				d.deltaPages[r.ppn] = pi
+			}
+			pi.live++
+			pi.residents = append(pi.residents, dlpn)
+		}
+	}
+	// Delta pages with surviving records become delta-owned slots; fully
+	// dead ones stay invalid and are reclaimed by GC. Pages are not
+	// reopened for appends after a restart (their NOP budget is unknown
+	// to be worth chasing); new appends start fresh delta pages.
 	for _, d := range v.dies {
+		for ppn := range d.deltaPages {
+			local, page := d.sp.LocalOfPPN(ppn)
+			d.bt.SetOwner(local, page, deltaOwner)
+		}
 		d.seq = maxSeq + 1
 	}
 	return v, nil

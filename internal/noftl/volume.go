@@ -48,7 +48,9 @@ type Config struct {
 	// Policy selects GC victims. Default ftl.GreedyPolicy.
 	Policy ftl.GCPolicy
 	// LowWater per-plane free-block threshold triggering inline GC.
-	// Default 2. Background GCStep starts earlier (LowWater+2).
+	// 0 selects the default of 2; the minimum honored value is 1 (a
+	// plane must keep at least one free block for GC to make progress).
+	// Background GCStep starts earlier (LowWater+2).
 	LowWater int
 	// WearLevel enables static wear leveling. Default on (set
 	// DisableWearLevel to turn off).
@@ -58,17 +60,31 @@ type Config struct {
 	WearDelta int
 	// HotColdSeparation keeps separate frontiers per hint. Default on.
 	DisableHotCold bool
+	// MaxDeltaChain bounds a page's delta chain (WriteDelta) before a
+	// forced fold rewrites the page in full. Longer chains amortize more
+	// appends per fold but cost more reads per fold/ReadPage. Default 4;
+	// minimum 1.
+	MaxDeltaChain int
 }
 
 func (c Config) withDefaults() Config {
 	if c.OverProvision <= 0 {
 		c.OverProvision = 0.07
 	}
-	if c.LowWater < 2 {
+	// 0 means "unset": pick the default. Explicit low values are honored
+	// down to the minimum of 1 free block per plane.
+	if c.LowWater == 0 {
 		c.LowWater = 2
+	} else if c.LowWater < 1 {
+		c.LowWater = 1
 	}
 	if c.WearDelta == 0 {
 		c.WearDelta = 64
+	}
+	if c.MaxDeltaChain == 0 {
+		c.MaxDeltaChain = 4
+	} else if c.MaxDeltaChain < 1 {
+		c.MaxDeltaChain = 1
 	}
 	return c
 }
@@ -86,6 +102,7 @@ const (
 	kindHot uint8 = iota
 	kindCold
 	kindGC
+	kindDelta
 )
 
 type dieMgr struct {
@@ -96,6 +113,12 @@ type dieMgr struct {
 	hot           []ftl.Frontier // per plane
 	cold          []ftl.Frontier
 	gc            []ftl.Frontier
+	deltaFr       []ftl.Frontier
+	open          []openDeltaPage // per plane: delta page accepting appends
+	chains        map[int64][]chainRef
+	deltaPages    map[nand.PPN]*deltaPageInfo
+	nop           int // device partial-program budget per page
+	storeData     bool
 	rr            int
 	seq           uint64
 	gcActive      []bool
@@ -132,18 +155,25 @@ func New(dev *flash.Device, cfg Config) (*Volume, error) {
 func newDieMgr(dev *flash.Device, die int, cfg Config) (*dieMgr, error) {
 	sp := ftl.NewDieSpace(dev, die)
 	d := &dieMgr{
-		sp:       sp,
-		bt:       ftl.NewBlockTable(sp),
-		cfg:      cfg,
-		hot:      make([]ftl.Frontier, sp.Planes()),
-		cold:     make([]ftl.Frontier, sp.Planes()),
-		gc:       make([]ftl.Frontier, sp.Planes()),
-		gcActive: make([]bool, sp.Planes()),
+		sp:         sp,
+		bt:         ftl.NewBlockTable(sp),
+		cfg:        cfg,
+		hot:        make([]ftl.Frontier, sp.Planes()),
+		cold:       make([]ftl.Frontier, sp.Planes()),
+		gc:         make([]ftl.Frontier, sp.Planes()),
+		deltaFr:    make([]ftl.Frontier, sp.Planes()),
+		open:       make([]openDeltaPage, sp.Planes()),
+		chains:     map[int64][]chainRef{},
+		deltaPages: map[nand.PPN]*deltaPageInfo{},
+		nop:        dev.Array().MaxPartialPrograms(),
+		storeData:  dev.Array().StoresData(),
+		gcActive:   make([]bool, sp.Planes()),
 	}
 	for p := 0; p < sp.Planes(); p++ {
 		d.hot[p] = ftl.NewFrontier()
 		d.cold[p] = ftl.NewFrontier()
 		d.gc[p] = ftl.NewFrontier()
+		d.deltaFr[p] = ftl.NewFrontier()
 	}
 	if d.logicalPages() <= 0 {
 		return nil, fmt.Errorf("noftl: die %d has no usable capacity", die)
@@ -154,7 +184,9 @@ func newDieMgr(dev *flash.Device, die int, cfg Config) (*dieMgr, error) {
 func (d *dieMgr) logicalPages() int64 {
 	ppb := int64(d.sp.PagesPerBlock())
 	usable := int64(d.bt.Usable())
-	reserve := int64(d.sp.Planes()) * int64(3+d.cfg.LowWater)
+	// Reserve room for the four per-plane frontiers (hot, cold, GC,
+	// delta) plus the low-water free pool.
+	reserve := int64(d.sp.Planes()) * int64(4+d.cfg.LowWater)
 	maxSafe := (usable - reserve) * ppb
 	want := int64(float64(usable*ppb) * (1 - d.cfg.OverProvision))
 	if want > maxSafe {
@@ -265,11 +297,21 @@ func (v *Volume) check(lpn int64) error {
 
 func (d *dieMgr) read(w sim.Waiter, dlpn int64, buf []byte) error {
 	ppn := d.l2p[dlpn]
-	if ppn == nand.InvalidPPN {
+	chain := d.chains[dlpn]
+	if ppn == nand.InvalidPPN && len(chain) == 0 {
 		for i := range buf {
 			buf[i] = 0
 		}
 		return nil
+	}
+	if len(chain) > 0 {
+		// Fold-on-read: apply the delta chain onto the base image. The
+		// chain stays in place; only GC and the MaxDeltaChain threshold
+		// rewrite the page.
+		if buf == nil {
+			buf = make([]byte, d.sp.Geo().PageSize)
+		}
+		return d.readFolded(w, dlpn, ppn, chain, buf, false)
 	}
 	d.stats.HostReads++
 	_, err := d.sp.Dev.ReadPage(w, ppn, buf)
@@ -282,6 +324,7 @@ func (d *dieMgr) invalidate(dlpn int64) {
 		d.bt.Invalidate(local, page)
 		d.l2p[dlpn] = nand.InvalidPPN
 	}
+	d.dropRefs(dlpn, len(d.chains[dlpn]))
 	d.stats.Trims++
 }
 
@@ -318,6 +361,8 @@ func (d *dieMgr) write(w sim.Waiter, dlpn, globalLPN int64, data []byte, h Hint)
 			l, pg := d.sp.LocalOfPPN(old)
 			d.bt.Invalidate(l, pg)
 		}
+		// A full image supersedes any outstanding deltas.
+		d.dropRefs(dlpn, len(d.chains[dlpn]))
 		local, page := d.sp.LocalOfPPN(ppn)
 		d.bt.SetOwner(local, page, dlpn)
 		d.l2p[dlpn] = ppn
@@ -434,7 +479,25 @@ func (d *dieMgr) collectBlock(w sim.Waiter, victim, plane int) error {
 		if dlpn == ftl.NoOwner {
 			continue // dead page: the DBMS already told us; no copy
 		}
-		if err := d.relocate(w, victim, page, dlpn, plane); err != nil {
+		var err error
+		switch {
+		case dlpn == deltaOwner:
+			// Packed delta records: fold every resident chain so the
+			// block's stale versions collapse into fresh full pages.
+			err = d.foldResidents(w, victim, page)
+		case len(d.chains[dlpn]) > 0:
+			// Base page with a chain: relocate the folded image instead
+			// of the stale base (the chain's records die with it).
+			err = d.foldChain(w, dlpn, nil, true)
+			if err == nil && d.bt.Info[victim].Owners[page] == dlpn {
+				// The chain emptied under the fold (e.g. an append was
+				// rolled back) leaving a plain valid base: move it.
+				err = d.relocate(w, victim, page, dlpn, plane)
+			}
+		default:
+			err = d.relocate(w, victim, page, dlpn, plane)
+		}
+		if err != nil {
 			d.bt.Info[victim].State = ftl.BlockUsed
 			return err
 		}
@@ -540,9 +603,16 @@ func (d *dieMgr) eraseAndRelease(w sim.Waiter, local int) error {
 func (d *dieMgr) retireAndSalvage(w sim.Waiter, local int) error {
 	d.bt.Retire(local)
 	plane := d.sp.PlaneOf(local)
-	for _, fr := range []*ftl.Frontier{&d.hot[plane], &d.cold[plane], &d.gc[plane]} {
+	for _, fr := range []*ftl.Frontier{&d.hot[plane], &d.cold[plane], &d.gc[plane], &d.deltaFr[plane]} {
 		if fr.Block == local {
 			*fr = ftl.NewFrontier()
+		}
+	}
+	// An open delta page in the retired block stops accepting appends
+	// (its live records are salvaged below as a closed page).
+	for p := range d.open {
+		if d.open[p].valid && d.sp.Local(d.sp.Geo().BlockOf(d.open[p].ppn)) == local {
+			d.open[p].valid = false
 		}
 	}
 	info := &d.bt.Info[local]
@@ -554,6 +624,15 @@ func (d *dieMgr) retireAndSalvage(w sim.Waiter, local int) error {
 			continue
 		}
 		src := d.sp.PPN(local, page)
+		if dlpn == deltaOwner {
+			if dp := d.deltaPages[src]; dp == nil || dp.live == 0 {
+				// Every record already died (the open page just closed).
+				info.Owners[page] = ftl.NoOwner
+				info.Valid--
+				delete(d.deltaPages, src)
+				continue
+			}
+		}
 		d.stats.GCReads++
 		if _, err := d.sp.Dev.ReadPage(w, src, buf); err != nil && !errors.Is(err, nand.ErrPageErased) {
 			return err
@@ -567,14 +646,27 @@ func (d *dieMgr) retireAndSalvage(w sim.Waiter, local int) error {
 		info.Valid--
 		dl, dp := d.sp.LocalOfPPN(dst)
 		d.bt.SetOwner(dl, dp, dlpn)
-		d.l2p[dlpn] = dst
+		oob := nand.OOB{Seq: d.seq}
+		if dlpn == deltaOwner {
+			// Record offsets survive the full-page copy, so rewriting
+			// the chain refs to the new location is enough.
+			d.remapDeltaPage(src, dst)
+			oob.LPN = ^uint64(0)
+			oob.Flags = oobDeltaFlag
+		} else {
+			d.l2p[dlpn] = dst
+			oob.LPN = uint64(d.globalLPN(dlpn))
+		}
 		d.stats.GCWrites++
-		if err := d.sp.Dev.ProgramPage(w, dst, buf, nand.OOB{LPN: uint64(d.globalLPN(dlpn)), Seq: d.seq}); err != nil {
+		if err := d.sp.Dev.ProgramPage(w, dst, buf, oob); err != nil {
 			if errors.Is(err, nand.ErrBadBlock) {
 				d.stats.GCWrites--
 				d.bt.Invalidate(dl, dp)
 				info.Owners[page] = dlpn
 				info.Valid++
+				if dlpn == deltaOwner {
+					d.remapDeltaPage(dst, src)
+				}
 				if err := d.retireAndSalvage(w, dl); err != nil {
 					return err
 				}
@@ -623,11 +715,14 @@ func (d *dieMgr) maybeWearLevel(w sim.Waiter, plane int) {
 }
 
 // checkAccounting audits internal invariants: every mapped logical page
-// owns exactly one slot, per-block valid counters match owned slots, and
-// no two logical pages share a physical slot. Used by property tests.
+// owns exactly one slot, per-block valid counters match owned slots, no
+// two logical pages share a physical slot, and the delta-chain structures
+// (chains, per-page live counts, delta-owned slots) agree. Used by
+// property tests.
 func (v *Volume) checkAccounting() error {
 	for _, d := range v.dies {
 		owned := make(map[nand.PPN]int64)
+		deltaSlots := make(map[nand.PPN]bool)
 		for b := range d.bt.Info {
 			info := &d.bt.Info[b]
 			count := 0
@@ -637,6 +732,10 @@ func (v *Volume) checkAccounting() error {
 				}
 				count++
 				ppn := d.sp.PPN(b, pg)
+				if own == deltaOwner {
+					deltaSlots[ppn] = true
+					continue
+				}
 				if prev, dup := owned[ppn]; dup {
 					return fmt.Errorf("die %d: slot %d owned twice (%d, %d)", d.sp.Die, ppn, prev, own)
 				}
@@ -656,6 +755,40 @@ func (v *Volume) checkAccounting() error {
 			}
 			if owned[ppn] != int64(dlpn) {
 				return fmt.Errorf("die %d: l2p[%d]=%d not owned back", d.sp.Die, dlpn, ppn)
+			}
+		}
+		// Delta audit: chain refs, per-page live counts and delta-owned
+		// slots must describe the same set of records.
+		refs := make(map[nand.PPN]int)
+		for dlpn, chain := range d.chains {
+			if len(chain) == 0 {
+				return fmt.Errorf("die %d: empty chain retained for %d", d.sp.Die, dlpn)
+			}
+			for _, ref := range chain {
+				refs[ref.ppn]++
+				pi := d.deltaPages[ref.ppn]
+				if pi == nil {
+					return fmt.Errorf("die %d: chain of %d references untracked delta page %d",
+						d.sp.Die, dlpn, ref.ppn)
+				}
+			}
+		}
+		for ppn, pi := range d.deltaPages {
+			if pi.live != refs[ppn] {
+				return fmt.Errorf("die %d: delta page %d live=%d but %d chain refs",
+					d.sp.Die, ppn, pi.live, refs[ppn])
+			}
+			if pi.live != len(pi.residents) {
+				return fmt.Errorf("die %d: delta page %d live=%d but %d residents",
+					d.sp.Die, ppn, pi.live, len(pi.residents))
+			}
+			if !deltaSlots[ppn] && !(pi.live == 0 && d.isOpenDelta(ppn)) {
+				return fmt.Errorf("die %d: delta page %d not owned by a delta slot", d.sp.Die, ppn)
+			}
+		}
+		for ppn := range deltaSlots {
+			if d.deltaPages[ppn] == nil {
+				return fmt.Errorf("die %d: delta slot %d has no page info", d.sp.Die, ppn)
 			}
 		}
 	}

@@ -3,6 +3,7 @@ package storage
 import (
 	"fmt"
 
+	"noftl/internal/delta"
 	"noftl/internal/sim"
 )
 
@@ -17,6 +18,13 @@ type Frame struct {
 	loading bool
 	recLSN  uint64 // LSN of first change since last clean
 	flushTo uint64 // log must be durable to here before the page is written
+
+	// Delta-write state (allocated only when the pool's volume supports
+	// page-differential writes). base mirrors the page's content as the
+	// volume knows it; tracker accumulates the byte ranges dirtied since.
+	base    []byte
+	hasBase bool
+	tracker delta.Tracker
 }
 
 // Dirty reports whether the frame holds unflushed changes.
@@ -29,6 +37,10 @@ type BufferStats struct {
 	Evictions   int64
 	SyncWrites  int64 // foreground write-backs (eviction of dirty victims)
 	AsyncWrites int64 // db-writer write-backs
+	DeltaWrites int64 // flushes that went out as page differentials
+	DeltaBytes  int64 // differential payload bytes shipped
+	FullWrites  int64 // flushes that went out as full page images
+	CleanSkips  int64 // dirty frames whose bytes matched the volume exactly
 }
 
 // BufferPool caches data-volume pages. Eviction is clock second-chance.
@@ -44,7 +56,17 @@ type BufferPool struct {
 	hand   int
 	dirty  []map[PageID]*Frame // per region
 	stats  BufferStats
+
+	// Delta-write path (EnableDeltaWrites): flushes whose differential
+	// fits deltaMax bytes go out as in-place appends instead of full
+	// page programs.
+	deltaVol DeltaVolume
+	deltaMax int
 }
+
+// deltaDiffGap is the equal-byte gap below which neighbouring modified
+// runs are coalesced when diffing a frame against its base image.
+const deltaDiffGap = 16
 
 // NewBufferPool creates a pool of n frames over vol, honouring the
 // WAL-before-data rule through wal.
@@ -61,13 +83,46 @@ func NewBufferPool(vol Volume, wal *WAL, n int) *BufferPool {
 	}
 	for i := range bp.frames {
 		data := make([]byte, vol.PageSize())
-		bp.frames[i] = &Frame{ID: InvalidPageID, Data: data, P: Page{B: data}}
+		f := &Frame{ID: InvalidPageID, Data: data}
+		f.P = Page{B: data, Track: &f.tracker}
+		bp.frames[i] = f
 	}
 	for i := range bp.dirty {
 		bp.dirty[i] = make(map[PageID]*Frame)
 	}
 	return bp
 }
+
+// EnableDeltaWrites switches flushes to the delta-append path when the
+// pool's volume supports it (noftl volumes do; legacy block devices
+// cannot express a partial write). A flush whose differential encodes to
+// at most maxFraction of the page size is shipped as a delta; larger
+// changes — and pages without an established base image — go out as full
+// page writes. maxFraction <= 0 selects the default of 0.25.
+//
+// Returns false when the volume has no delta capability.
+func (bp *BufferPool) EnableDeltaWrites(maxFraction float64) bool {
+	dv, ok := bp.vol.(DeltaVolume)
+	if !ok {
+		return false
+	}
+	if maxFraction <= 0 {
+		maxFraction = 0.25
+	}
+	bp.deltaVol = dv
+	bp.deltaMax = int(maxFraction * float64(bp.vol.PageSize()))
+	if bp.deltaMax < 8 {
+		bp.deltaMax = 8
+	}
+	for _, f := range bp.frames {
+		f.base = make([]byte, bp.vol.PageSize())
+		f.hasBase = false
+	}
+	return true
+}
+
+// DeltaWritesEnabled reports whether the pool flushes via the delta path.
+func (bp *BufferPool) DeltaWritesEnabled() bool { return bp.deltaVol != nil }
 
 // Stats returns a snapshot of pool counters.
 func (bp *BufferPool) Stats() BufferStats { return bp.stats }
@@ -102,6 +157,14 @@ func (bp *BufferPool) Pin(ctx *IOCtx, id PageID, fresh bool) (*Frame, error) {
 			f.pin++
 			f.ref = true
 			bp.stats.Hits++
+			if fresh {
+				// The caller reformats a (re)allocated page. The volume's
+				// content for this id can no longer be assumed to match
+				// the cached base image (a Deallocate may have zeroed
+				// it), so the next flush must be a full write.
+				f.hasBase = false
+				f.tracker.MarkWhole()
+			}
 			return f, nil
 		}
 		placeholder := &Frame{ID: id, loading: true}
@@ -116,9 +179,15 @@ func (bp *BufferPool) Pin(ctx *IOCtx, id PageID, fresh bool) (*Frame, error) {
 		bp.stats.Misses++
 		f.ID = id
 		f.loading = true
+		f.hasBase = false
+		f.tracker.Reset()
 		bp.table[id] = f
 		if fresh {
+			// The caller formats the page; the volume's current content
+			// is unknown (possibly stale), so no base image until the
+			// first full write establishes one.
 			InitPage(f.Data, id, PageFree)
+			f.tracker.MarkWhole()
 		} else {
 			if err := bp.vol.ReadPage(ctx, id, f.Data); err != nil {
 				f.loading = false
@@ -128,6 +197,11 @@ func (bp *BufferPool) Pin(ctx *IOCtx, id PageID, fresh bool) (*Frame, error) {
 				f.ID = InvalidPageID
 				f.pin = 0
 				return nil, err
+			}
+			if f.base != nil {
+				// The frame now mirrors the volume: deltas can start.
+				copy(f.base, f.Data)
+				f.hasBase = true
 			}
 		}
 		f.loading = false
@@ -228,11 +302,65 @@ func (bp *BufferPool) writeFrame(ctx *IOCtx, f *Frame) error {
 	}
 	f.dirty = false
 	delete(bp.dirty[bp.vol.RegionOf(f.ID)], f.ID)
-	// Pages leaving the buffer pool were modified recently: hot placement.
-	if err := bp.vol.WritePage(ctx, f.ID, f.Data, HintHotData); err != nil {
+	if err := bp.writeFrameData(ctx, f); err != nil {
 		f.dirty = true
 		bp.dirty[bp.vol.RegionOf(f.ID)][f.ID] = f
 		return err
+	}
+	return nil
+}
+
+// writeFrameData ships the frame to the volume, as a page differential
+// when the delta path is enabled and the change is small enough, as a
+// full page image otherwise.
+func (bp *BufferPool) writeFrameData(ctx *IOCtx, f *Frame) error {
+	if bp.deltaVol != nil && f.hasBase && !f.tracker.Whole() {
+		// The tracker is a conservative estimate; the authoritative
+		// differential comes from diffing against the base image (so a
+		// mutation that bypassed the tracker can never be lost).
+		runs := delta.Diff(f.base, f.Data, deltaDiffGap)
+		if len(runs) == 0 {
+			// The bytes match what the volume holds (e.g. an update that
+			// was undone in place): nothing to write.
+			bp.stats.CleanSkips++
+			f.tracker.Reset()
+			return nil
+		}
+		if payload := delta.EncodedSize(runs); payload <= bp.deltaMax {
+			enc := delta.Encode(runs, f.Data)
+			f.tracker.Reset()
+			if err := bp.deltaVol.WriteDeltaPage(ctx, f.ID, enc); err == nil {
+				bp.stats.DeltaWrites++
+				bp.stats.DeltaBytes += int64(len(enc))
+				// The volume now holds base ⊕ enc exactly (the payload
+				// bytes were captured at submission), regardless of
+				// modifications that raced the device wait.
+				if aerr := delta.Apply(f.base, enc); aerr != nil {
+					return aerr
+				}
+				return nil
+			}
+			// Delta rejected (e.g. too large for a delta page): fall
+			// through to the full-page path.
+		}
+	}
+	// Pages leaving the buffer pool were modified recently: hot placement.
+	f.tracker.Reset()
+	if err := bp.vol.WritePage(ctx, f.ID, f.Data, HintHotData); err != nil {
+		return err
+	}
+	bp.stats.FullWrites++
+	if f.base != nil {
+		// The volume captured the bytes at submission; if the frame was
+		// re-dirtied during the device wait, the captured image may
+		// differ from f.Data now — only a quiescent frame re-arms the
+		// delta path.
+		if f.dirty {
+			f.hasBase = false
+		} else {
+			copy(f.base, f.Data)
+			f.hasBase = true
+		}
 	}
 	return nil
 }

@@ -14,6 +14,15 @@ type EngineConfig struct {
 	BufferFrames int
 	// LockTimeout bounds lock waits (deadlock escape). Default 50ms.
 	LockTimeout sim.Time
+	// DeltaWrites enables the in-place-append flush path: buffer-pool
+	// flushes whose differential is small go out as delta appends when
+	// the data volume supports them (see BufferPool.EnableDeltaWrites).
+	// Ignored for volumes without the capability.
+	DeltaWrites bool
+	// DeltaMaxFraction caps the differential size (as a fraction of the
+	// page size) above which a flush falls back to a full-page write.
+	// 0 selects the default of 0.25.
+	DeltaMaxFraction float64
 }
 
 // Engine is the storage engine: buffer pool, WAL, catalog, heap files,
@@ -68,6 +77,9 @@ func Open(ctx *IOCtx, dataVol, logVol Volume, cfg EngineConfig) (*Engine, error)
 		active: map[uint64]*Tx{},
 	}
 	e.bp = NewBufferPool(dataVol, e.wal, cfg.BufferFrames)
+	if cfg.DeltaWrites {
+		e.bp.EnableDeltaWrites(cfg.DeltaMaxFraction)
+	}
 	if err := e.recover(ctx); err != nil {
 		return nil, err
 	}
@@ -274,6 +286,7 @@ func (e *Engine) redo(ctx *IOCtx, r *LogRecord) error {
 	switch r.Type {
 	case RecPageImage:
 		copy(f.Data, r.After)
+		f.tracker.MarkWhole()
 	case RecHeapInsert:
 		if err := f.P.InsertAt(r.Slot, r.After); err != nil && !errors.Is(err, ErrBadSlot) {
 			e.bp.Unpin(f, false, 0)

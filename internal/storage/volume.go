@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"noftl/internal/delta"
 	"noftl/internal/sim"
 )
 
@@ -58,6 +59,17 @@ type Volume interface {
 	RegionOf(id PageID) int
 }
 
+// DeltaVolume is the optional capability of volumes that accept
+// page-differential writes: WriteDeltaPage applies a delta.Encode
+// payload to the page's current contents instead of storing a full
+// image. The NoFTL volume implements it with in-place appends on native
+// flash; legacy block devices cannot express it (the block interface has
+// no such command — the same asymmetry as Deallocate).
+type DeltaVolume interface {
+	Volume
+	WriteDeltaPage(ctx *IOCtx, id PageID, payload []byte) error
+}
+
 // MemVolume is an in-memory volume, used for unit tests and for the
 // paper's trace-recording methodology ("traces were recorded on an
 // in-memory database").
@@ -107,6 +119,21 @@ func (v *MemVolume) WritePage(ctx *IOCtx, id PageID, data []byte, _ WriteHint) e
 	}
 	copy(v.pages[id], data)
 	return nil
+}
+
+// WriteDeltaPage implements DeltaVolume: the differential is applied to
+// the stored page in place (memory has no write-amplification to save,
+// but unit tests exercise the engine's delta path against it).
+func (v *MemVolume) WriteDeltaPage(ctx *IOCtx, id PageID, payload []byte) error {
+	if id < 0 || int64(id) >= int64(len(v.pages)) {
+		return fmt.Errorf("storage: page %d out of range (%d pages)", id, len(v.pages))
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.pages[id] == nil {
+		v.pages[id] = make([]byte, v.pageSize)
+	}
+	return delta.Apply(v.pages[id], payload)
 }
 
 // Deallocate implements Volume.

@@ -41,6 +41,14 @@ func (n *NoFTLVolume) WritePage(ctx *IOCtx, id PageID, data []byte, hint WriteHi
 	return n.V.WriteHint(ctx.waiter(), int64(id), data, h)
 }
 
+// WriteDeltaPage implements DeltaVolume: the differential is appended
+// in place on native flash (partial-page program into a shared delta
+// page), the contribution-iv path — flash traffic proportional to the
+// bytes the DBMS actually changed.
+func (n *NoFTLVolume) WriteDeltaPage(ctx *IOCtx, id PageID, payload []byte) error {
+	return n.V.WriteDelta(ctx.waiter(), int64(id), payload)
+}
+
 // Deallocate implements Volume: the free-space manager's dead-page
 // knowledge flows straight into the flash GC (§3, contribution iii).
 func (n *NoFTLVolume) Deallocate(id PageID) { _ = n.V.Invalidate(int64(id)) }

@@ -15,7 +15,8 @@
 //   - the TPC-B/-C/-E/-H workload generators and the FIO-style
 //     synthetic driver,
 //   - the experiment drivers that regenerate every table and figure of
-//     the paper (Figure3, Figure4, Headline, Latency, Validate).
+//     the paper (Figure3, Figure4, Headline, Latency, Validate) plus
+//     the in-place-appends ablation (DeltaAblation).
 //
 // See examples/ for runnable walk-throughs and DESIGN.md for the
 // architecture and the per-experiment index.
@@ -246,6 +247,11 @@ type (
 	ValidateConfig = bench.ValidateConfig
 	// ValidateResult is the validation table.
 	ValidateResult = bench.ValidateResult
+	// DeltaConfig / DeltaResult: the in-place-appends ablation (A5),
+	// full-page NoFTL vs delta-append NoFTL vs the FTL block device.
+	DeltaConfig = bench.DeltaConfig
+	// DeltaResult is the delta-write ablation table.
+	DeltaResult = bench.DeltaResult
 )
 
 // Figure3 regenerates the paper's Figure-3 table.
@@ -262,3 +268,7 @@ func Latency(cfg LatencyConfig) (*LatencyResult, error) { return bench.Latency(c
 
 // Validate regenerates the emulator validation.
 func Validate(cfg ValidateConfig) (*ValidateResult, error) { return bench.Validate(cfg) }
+
+// DeltaAblation runs the in-place-appends ablation: what page-
+// differential flushes (Volume.WriteDelta) buy over full-page writes.
+func DeltaAblation(cfg DeltaConfig) (*DeltaResult, error) { return bench.DeltaAblation(cfg) }
