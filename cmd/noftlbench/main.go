@@ -9,11 +9,15 @@
 //	noftlbench -exp latency   # §3: random-write latency distribution
 //	noftlbench -exp validate  # Demo 1: emulator validation
 //	noftlbench -exp delta     # A5: in-place appends (delta writes) vs full pages
+//	noftlbench -exp regions   # A6: configurable regions (WAL on a native log region)
 //	noftlbench -exp ablations # design-choice sweeps (A1-A4)
 //	noftlbench -exp all
 //
 // Scale flags let the experiments approach the paper's full parameters
-// (they default to simulation-friendly sizes).
+// (they default to simulation-friendly sizes). -json <path> additionally
+// writes machine-readable results (name, TPS, WA, erases, bytes/tx) for
+// the TPS experiments, so perf trajectories can accumulate as
+// BENCH_*.json files.
 package main
 
 import (
@@ -28,7 +32,8 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: fig3|fig4a|fig4b|headline|latency|validate|delta|ablations|all")
+		exp     = flag.String("exp", "all", "experiment: fig3|fig4a|fig4b|headline|latency|validate|delta|regions|ablations|all")
+		jsonOut = flag.String("json", "", "write machine-readable results (TPS, WA, erases, bytes/tx) to this path")
 		seed    = flag.Int64("seed", 42, "deterministic seed")
 		txs     = flag.Int("txs", 4000, "transactions per workload (fig3)")
 		tpccWH  = flag.Int("tpcc-warehouses", 2, "TPC-C scale factor")
@@ -40,6 +45,8 @@ func main() {
 		measure = flag.Int("measure-s", 8, "measurement window, simulated seconds")
 	)
 	flag.Parse()
+
+	report := &bench.JSONReport{Seed: *seed}
 
 	run := func(name string, fn func() error) {
 		if *exp != "all" && *exp != name {
@@ -114,6 +121,9 @@ func main() {
 			}
 			fmt.Printf("Headline (%s): end-to-end TPS by storage stack\n", wl)
 			fmt.Print(res.Table())
+			for _, row := range res.Rows {
+				report.Add("headline", wl, row.Stack, &row.Result)
+			}
 			fmt.Printf("NoFTL vs FASTer: %.2fx   pagemap vs DFTL: %.2fx\n\n",
 				res.NoFTLSpeedupOverFaster(), res.DFTLSlowdownVsPagemap())
 		}
@@ -163,6 +173,38 @@ func main() {
 			fmt.Print(res.Table())
 			fmt.Printf("delta-NoFTL programs %.0f%% of full-page NoFTL's flash bytes per tx\n\n",
 				100*res.BytesPerTxRatio())
+			for _, row := range res.Rows {
+				report.Add("delta", wl, row.Stack, &row.Result)
+			}
+		}
+		return nil
+	})
+
+	run("regions", func() error {
+		for _, wl := range []string{"tpcb", "tpcc"} {
+			// Drive size and scale factors default to the ablation's
+			// own utilization-tuned values (placement policy only
+			// matters under GC pressure).
+			res, err := bench.RegionsAblation(bench.RegionsConfig{
+				Workload: wl,
+				Workers:  *workers,
+				Measure:  sim.Time(*measure) * sim.Second,
+				Seed:     *seed,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("Ablation A6 (%s): single-policy NoFTL vs region-managed placement (WAL on log region)\n", wl)
+			fmt.Print(res.Table())
+			if rt := res.RegionTable(); rt != "" {
+				fmt.Println("per-region breakdown (noftl-regions):")
+				fmt.Print(rt)
+			}
+			fmt.Printf("regions vs single-policy: %.2fx erases, WA %+.3f, %.2fx TPS\n\n",
+				res.EraseRatio(), -res.WADelta(), res.TPSRatio())
+			for _, row := range res.Rows {
+				report.Add("regions", wl, row.Stack, &row.Result)
+			}
 		}
 		return nil
 	})
@@ -180,6 +222,14 @@ func main() {
 		}
 		return nil
 	})
+
+	if *jsonOut != "" {
+		if err := report.Write(*jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d results to %s\n", len(report.Results), *jsonOut)
+	}
 }
 
 func parseInts(s string) []int {

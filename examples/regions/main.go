@@ -1,0 +1,115 @@
+// Configurable flash regions: declare regions with per-region
+// management policies, place database objects through the catalog (WAL
+// on a native append-only log region, data on a page-mapped region),
+// run a mixed workload and read the per-region statistics — the
+// region layer's whole API surface against the public package.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"noftl"
+	"noftl/internal/workload"
+)
+
+func main() {
+	dev := noftl.NewDevice(noftl.EmulatorConfig(8, 64, noftl.SLC))
+
+	// Carve the die array: one die becomes the sequential log region
+	// (block-granular mapping, truncation instead of GC), the rest the
+	// page-mapped data region. The placement catalog routes the WAL to
+	// the log region and heaps/B+-trees to the data region.
+	layout := noftl.RegionLayout{
+		Regions: []noftl.RegionSpec{
+			{Name: "log", Dies: 1, Mapping: noftl.SeqMapped},
+			{Name: "data", Mapping: noftl.PageMapped, OverProvision: 0.1},
+		},
+		Placement: map[noftl.RegionClass]string{
+			noftl.ClassWAL:   "log",
+			noftl.ClassHeap:  "data",
+			noftl.ClassIndex: "data",
+			noftl.ClassDelta: "data",
+		},
+	}
+	mgr, err := noftl.NewRegionManager(dev, layout)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range mgr.Regions() {
+		fmt.Printf("region %-5s %s-mapped, dies %v\n", r.Name, r.Mapping(), r.Dies)
+	}
+
+	// Mount the engine on the regions: data pages through the usual
+	// volume adapter, the WAL natively on the log region.
+	dataRegion, walRegion, err := mgr.Mount()
+	if err != nil {
+		log.Fatal(err)
+	}
+	dataVol := noftl.NewNoFTLEngineVolume(dataRegion.Vol)
+	walLog := noftl.NewFlashLog(walRegion.Log)
+	ctx := noftl.NewIOCtx(nil)
+	if err := noftl.FormatFlashLog(ctx, dataVol, walLog); err != nil {
+		log.Fatal(err)
+	}
+	e, err := noftl.OpenFlashLog(ctx, dataVol, walLog, noftl.EngineConfig{BufferFrames: 256})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A mixed workload: TPC-B load plus a few thousand transactions
+	// with periodic checkpoints (each checkpoint truncates the log
+	// region — watch its erases rise with zero GC copies).
+	wl := workload.NewTPCB(workload.TPCBConfig{Branches: 8})
+	if err := wl.Load(ctx, e); err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 4000; i++ {
+		if err := wl.RunOne(ctx, e, rng); err != nil {
+			log.Fatal(err)
+		}
+		if i%500 == 499 {
+			if err := e.Checkpoint(ctx); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	if err := e.Close(ctx); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nper-region statistics after the run:")
+	for _, rs := range mgr.RegionStats() {
+		fmt.Printf("  %-5s hostW=%-6d gcCopies=%-4d erases=%-4d WA=%.3f occupancy=%.1f%%\n",
+			rs.Name, rs.FTL.HostWrites, rs.FTL.GCCopybacks+rs.FTL.GCWrites,
+			rs.FTL.Erases, rs.FTL.WriteAmplification(), 100*rs.Occupancy())
+	}
+	agg := mgr.Stats()
+	fmt.Printf("  total hostW=%d erases=%d (the log region's \"GC\" is pure truncation)\n",
+		agg.HostWrites, agg.Erases)
+
+	// Restart: both regions rebuild their mapping from flash OOBs, the
+	// engine replays the WAL from the log region.
+	mgr2, err := noftl.RebuildRegionManager(dev, layout, &noftl.ClockWaiter{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dataRegion2, walRegion2, err := mgr2.Mount()
+	if err != nil {
+		log.Fatal(err)
+	}
+	e2, err := noftl.OpenFlashLog(ctx, noftl.NewNoFTLEngineVolume(dataRegion2.Vol),
+		noftl.NewFlashLog(walRegion2.Log), noftl.EngineConfig{BufferFrames: 256})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		if err := wl.RunOne(ctx, e2, rng); err != nil {
+			log.Fatalf("transaction after region rebuild: %v", err)
+		}
+	}
+	fmt.Println("\nrestart: region mappings rebuilt from flash, WAL replayed," +
+		" and 500 more transactions ran clean")
+}

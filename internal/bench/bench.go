@@ -13,6 +13,7 @@ import (
 	"noftl/internal/flash"
 	"noftl/internal/ftl"
 	"noftl/internal/noftl"
+	"noftl/internal/region"
 	"noftl/internal/sim"
 	"noftl/internal/storage"
 	"noftl/internal/workload"
@@ -33,6 +34,16 @@ const (
 	// flush path on: small buffer-pool flushes go out as page
 	// differentials instead of full page programs.
 	StackNoFTLDelta Stack = "noftl-delta"
+	// StackNoFTLSingle hosts WAL and data on ONE single-policy NoFTL
+	// volume (the WAL gets a page window carved from the same page-mapped
+	// space): every write stream shares one mapping scheme, one GC and
+	// one set of frontiers. The regions ablation's baseline.
+	StackNoFTLSingle Stack = "noftl-single"
+	// StackNoFTLRegions carves the die array with the region manager:
+	// the WAL lives on a native append-only log region (block-granular
+	// mapping, truncation-on-checkpoint GC) and the data pages on a
+	// page-mapped region — per-region policies plus object placement.
+	StackNoFTLRegions Stack = "noftl-regions"
 )
 
 // System is an engine mounted on one storage stack.
@@ -41,10 +52,17 @@ type System struct {
 	Engine   *storage.Engine
 	Dev      *flash.Device
 	Vol      storage.Volume
-	NoFTL    *noftl.Volume // nil for block-device stacks
+	NoFTL    *noftl.Volume   // nil for block-device stacks
+	Regions  *region.Manager // set for the region-managed stack
 	FTLStats func() ftl.Stats
 	Ctx      *storage.IOCtx
 	K        *sim.Kernel // DES kernel; block-device queueing binds to it
+
+	// Log backing chosen by the stack: exactly one of logVol (page
+	// volume; nil selects the default zero-latency memory volume) and
+	// flashLog (native append-only region) is non-nil after BuildSystem.
+	logVol   storage.Volume
+	flashLog storage.AppendLog
 }
 
 // BuildSystem assembles a full system: NAND device, flash management
@@ -92,21 +110,94 @@ func BuildSystem(stack Stack, devCfg flash.Config, frames int) (*System, error) 
 		}
 		s.Vol = storage.NewBlockVolume(blockdev.New(f, blockdev.Config{Kernel: k}), pageSize)
 		s.FTLStats = f.Stats
+	case StackNoFTLSingle:
+		// Single-policy baseline with the WAL on flash: one volume, one
+		// mapping scheme, one write frontier for every stream (hints
+		// ignored); the log is just a window of the page space.
+		v, err := noftl.New(dev, noftl.Config{DisableHints: true})
+		if err != nil {
+			return nil, err
+		}
+		s.NoFTL = v
+		s.FTLStats = v.Stats
+		full := storage.NewNoFTLVolume(v)
+		logPages := logWindowPages(v.LogicalPages(), devCfg.Geometry.Dies())
+		logVol, err := storage.NewSubVolume(full, 0, logPages)
+		if err != nil {
+			return nil, err
+		}
+		dataVol, err := storage.NewSubVolume(full, logPages, v.LogicalPages()-logPages)
+		if err != nil {
+			return nil, err
+		}
+		s.Vol = dataVol
+		s.logVol = logVol
+	case StackNoFTLRegions:
+		// Region-managed placement: the engine declares WAL → log region
+		// and heaps/B+-trees → data region through the catalog.
+		m, err := region.New(dev, region.DefaultDBLayout(regionLogDies(devCfg.Geometry.Dies())))
+		if err != nil {
+			return nil, err
+		}
+		dataRegion, walRegion, err := m.Mount()
+		if err != nil {
+			return nil, err
+		}
+		s.Regions = m
+		s.NoFTL = dataRegion.Vol
+		s.FTLStats = m.Stats
+		s.Vol = storage.NewNoFTLVolume(dataRegion.Vol)
+		s.flashLog = storage.NewFlashLog(walRegion.Log)
 	default:
 		return nil, fmt.Errorf("bench: unknown stack %q", stack)
 	}
 
-	logVol := storage.NewMemVolume(pageSize, 1<<14)
-	if err := storage.Format(s.Ctx, s.Vol, logVol); err != nil {
+	engCfg := storage.EngineConfig{BufferFrames: frames, DeltaWrites: stack == StackNoFTLDelta}
+	if s.flashLog != nil {
+		if err := storage.FormatFlashLog(s.Ctx, s.Vol, s.flashLog); err != nil {
+			return nil, err
+		}
+		e, err := storage.OpenFlashLog(s.Ctx, s.Vol, s.flashLog, engCfg)
+		if err != nil {
+			return nil, err
+		}
+		s.Engine = e
+		return s, nil
+	}
+	if s.logVol == nil {
+		s.logVol = storage.NewMemVolume(pageSize, 1<<14)
+	}
+	if err := storage.Format(s.Ctx, s.Vol, s.logVol); err != nil {
 		return nil, err
 	}
-	engCfg := storage.EngineConfig{BufferFrames: frames, DeltaWrites: stack == StackNoFTLDelta}
-	e, err := storage.Open(s.Ctx, s.Vol, logVol, engCfg)
+	e, err := storage.Open(s.Ctx, s.Vol, s.logVol, engCfg)
 	if err != nil {
 		return nil, err
 	}
 	s.Engine = e
 	return s, nil
+}
+
+// regionLogDies sizes the log region: one die, or two on wide arrays.
+// logWindowPages derives the single-volume baseline's WAL share from
+// the same rule, so the A6 comparison can never measure a log-capacity
+// asymmetry by accident.
+func regionLogDies(dies int) int {
+	if dies >= 16 {
+		return 2
+	}
+	return 1
+}
+
+// logWindowPages sizes the single-volume stack's WAL window to the
+// same die share the region-managed stack gives its log region, with a
+// small floor so checkpoints fit.
+func logWindowPages(total int64, dies int) int64 {
+	n := total * int64(regionLogDies(dies)) / int64(dies)
+	if n < 256 {
+		n = 256
+	}
+	return n
 }
 
 // TPSConfig drives a throughput measurement.

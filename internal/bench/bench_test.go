@@ -6,6 +6,7 @@ import (
 
 	"noftl/internal/flash"
 	"noftl/internal/nand"
+	"noftl/internal/region"
 	"noftl/internal/sim"
 	"noftl/internal/storage"
 	"noftl/internal/workload"
@@ -24,7 +25,8 @@ func smallTPS(workers, writers int, assoc storage.WriterAssociation) TPSConfig {
 }
 
 func TestBuildSystemAllStacks(t *testing.T) {
-	for _, stack := range []Stack{StackNoFTL, StackFaster, StackDFTL, StackPagemap} {
+	for _, stack := range []Stack{StackNoFTL, StackFaster, StackDFTL, StackPagemap,
+		StackNoFTLSingle, StackNoFTLRegions} {
 		devCfg := flash.EmulatorConfig(2, 24, nand.SLC)
 		sys, err := BuildSystem(stack, devCfg, 64)
 		if err != nil {
@@ -36,6 +38,37 @@ func TestBuildSystemAllStacks(t *testing.T) {
 	}
 	if _, err := BuildSystem(Stack("bogus"), flash.EmulatorConfig(1, 8, nand.SLC), 16); err == nil {
 		t.Error("bogus stack accepted")
+	}
+}
+
+// TestRegionsStacksRunTPS drives both regions-ablation stacks through a
+// short DES measurement: the WAL lives on flash either way (window or
+// native log region) and both must push transactions.
+func TestRegionsStacksRunTPS(t *testing.T) {
+	for _, stack := range []Stack{StackNoFTLSingle, StackNoFTLRegions} {
+		devCfg := flash.EmulatorConfig(4, 48, nand.SLC)
+		sys, err := BuildSystem(stack, devCfg, 128)
+		if err != nil {
+			t.Fatalf("%s: %v", stack, err)
+		}
+		wl := workload.NewTPCB(workload.TPCBConfig{Branches: 4, AccountsPerBranch: 200})
+		r, err := RunTPS(sys, wl, smallTPS(4, 4, storage.AssocDieWise))
+		if err != nil {
+			t.Fatalf("%s: %v", stack, err)
+		}
+		if r.TPS <= 0 || r.Committed <= 0 {
+			t.Fatalf("%s: TPS = %v committed = %d", stack, r.TPS, r.Committed)
+		}
+		if stack == StackNoFTLRegions {
+			if sys.Regions == nil {
+				t.Fatal("regions stack has no manager")
+			}
+			for _, rs := range sys.Regions.RegionStats() {
+				if rs.Mapping == region.SeqMapped && rs.FTL.HostWrites == 0 {
+					t.Error("log region saw no WAL appends")
+				}
+			}
+		}
 	}
 }
 

@@ -157,9 +157,12 @@ func recordTrace(wl workload.Workload, txs int, seed int64) (*trace.Trace, int, 
 // relocation is copyback-eligible, matching firmware-managed banks.
 func fig3Device(pages int64, pageSize int) flash.Config {
 	const pagesPerBlock = 64
-	blocks := int(pages/pagesPerBlock) + 1
-	if blocks < 12 {
-		blocks = 12 // floor: log area + frontiers + GC reserve must fit
+	// Two blocks of slack: the NoFTL volume reserves one block per plane
+	// per frontier (hot/cold/GC/delta/log) plus the low-water pool, and
+	// the exported capacity must still clear the trace's page span.
+	blocks := int(pages/pagesPerBlock) + 2
+	if blocks < 13 {
+		blocks = 13 // floor: log area + frontiers + GC reserve must fit
 	}
 	dies := blocks / 16
 	if dies > 8 {

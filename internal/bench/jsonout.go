@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+)
+
+// Machine-readable experiment results: noftlbench -json <path> collects
+// one JSONResult per (experiment, workload, stack) so perf trajectories
+// (BENCH_*.json files) can accumulate across commits and be diffed by
+// tooling instead of eyeballs.
+
+// JSONResult is one measurement in the report.
+type JSONResult struct {
+	Experiment string  `json:"experiment"`
+	Workload   string  `json:"workload"`
+	Stack      string  `json:"stack"`
+	TPS        float64 `json:"tps"`
+	WA         float64 `json:"wa"`
+	Erases     int64   `json:"erases"`
+	BytesPerTx float64 `json:"bytes_per_tx"`
+	Committed  int64   `json:"committed"`
+}
+
+// JSONReport is the file-level structure.
+type JSONReport struct {
+	Seed    int64        `json:"seed"`
+	Results []JSONResult `json:"results"`
+}
+
+// Add appends one measurement derived from a TPS run.
+func (r *JSONReport) Add(experiment, workload string, stack Stack, res *TPSResult) {
+	var bytesPerTx float64
+	if res.Committed > 0 {
+		bytesPerTx = float64(res.Device.ProgramBytes) / float64(res.Committed)
+	}
+	r.Results = append(r.Results, JSONResult{
+		Experiment: experiment,
+		Workload:   workload,
+		Stack:      string(stack),
+		TPS:        res.TPS,
+		WA:         res.FTL.WriteAmplification(),
+		Erases:     res.Device.Erases,
+		BytesPerTx: bytesPerTx,
+		Committed:  res.Committed,
+	})
+}
+
+// Write serializes the report to path (indented, trailing newline).
+func (r *JSONReport) Write(path string) error {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

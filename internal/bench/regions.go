@@ -1,0 +1,223 @@
+package bench
+
+import (
+	"fmt"
+
+	"noftl/internal/flash"
+	"noftl/internal/nand"
+	"noftl/internal/region"
+	"noftl/internal/sim"
+	"noftl/internal/stats"
+	"noftl/internal/storage"
+	"noftl/internal/workload"
+)
+
+// RegionsAblation (A6) isolates the configurable-regions design: the
+// same engine and workload run WAL-and-data-on-flash twice — once on a
+// single-policy NoFTL volume where the log is just a window of the
+// page-mapped space, and once with the region manager placing the WAL
+// on a native append-only log region (block-granular mapping,
+// truncation-on-checkpoint). The sweep reports what stream segregation
+// buys: erases, write amplification, GC copy work, bytes per
+// transaction, throughput — plus the per-region breakdown only the
+// region-managed stack can provide.
+
+// RegionsConfig parameterizes the regions ablation.
+type RegionsConfig struct {
+	Workload string  // "tpcb" (default) or "tpcc"
+	Stacks   []Stack // default noftl-single, noftl-regions
+	Dies     int     // default 8
+	DriveMB  int     // default 64 (sized for GC pressure; see withDefaults)
+	Workers  int     // default 16
+	Writers  int     // default 8
+	Frames   int     // default 384
+	Warm     sim.Time
+	Measure  sim.Time
+	Seed     int64
+
+	TPCC workload.TPCCConfig
+	TPCB workload.TPCBConfig
+}
+
+func (c RegionsConfig) withDefaults() RegionsConfig {
+	if c.Workload == "" {
+		c.Workload = "tpcb"
+	}
+	if len(c.Stacks) == 0 {
+		c.Stacks = []Stack{StackNoFTLSingle, StackNoFTLRegions}
+	}
+	if c.Dies <= 0 {
+		c.Dies = 8
+	}
+	// The default drive is sized for real GC pressure (the regime where
+	// placement policy matters): the TPC-B data below fills roughly
+	// 60% of the data region, and the history table keeps growing.
+	if c.DriveMB <= 0 {
+		c.DriveMB = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = 16
+	}
+	if c.Writers <= 0 {
+		c.Writers = 8
+	}
+	if c.Frames <= 0 {
+		c.Frames = 384
+	}
+	if c.Warm <= 0 {
+		c.Warm = 2 * sim.Second
+	}
+	if c.Measure <= 0 {
+		c.Measure = 8 * sim.Second
+	}
+	if c.TPCC.Warehouses == 0 {
+		c.TPCC = workload.TPCCConfig{Warehouses: 4}
+	}
+	if c.TPCB.Branches == 0 {
+		c.TPCB = workload.TPCBConfig{Branches: 32, AccountsPerBranch: 6000}
+	}
+	return c
+}
+
+// RegionsRow is one stack's measurement.
+type RegionsRow struct {
+	Stack   Stack
+	Result  TPSResult
+	Regions []region.RegionStats // per-region breakdown (regions stack)
+}
+
+// BytesPerTx is flash bytes programmed per committed transaction.
+func (r RegionsRow) BytesPerTx() float64 {
+	if r.Result.Committed == 0 {
+		return 0
+	}
+	return float64(r.Result.Device.ProgramBytes) / float64(r.Result.Committed)
+}
+
+// ErasesPerKTx normalizes block erases per thousand committed
+// transactions — the flash-lifetime metric. (The measurement window is
+// fixed time, so a faster stack does more work; absolute erase counts
+// would punish it for its own throughput.)
+func (r RegionsRow) ErasesPerKTx() float64 {
+	if r.Result.Committed == 0 {
+		return 0
+	}
+	return float64(r.Result.Device.Erases) * 1000 / float64(r.Result.Committed)
+}
+
+// RegionsResult is the ablation outcome.
+type RegionsResult struct {
+	Workload string
+	Rows     []RegionsRow
+}
+
+func (r *RegionsResult) row(s Stack) *RegionsRow {
+	for i := range r.Rows {
+		if r.Rows[i].Stack == s {
+			return &r.Rows[i]
+		}
+	}
+	return nil
+}
+
+// EraseRatio is region-managed erases per transaction over
+// single-policy erases per transaction (< 1 means region placement
+// erases less for the same work).
+func (r *RegionsResult) EraseRatio() float64 {
+	single, regions := r.row(StackNoFTLSingle), r.row(StackNoFTLRegions)
+	if single == nil || regions == nil || single.ErasesPerKTx() == 0 {
+		return 0
+	}
+	return regions.ErasesPerKTx() / single.ErasesPerKTx()
+}
+
+// WADelta is single-policy WA minus region-managed WA (> 0 means the
+// region-managed stack amplifies less).
+func (r *RegionsResult) WADelta() float64 {
+	single, regions := r.row(StackNoFTLSingle), r.row(StackNoFTLRegions)
+	if single == nil || regions == nil {
+		return 0
+	}
+	return single.Result.FTL.WriteAmplification() - regions.Result.FTL.WriteAmplification()
+}
+
+// TPSRatio is region-managed TPS over single-policy TPS.
+func (r *RegionsResult) TPSRatio() float64 {
+	single, regions := r.row(StackNoFTLSingle), r.row(StackNoFTLRegions)
+	if single == nil || regions == nil || single.Result.TPS == 0 {
+		return 0
+	}
+	return regions.Result.TPS / single.Result.TPS
+}
+
+// Table renders the stack comparison.
+func (r *RegionsResult) Table() string {
+	t := stats.NewTable("stack", "TPS", "KB/tx", "WA", "gcCopies", "erases", "erases/ktx", "progMB")
+	for _, row := range r.Rows {
+		d := row.Result.Device
+		f := row.Result.FTL
+		t.Row(string(row.Stack), row.Result.TPS,
+			row.BytesPerTx()/1024,
+			f.WriteAmplification(),
+			f.GCCopybacks+f.GCWrites, d.Erases,
+			row.ErasesPerKTx(),
+			float64(d.ProgramBytes)/(1<<20))
+	}
+	return t.String()
+}
+
+// RegionTable renders the per-region breakdown of the region-managed
+// stack (empty when that stack did not run).
+func (r *RegionsResult) RegionTable() string {
+	row := r.row(StackNoFTLRegions)
+	if row == nil || len(row.Regions) == 0 {
+		return ""
+	}
+	t := stats.NewTable("region", "map", "dies", "hostW", "gcCopies", "erases", "WA", "occupancy")
+	for _, rs := range row.Regions {
+		t.Row(rs.Name, rs.Mapping.String(), rs.Dies, rs.FTL.HostWrites,
+			rs.FTL.GCCopybacks+rs.FTL.GCWrites, rs.FTL.Erases,
+			rs.FTL.WriteAmplification(), fmt.Sprintf("%.1f%%", 100*rs.Occupancy()))
+	}
+	return t.String()
+}
+
+// RegionsAblation runs the sweep.
+func RegionsAblation(cfg RegionsConfig) (*RegionsResult, error) {
+	cfg = cfg.withDefaults()
+	res := &RegionsResult{Workload: cfg.Workload}
+	for _, stack := range cfg.Stacks {
+		devCfg := flash.EmulatorConfig(cfg.Dies, cfg.DriveMB, nand.SLC)
+		sys, err := BuildSystem(stack, devCfg, cfg.Frames)
+		if err != nil {
+			return nil, fmt.Errorf("regions ablation %s: %w", stack, err)
+		}
+		var wl workload.Workload
+		if cfg.Workload == "tpcb" {
+			wl = workload.NewTPCB(cfg.TPCB)
+		} else {
+			wl = workload.NewTPCC(cfg.TPCC)
+		}
+		assoc := storage.AssocDieWise
+		if sys.NoFTL == nil {
+			assoc = storage.AssocGlobal
+		}
+		r, err := RunTPS(sys, wl, TPSConfig{
+			Workers:     cfg.Workers,
+			Writers:     cfg.Writers,
+			Association: assoc,
+			Warm:        cfg.Warm,
+			Measure:     cfg.Measure,
+			Seed:        cfg.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("regions ablation %s: %w", stack, err)
+		}
+		row := RegionsRow{Stack: stack, Result: *r}
+		if sys.Regions != nil {
+			row.Regions = sys.Regions.RegionStats()
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"noftl/internal/flash"
+	"noftl/internal/ftl"
 	"noftl/internal/nand"
 	"noftl/internal/sim"
 )
@@ -50,10 +51,18 @@ func Rebuild(dev *flash.Device, cfg Config, w sim.Waiter) (*Volume, error) {
 		buf = make([]byte, geo.PageSize)
 	}
 
+	// Region-scoped volumes scan only their own dies; foreign dies (other
+	// regions of the same device) are invisible to this volume.
+	mgrOfDie := make(map[int]*dieMgr, len(v.dies))
+	for _, d := range v.dies {
+		mgrOfDie[d.sp.Die] = d
+	}
 	for b := 0; b < geo.TotalBlocks(); b++ {
 		pbn := nand.PBN(b)
-		die := geo.DieOfBlock(pbn)
-		d := v.dies[die]
+		d := mgrOfDie[geo.DieOfBlock(pbn)]
+		if d == nil {
+			continue
+		}
 		local := d.sp.Local(pbn)
 		if arr.IsBad(pbn) {
 			d.bt.Retire(local)
@@ -73,6 +82,9 @@ func Rebuild(dev *flash.Device, cfg Config, w sim.Waiter) (*Volume, error) {
 			}
 			if err != nil {
 				return nil, fmt.Errorf("noftl: rebuild scan: %w", err)
+			}
+			if oob.Flags&ftl.OOBSeqLogFlag != 0 {
+				continue // a sequential-log region's page on a shared die
 			}
 			if oob.Flags&oobDeltaFlag != 0 {
 				if buf == nil {

@@ -33,10 +33,14 @@ type Hint uint8
 // Placement hints. Hot pages (indexes, frequently updated heap pages)
 // and cold pages (bulk loads, history tables) go to separate write
 // frontiers, which lowers GC copy cost because blocks die more uniformly.
+// HintLog marks sequential log-style appends (WAL pages when the log is
+// hosted on a page-mapped volume): they get their own frontier so the
+// short-lived log stream never mixes into data blocks.
 const (
 	HintDefault Hint = iota
 	HintHot
 	HintCold
+	HintLog
 )
 
 // Config tunes a Volume.
@@ -60,11 +64,20 @@ type Config struct {
 	WearDelta int
 	// HotColdSeparation keeps separate frontiers per hint. Default on.
 	DisableHotCold bool
+	// DisableHints ignores every placement hint: all writes share the
+	// hot frontier — the true "single policy for every page" volume the
+	// configurable-regions ablation uses as its baseline.
+	DisableHints bool
 	// MaxDeltaChain bounds a page's delta chain (WriteDelta) before a
 	// forced fold rewrites the page in full. Longer chains amortize more
 	// appends per fold but cost more reads per fold/ReadPage. Default 4;
 	// minimum 1.
 	MaxDeltaChain int
+	// Dies restricts the volume to a subset of the device's dies — the
+	// region-scoped form used by the region manager (package region),
+	// where several independently-managed volumes share one die array.
+	// Empty means every die.
+	Dies []int
 }
 
 func (c Config) withDefaults() Config {
@@ -91,10 +104,11 @@ func (c Config) withDefaults() Config {
 
 // Volume is a native-flash logical volume managed by the DBMS.
 type Volume struct {
-	dev  *flash.Device
-	st   ftl.Striping
-	cfg  Config
-	dies []*dieMgr
+	dev    *flash.Device
+	st     ftl.Striping
+	cfg    Config
+	dies   []*dieMgr
+	dieIDs []int // device die number per manager (region-scoped volumes)
 }
 
 // Frontier kinds.
@@ -103,17 +117,21 @@ const (
 	kindCold
 	kindGC
 	kindDelta
+	kindLog
 )
 
 type dieMgr struct {
 	sp            ftl.DieSpace
 	bt            *ftl.BlockTable
 	cfg           Config
+	idx           int // position within the volume's stripe
+	stripe        int // number of dies in the volume
 	l2p           []nand.PPN
 	hot           []ftl.Frontier // per plane
 	cold          []ftl.Frontier
 	gc            []ftl.Frontier
 	deltaFr       []ftl.Frontier
+	logFr         []ftl.Frontier
 	open          []openDeltaPage // per plane: delta page accepting appends
 	chains        map[int64][]chainRef
 	deltaPages    map[nand.PPN]*deltaPageInfo
@@ -126,14 +144,31 @@ type dieMgr struct {
 	stats         ftl.Stats
 }
 
-// New builds a Volume over a native flash device.
+// New builds a Volume over a native flash device (or, with cfg.Dies set,
+// over a region of it).
 func New(dev *flash.Device, cfg Config) (*Volume, error) {
 	cfg = cfg.withDefaults()
 	geo := dev.Geometry()
-	v := &Volume{dev: dev, cfg: cfg}
+	dies := cfg.Dies
+	if len(dies) == 0 {
+		for die := 0; die < geo.Dies(); die++ {
+			dies = append(dies, die)
+		}
+	}
+	seen := map[int]bool{}
+	for _, die := range dies {
+		if die < 0 || die >= geo.Dies() {
+			return nil, fmt.Errorf("noftl: die %d out of range (%d dies)", die, geo.Dies())
+		}
+		if seen[die] {
+			return nil, fmt.Errorf("noftl: die %d listed twice", die)
+		}
+		seen[die] = true
+	}
+	v := &Volume{dev: dev, cfg: cfg, dieIDs: append([]int(nil), dies...)}
 	perDie := int64(1<<62 - 1)
-	for die := 0; die < geo.Dies(); die++ {
-		d, err := newDieMgr(dev, die, cfg)
+	for idx, die := range dies {
+		d, err := newDieMgr(dev, die, idx, len(dies), cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -148,20 +183,23 @@ func New(dev *flash.Device, cfg Config) (*Volume, error) {
 			d.l2p[i] = nand.InvalidPPN
 		}
 	}
-	v.st = ftl.Striping{Dies: geo.Dies(), PerDie: perDie}
+	v.st = ftl.Striping{Dies: len(dies), PerDie: perDie}
 	return v, nil
 }
 
-func newDieMgr(dev *flash.Device, die int, cfg Config) (*dieMgr, error) {
+func newDieMgr(dev *flash.Device, die, idx, stripe int, cfg Config) (*dieMgr, error) {
 	sp := ftl.NewDieSpace(dev, die)
 	d := &dieMgr{
 		sp:         sp,
 		bt:         ftl.NewBlockTable(sp),
 		cfg:        cfg,
+		idx:        idx,
+		stripe:     stripe,
 		hot:        make([]ftl.Frontier, sp.Planes()),
 		cold:       make([]ftl.Frontier, sp.Planes()),
 		gc:         make([]ftl.Frontier, sp.Planes()),
 		deltaFr:    make([]ftl.Frontier, sp.Planes()),
+		logFr:      make([]ftl.Frontier, sp.Planes()),
 		open:       make([]openDeltaPage, sp.Planes()),
 		chains:     map[int64][]chainRef{},
 		deltaPages: map[nand.PPN]*deltaPageInfo{},
@@ -174,6 +212,7 @@ func newDieMgr(dev *flash.Device, die int, cfg Config) (*dieMgr, error) {
 		d.cold[p] = ftl.NewFrontier()
 		d.gc[p] = ftl.NewFrontier()
 		d.deltaFr[p] = ftl.NewFrontier()
+		d.logFr[p] = ftl.NewFrontier()
 	}
 	if d.logicalPages() <= 0 {
 		return nil, fmt.Errorf("noftl: die %d has no usable capacity", die)
@@ -184,9 +223,9 @@ func newDieMgr(dev *flash.Device, die int, cfg Config) (*dieMgr, error) {
 func (d *dieMgr) logicalPages() int64 {
 	ppb := int64(d.sp.PagesPerBlock())
 	usable := int64(d.bt.Usable())
-	// Reserve room for the four per-plane frontiers (hot, cold, GC,
-	// delta) plus the low-water free pool.
-	reserve := int64(d.sp.Planes()) * int64(4+d.cfg.LowWater)
+	// Reserve room for the five per-plane frontiers (hot, cold, GC,
+	// delta, log) plus the low-water free pool.
+	reserve := int64(d.sp.Planes()) * int64(5+d.cfg.LowWater)
 	maxSafe := (usable - reserve) * ppb
 	want := int64(float64(usable*ppb) * (1 - d.cfg.OverProvision))
 	if want > maxSafe {
@@ -199,8 +238,26 @@ func (d *dieMgr) logicalPages() int64 {
 func (v *Volume) LogicalPages() int64 { return v.st.Total() }
 
 // Regions returns the number of physical regions (dies) the volume
-// manages; region i is die i.
+// manages; region i is the volume's i-th die (device die DieIDs()[i]).
 func (v *Volume) Regions() int { return v.st.Dies }
+
+// DieIDs returns the device die numbers the volume manages, in stripe
+// order. A full-device volume returns 0..Dies-1.
+func (v *Volume) DieIDs() []int { return append([]int(nil), v.dieIDs...) }
+
+// LivePages counts the logical pages currently holding data (a full
+// image, a delta chain, or both). Region occupancy reporting uses it.
+func (v *Volume) LivePages() int64 {
+	var n int64
+	for _, d := range v.dies {
+		for dlpn, ppn := range d.l2p {
+			if ppn != nand.InvalidPPN || len(d.chains[int64(dlpn)]) > 0 {
+				n++
+			}
+		}
+	}
+	return n
+}
 
 // RegionOf maps a logical page to its physical region. Because the
 // volume stripes die-wise, the DBMS can partition dirty pages by region
@@ -329,15 +386,27 @@ func (d *dieMgr) invalidate(dlpn int64) {
 }
 
 func (d *dieMgr) frontierFor(h Hint, plane int) *ftl.Frontier {
-	if h == HintCold && !d.cfg.DisableHotCold {
+	if d.cfg.DisableHints {
+		return &d.hot[plane]
+	}
+	switch {
+	case h == HintCold && !d.cfg.DisableHotCold:
 		return &d.cold[plane]
+	case h == HintLog:
+		return &d.logFr[plane]
 	}
 	return &d.hot[plane]
 }
 
-func kindFor(h Hint) uint8 {
-	if h == HintCold {
+func (d *dieMgr) kindFor(h Hint) uint8 {
+	if d.cfg.DisableHints {
+		return kindHot
+	}
+	switch h {
+	case HintCold:
 		return kindCold
+	case HintLog:
+		return kindLog
 	}
 	return kindHot
 }
@@ -351,7 +420,7 @@ func (d *dieMgr) write(w sim.Waiter, dlpn, globalLPN int64, data []byte, h Hint)
 		if err != nil {
 			return err
 		}
-		ppn, err := d.allocPage(plane, d.frontierFor(h, plane), kindFor(h))
+		ppn, err := d.allocPage(plane, d.frontierFor(h, plane), d.kindFor(h))
 		if err != nil {
 			continue
 		}
@@ -579,8 +648,12 @@ func (d *dieMgr) relocate(w sim.Waiter, srcLocal, srcPage int, dlpn int64, plane
 	}
 }
 
+// globalLPN converts a die-local LPN back to the volume-global LPN (the
+// value stored in page OOBs so Rebuild can reconstruct the mapping). The
+// stripe is the volume's die count, not the device's: a region-scoped
+// volume addresses only its own dies.
 func (d *dieMgr) globalLPN(dlpn int64) int64 {
-	return dlpn*int64(d.sp.Geo().Dies()) + int64(d.sp.Die)
+	return dlpn*int64(d.stripe) + int64(d.idx)
 }
 
 func (d *dieMgr) eraseAndRelease(w sim.Waiter, local int) error {
@@ -603,7 +676,7 @@ func (d *dieMgr) eraseAndRelease(w sim.Waiter, local int) error {
 func (d *dieMgr) retireAndSalvage(w sim.Waiter, local int) error {
 	d.bt.Retire(local)
 	plane := d.sp.PlaneOf(local)
-	for _, fr := range []*ftl.Frontier{&d.hot[plane], &d.cold[plane], &d.gc[plane], &d.deltaFr[plane]} {
+	for _, fr := range []*ftl.Frontier{&d.hot[plane], &d.cold[plane], &d.gc[plane], &d.deltaFr[plane], &d.logFr[plane]} {
 		if fr.Block == local {
 			*fr = ftl.NewFrontier()
 		}

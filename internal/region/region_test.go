@@ -1,0 +1,182 @@
+package region
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"noftl/internal/flash"
+	"noftl/internal/nand"
+	"noftl/internal/sim"
+)
+
+func testDevice(t *testing.T, dies int, opts nand.Options) *flash.Device {
+	t.Helper()
+	opts.StoreData = true
+	return flash.New(flash.Config{
+		Geometry: nand.Geometry{
+			Channels: 2, ChipsPerChannel: dies / 2, DiesPerChip: 1,
+			PlanesPerDie: 2, BlocksPerPlane: 24, PagesPerBlock: 16,
+			PageSize: 1024, OOBSize: 32,
+		},
+		Cell: nand.SLC,
+		Nand: opts,
+	})
+}
+
+func TestLayoutDiePartitioning(t *testing.T) {
+	dev := testDevice(t, 4, nand.Options{})
+	m, err := New(dev, DefaultDBLayout(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := m.Region("log")
+	data := m.Region("data")
+	if log == nil || data == nil {
+		t.Fatal("default layout regions missing")
+	}
+	if len(log.Dies) != 1 || len(data.Dies) != 3 {
+		t.Fatalf("die split log=%v data=%v", log.Dies, data.Dies)
+	}
+	seen := map[int]bool{}
+	for _, r := range m.Regions() {
+		for _, die := range r.Dies {
+			if seen[die] {
+				t.Fatalf("die %d assigned twice", die)
+			}
+			seen[die] = true
+		}
+	}
+	if len(seen) != 4 {
+		t.Fatalf("only %d of 4 dies assigned", len(seen))
+	}
+	if log.Log == nil || log.Vol != nil {
+		t.Error("log region is not seq-mapped")
+	}
+	if data.Vol == nil || data.Log != nil {
+		t.Error("data region is not page-mapped")
+	}
+}
+
+func TestLayoutValidation(t *testing.T) {
+	dev := testDevice(t, 4, nand.Options{})
+	cases := []Layout{
+		{}, // no regions
+		{Regions: []Spec{{Name: "a", Dies: 5, Mapping: PageMapped}}},                                  // too many dies
+		{Regions: []Spec{{Name: "a", Dies: 2, Mapping: PageMapped}, {Name: "a", Mapping: SeqMapped}}}, // dup name
+		{Regions: []Spec{{Name: "a", Mapping: PageMapped}, {Name: "b", Mapping: SeqMapped}}},          // two remainders
+		{Regions: []Spec{{Name: "a", Dies: 2, Mapping: PageMapped}}},                                  // dies left over
+		{Regions: []Spec{{Name: "a", Dies: 4, Mapping: PageMapped}},
+			Placement: map[Class]string{ClassWAL: "nope"}}, // unknown region in catalog
+	}
+	for i, layout := range cases {
+		if _, err := New(dev, layout); err == nil {
+			t.Errorf("case %d: invalid layout accepted", i)
+		}
+	}
+}
+
+func TestPlacementCatalog(t *testing.T) {
+	dev := testDevice(t, 4, nand.Options{})
+	layout := Layout{
+		Regions: []Spec{
+			{Name: "log", Dies: 1, Mapping: SeqMapped},
+			{Name: "data", Mapping: PageMapped},
+		},
+		Placement: map[Class]string{ClassWAL: "log", ClassDefault: "data"},
+	}
+	m, err := New(dev, layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := m.Place(ClassWAL); r == nil || r.Name != "log" {
+		t.Errorf("WAL placed in %v", r)
+	}
+	// Heap has no entry: falls back to ClassDefault's region.
+	if r := m.Place(ClassHeap); r == nil || r.Name != "data" {
+		t.Errorf("heap placed in %v", r)
+	}
+	data, wal, err := m.Mount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data.Name != "data" || wal == nil || wal.Name != "log" {
+		t.Errorf("mount resolved data=%v wal=%v", data, wal)
+	}
+}
+
+func TestMountRejectsSplitDataClasses(t *testing.T) {
+	dev := testDevice(t, 4, nand.Options{})
+	layout := Layout{
+		Regions: []Spec{
+			{Name: "a", Dies: 2, Mapping: PageMapped},
+			{Name: "b", Mapping: PageMapped},
+		},
+		Placement: map[Class]string{ClassHeap: "a", ClassIndex: "b"},
+	}
+	m, err := New(dev, layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.Mount(); err == nil {
+		t.Error("mount accepted heaps and indexes in different regions")
+	}
+}
+
+// TestRegionIsolationAndRebuild writes distinct content through both
+// regions, restarts (Rebuild), and checks each region recovered its own
+// state from its own dies.
+func TestRegionIsolationAndRebuild(t *testing.T) {
+	dev := testDevice(t, 4, nand.Options{})
+	layout := DefaultDBLayout(1)
+	m, err := New(dev, layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &sim.ClockWaiter{}
+	data := m.Volume("data")
+	log := m.Log("log")
+
+	page := make([]byte, 1024)
+	for lpn := int64(0); lpn < 50; lpn++ {
+		binary.LittleEndian.PutUint64(page, uint64(lpn)^0xD0D0)
+		if err := data.Write(w, lpn, page); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := int64(0); i < 40; i++ {
+		binary.LittleEndian.PutUint64(page, uint64(i)^0x7070)
+		if _, err := log.Append(w, page); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := log.Truncate(w, 16); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, err := Rebuild(dev, layout, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data2, log2 := m2.Volume("data"), m2.Log("log")
+	buf := make([]byte, 1024)
+	for lpn := int64(0); lpn < 50; lpn++ {
+		if err := data2.Read(w, lpn, buf); err != nil {
+			t.Fatal(err)
+		}
+		if got := binary.LittleEndian.Uint64(buf); got != uint64(lpn)^0xD0D0 {
+			t.Fatalf("data page %d rebuilt as %x", lpn, got)
+		}
+	}
+	head, next := log2.Bounds()
+	if head != 16 || next != 40 {
+		t.Fatalf("log window [%d,%d) after rebuild, want [16,40)", head, next)
+	}
+	for i := head; i < next; i++ {
+		if err := log2.ReadAt(w, i, buf); err != nil {
+			t.Fatal(err)
+		}
+		if got := binary.LittleEndian.Uint64(buf); got != uint64(i)^0x7070 {
+			t.Fatalf("log page %d rebuilt as %x", i, got)
+		}
+	}
+}

@@ -16,6 +16,7 @@ type Frame struct {
 	dirty   bool
 	ref     bool
 	loading bool
+	bulk    bool   // freshly created in the pool, never yet flushed
 	recLSN  uint64 // LSN of first change since last clean
 	flushTo uint64 // log must be durable to here before the page is written
 
@@ -163,6 +164,7 @@ func (bp *BufferPool) Pin(ctx *IOCtx, id PageID, fresh bool) (*Frame, error) {
 				// the cached base image (a Deallocate may have zeroed
 				// it), so the next flush must be a full write.
 				f.hasBase = false
+				f.bulk = true
 				f.tracker.MarkWhole()
 			}
 			return f, nil
@@ -187,8 +189,10 @@ func (bp *BufferPool) Pin(ctx *IOCtx, id PageID, fresh bool) (*Frame, error) {
 			// is unknown (possibly stale), so no base image until the
 			// first full write establishes one.
 			InitPage(f.Data, id, PageFree)
+			f.bulk = true
 			f.tracker.MarkWhole()
 		} else {
+			f.bulk = false
 			if err := bp.vol.ReadPage(ctx, id, f.Data); err != nil {
 				f.loading = false
 				if bp.table[id] == f {
@@ -344,11 +348,11 @@ func (bp *BufferPool) writeFrameData(ctx *IOCtx, f *Frame) error {
 			// through to the full-page path.
 		}
 	}
-	// Pages leaving the buffer pool were modified recently: hot placement.
 	f.tracker.Reset()
-	if err := bp.vol.WritePage(ctx, f.ID, f.Data, HintHotData); err != nil {
+	if err := bp.vol.WritePage(ctx, f.ID, f.Data, bp.hintFor(f)); err != nil {
 		return err
 	}
+	f.bulk = false
 	bp.stats.FullWrites++
 	if f.base != nil {
 		// The volume captured the bytes at submission; if the frame was
@@ -363,6 +367,19 @@ func (bp *BufferPool) writeFrameData(ctx *IOCtx, f *Frame) error {
 		}
 	}
 	return nil
+}
+
+// hintFor derives the placement hint for a flush from what the engine
+// knows about the page. Heap pages being flushed for the first time
+// since their creation are bulk appends (loads, history inserts): they
+// go to the cold frontier, where their blocks fill with same-aged data
+// and die together. Everything else leaving the pool was modified
+// recently — indexes and re-flushed heap pages are the hot stream.
+func (bp *BufferPool) hintFor(f *Frame) WriteHint {
+	if f.bulk && f.P.Type() == PageHeap {
+		return HintColdData
+	}
+	return HintHotData
 }
 
 // WriteBack flushes one dirty unpinned page of the region; db-writers

@@ -47,6 +47,24 @@ type Engine struct {
 
 // Format initializes a fresh database on the data and log volumes.
 func Format(ctx *IOCtx, dataVol, logVol Volume) error {
+	if err := formatData(ctx, dataVol); err != nil {
+		return err
+	}
+	w := NewWAL(logVol)
+	return w.WriteAnchor(ctx, 0)
+}
+
+// FormatFlashLog initializes a fresh database whose WAL lives on a
+// native append-only log region instead of a page volume.
+func FormatFlashLog(ctx *IOCtx, dataVol Volume, log AppendLog) error {
+	if err := formatData(ctx, dataVol); err != nil {
+		return err
+	}
+	w := NewWALOnLog(log)
+	return w.WriteAnchor(ctx, 0)
+}
+
+func formatData(ctx *IOCtx, dataVol Volume) error {
 	buf := make([]byte, dataVol.PageSize())
 	p := InitPage(buf, metaPageID, PageMeta)
 	hdr := make([]byte, 16)
@@ -55,28 +73,33 @@ func Format(ctx *IOCtx, dataVol, logVol Volume) error {
 	if _, err := p.Insert(hdr); err != nil {
 		return err
 	}
-	if err := dataVol.WritePage(ctx, metaPageID, buf, HintHotData); err != nil {
-		return err
-	}
-	w := NewWAL(logVol)
-	return w.WriteAnchor(ctx, 0)
+	return dataVol.WritePage(ctx, metaPageID, buf, HintHotData)
 }
 
 // Open mounts a database, running crash recovery if the log holds work
 // beyond the last checkpoint.
 func Open(ctx *IOCtx, dataVol, logVol Volume, cfg EngineConfig) (*Engine, error) {
+	e := &Engine{vol: dataVol, logVol: logVol, wal: NewWAL(logVol)}
+	return openEngine(ctx, e, cfg)
+}
+
+// OpenFlashLog mounts a database whose WAL is hosted on a native
+// append-only log region — the one-flash-volume configuration where the
+// region manager places both the data pages and the ARIES log on the
+// same die array under per-region policies.
+func OpenFlashLog(ctx *IOCtx, dataVol Volume, log AppendLog, cfg EngineConfig) (*Engine, error) {
+	e := &Engine{vol: dataVol, wal: NewWALOnLog(log)}
+	return openEngine(ctx, e, cfg)
+}
+
+func openEngine(ctx *IOCtx, e *Engine, cfg EngineConfig) (*Engine, error) {
 	if cfg.BufferFrames <= 0 {
 		cfg.BufferFrames = 256
 	}
-	e := &Engine{
-		vol:    dataVol,
-		logVol: logVol,
-		wal:    NewWAL(logVol),
-		lt:     NewLockTable(cfg.LockTimeout),
-		alloc:  &allocator{limit: dataVol.Pages()},
-		active: map[uint64]*Tx{},
-	}
-	e.bp = NewBufferPool(dataVol, e.wal, cfg.BufferFrames)
+	e.lt = NewLockTable(cfg.LockTimeout)
+	e.alloc = &allocator{limit: e.vol.Pages()}
+	e.active = map[uint64]*Tx{}
+	e.bp = NewBufferPool(e.vol, e.wal, cfg.BufferFrames)
 	if cfg.DeltaWrites {
 		e.bp.EnableDeltaWrites(cfg.DeltaMaxFraction)
 	}
@@ -122,7 +145,16 @@ func (e *Engine) Checkpoint(ctx *IOCtx) error {
 	if err := e.wal.Flush(ctx, e.wal.NextLSN()); err != nil {
 		return err
 	}
-	return e.wal.WriteAnchor(ctx, lsn)
+	// The log may only be reclaimed below the recovery horizon: redo
+	// needs records from the still-dirty pages' bound, undo from the
+	// oldest active transaction's first record.
+	keep := redoStart
+	for _, first := range act {
+		if first < keep {
+			keep = first
+		}
+	}
+	return e.wal.WriteAnchorKeep(ctx, lsn, keep)
 }
 
 // Close checkpoints and shuts down.

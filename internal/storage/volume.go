@@ -28,11 +28,16 @@ func (c *IOCtx) waiter() sim.Waiter {
 // WriteHint mirrors noftl placement hints at the engine level.
 type WriteHint uint8
 
-// Engine-level placement hints.
+// Engine-level placement hints. HintHotData marks frequently updated
+// pages (indexes, re-flushed heap pages), HintColdData bulk-created
+// pages written once (loads, history appends), HintLog sequential
+// log-stream pages — each maps to its own write frontier on volumes
+// that honor placement.
 const (
 	HintNone WriteHint = iota
 	HintHotData
 	HintColdData
+	HintLog
 )
 
 // Volume is the engine's view of a storage device: a linear space of
@@ -150,6 +155,87 @@ func (v *MemVolume) Regions() int { return 1 }
 
 // RegionOf implements Volume.
 func (v *MemVolume) RegionOf(PageID) int { return 0 }
+
+// SubVolume is a contiguous window [off, off+n) of another volume,
+// exposed as a volume of its own. It lets one physical volume host
+// several logical spaces — e.g. a WAL window and a data window carved
+// from a single-policy NoFTL volume (the configuration the regions
+// ablation compares against region-managed placement).
+type SubVolume struct {
+	inner Volume
+	off   int64
+	n     int64
+}
+
+// NewSubVolume carves the window [off, off+n) out of v. The returned
+// volume forwards the delta-write capability when v has it.
+func NewSubVolume(v Volume, off, n int64) (Volume, error) {
+	if off < 0 || n <= 0 || off+n > v.Pages() {
+		return nil, fmt.Errorf("storage: subvolume [%d,%d) outside %d pages", off, off+n, v.Pages())
+	}
+	sv := &SubVolume{inner: v, off: off, n: n}
+	if dv, ok := v.(DeltaVolume); ok {
+		return &deltaSubVolume{SubVolume: sv, dv: dv}, nil
+	}
+	return sv, nil
+}
+
+// PageSize implements Volume.
+func (s *SubVolume) PageSize() int { return s.inner.PageSize() }
+
+// Pages implements Volume.
+func (s *SubVolume) Pages() int64 { return s.n }
+
+func (s *SubVolume) check(id PageID) error {
+	if id < 0 || int64(id) >= s.n {
+		return fmt.Errorf("storage: page %d out of range (%d pages)", id, s.n)
+	}
+	return nil
+}
+
+// ReadPage implements Volume.
+func (s *SubVolume) ReadPage(ctx *IOCtx, id PageID, buf []byte) error {
+	if err := s.check(id); err != nil {
+		return err
+	}
+	return s.inner.ReadPage(ctx, id+PageID(s.off), buf)
+}
+
+// WritePage implements Volume.
+func (s *SubVolume) WritePage(ctx *IOCtx, id PageID, data []byte, hint WriteHint) error {
+	if err := s.check(id); err != nil {
+		return err
+	}
+	return s.inner.WritePage(ctx, id+PageID(s.off), data, hint)
+}
+
+// Deallocate implements Volume.
+func (s *SubVolume) Deallocate(id PageID) {
+	if s.check(id) == nil {
+		s.inner.Deallocate(id + PageID(s.off))
+	}
+}
+
+// Regions implements Volume.
+func (s *SubVolume) Regions() int { return s.inner.Regions() }
+
+// RegionOf implements Volume.
+func (s *SubVolume) RegionOf(id PageID) int { return s.inner.RegionOf(id + PageID(s.off)) }
+
+// deltaSubVolume adds the delta-write capability to a window whose
+// backing volume has it.
+type deltaSubVolume struct {
+	*SubVolume
+	dv DeltaVolume
+}
+
+// WriteDeltaPage implements DeltaVolume.
+func (s *deltaSubVolume) WriteDeltaPage(ctx *IOCtx, id PageID, payload []byte) error {
+	if err := s.check(id); err != nil {
+		return err
+	}
+	return s.dv.WriteDeltaPage(ctx, id+PageID(s.off), payload)
+}
 
 func (v *MemVolume) check(id PageID, buf []byte) error {
 	if id < 0 || int64(id) >= int64(len(v.pages)) {

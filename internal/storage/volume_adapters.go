@@ -1,7 +1,11 @@
 package storage
 
 import (
+	"errors"
+	"fmt"
+
 	"noftl/internal/blockdev"
+	"noftl/internal/ftl"
 	"noftl/internal/noftl"
 )
 
@@ -37,6 +41,8 @@ func (n *NoFTLVolume) WritePage(ctx *IOCtx, id PageID, data []byte, hint WriteHi
 		h = noftl.HintHot
 	case HintColdData:
 		h = noftl.HintCold
+	case HintLog:
+		h = noftl.HintLog
 	}
 	return n.V.WriteHint(ctx.waiter(), int64(id), data, h)
 }
@@ -97,3 +103,43 @@ func (b *BlockVolume) Regions() int { return 1 }
 
 // RegionOf implements Volume.
 func (b *BlockVolume) RegionOf(PageID) int { return 0 }
+
+// FlashLog adapts a native sequential log region (ftl.SeqLog) to the
+// WAL's AppendLog interface: the engine declares "this stream is a log"
+// and the region's whole management policy — block-granular mapping,
+// truncation instead of GC — follows from that declaration.
+type FlashLog struct {
+	L *ftl.SeqLog
+}
+
+// NewFlashLog wraps l.
+func NewFlashLog(l *ftl.SeqLog) *FlashLog { return &FlashLog{L: l} }
+
+// PageSize implements AppendLog.
+func (f *FlashLog) PageSize() int { return f.L.PageSize() }
+
+// Pages implements AppendLog.
+func (f *FlashLog) Pages() int64 { return f.L.CapacityPages() }
+
+// Append implements AppendLog. Region exhaustion surfaces as ErrLogFull
+// so the engine's checkpoint machinery treats it like a wrapped log.
+func (f *FlashLog) Append(ctx *IOCtx, data []byte) (int64, error) {
+	pos, err := f.L.Append(ctx.waiter(), data)
+	if errors.Is(err, ftl.ErrLogSpace) {
+		return 0, fmt.Errorf("%w: %v", ErrLogFull, err)
+	}
+	return pos, err
+}
+
+// ReadAt implements AppendLog.
+func (f *FlashLog) ReadAt(ctx *IOCtx, pos int64, buf []byte) error {
+	return f.L.ReadAt(ctx.waiter(), pos, buf)
+}
+
+// Truncate implements AppendLog.
+func (f *FlashLog) Truncate(ctx *IOCtx, keepFrom int64) error {
+	return f.L.Truncate(ctx.waiter(), keepFrom)
+}
+
+// Bounds implements AppendLog.
+func (f *FlashLog) Bounds() (int64, int64) { return f.L.Bounds() }

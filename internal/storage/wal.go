@@ -88,6 +88,13 @@ type WAL struct {
 	recStream []byte
 	recStart  uint64
 
+	// Append-only mode (wal_flash.go): the WAL lives on a native flash
+	// log region instead of a rewritable page volume. vol is nil.
+	alog      AppendLog
+	anchorPos int64          // position of the newest anchor page
+	pageIdx   []flashPageRef // flushed live stream pages
+	scanPages []flashScanPage
+
 	// Stats.
 	Appends     int64
 	Flushes     int64
@@ -109,11 +116,23 @@ func (w *WAL) DurableLSN() uint64 { return w.durable }
 // Capacity returns the log volume's stream capacity in bytes; once
 // NextLSN outruns the last checkpoint anchor by this much, flushing
 // fails with ErrLogFull.
-func (w *WAL) Capacity() uint64 { return uint64(w.vol.Pages()-1) * uint64(w.payload) }
+func (w *WAL) Capacity() uint64 {
+	if w.alog != nil {
+		return w.flashCapacity()
+	}
+	return uint64(w.vol.Pages()-1) * uint64(w.payload)
+}
 
 // SinceAnchor returns the stream bytes appended since the last
-// checkpoint anchor — checkpoint schedulers compare it to Capacity.
-func (w *WAL) SinceAnchor() uint64 { return w.nextLSN - w.anchor }
+// checkpoint anchor — checkpoint schedulers compare it to Capacity. In
+// append-only mode it measures consumed pages (partial flush pages
+// count whole), so the ratio against Capacity stays honest.
+func (w *WAL) SinceAnchor() uint64 {
+	if w.alog != nil {
+		return w.flashSinceAnchor()
+	}
+	return w.nextLSN - w.anchor
+}
 
 // Append encodes r, assigns it the next LSN and buffers it.
 func (w *WAL) Append(r *LogRecord) uint64 {
@@ -143,7 +162,12 @@ func (w *WAL) Flush(ctx *IOCtx, upTo uint64) error {
 		// Snapshot the target: flush everything buffered right now
 		// (group commit: waiters behind us get covered too).
 		target := w.nextLSN
-		err := w.writePages(ctx, target)
+		var err error
+		if w.alog != nil {
+			err = w.writeFlashPages(ctx, target)
+		} else {
+			err = w.writePages(ctx, target)
+		}
 		w.flushing = false
 		if err != nil {
 			return err
@@ -182,7 +206,9 @@ func (w *WAL) writePages(ctx *IOCtx, target uint64) error {
 		binary.LittleEndian.PutUint64(buf[0:], pg)
 		binary.LittleEndian.PutUint32(buf[8:], uint32(n))
 		copy(buf[logPageHeader:], w.tail[off:off+n])
-		if err := w.vol.WritePage(ctx, w.volPage(pg), buf, HintHotData); err != nil {
+		// Log pages are a sequential short-lived stream, not hot data:
+		// volumes with placement support keep them on their own frontier.
+		if err := w.vol.WritePage(ctx, w.volPage(pg), buf, HintLog); err != nil {
 			return err
 		}
 		w.PagesOut++
@@ -208,18 +234,41 @@ func (w *WAL) volPage(streamPage uint64) PageID {
 // Anchor persistence: {magic, checkpointLSN}.
 const walMagic = 0x4e6f46544c57414c // "NoFTLWAL"
 
-// WriteAnchor records the checkpoint LSN on the anchor page.
+// WriteAnchor records the checkpoint LSN: on the fixed anchor page
+// (page-volume mode) or as an appended anchor page followed by log
+// truncation (append-only mode). Truncation keeps everything from the
+// checkpoint LSN on; when recovery may need earlier records (fuzzy
+// checkpoints with dirty pages or active transactions), use
+// WriteAnchorKeep.
 func (w *WAL) WriteAnchor(ctx *IOCtx, checkpointLSN uint64) error {
+	return w.WriteAnchorKeep(ctx, checkpointLSN, checkpointLSN)
+}
+
+// WriteAnchorKeep records the checkpoint anchor and bounds append-mode
+// truncation: every record with LSN >= keepLSN stays readable. keepLSN
+// is the recovery horizon — min(redo start bound, oldest active
+// transaction's first LSN). Page-volume mode ignores keepLSN (the wrap
+// guard keeps a full capacity of history past the anchor).
+func (w *WAL) WriteAnchorKeep(ctx *IOCtx, checkpointLSN, keepLSN uint64) error {
+	if keepLSN > checkpointLSN {
+		keepLSN = checkpointLSN
+	}
+	if w.alog != nil {
+		return w.writeFlashAnchor(ctx, checkpointLSN, keepLSN)
+	}
 	w.anchor = checkpointLSN
 	buf := make([]byte, w.vol.PageSize())
 	binary.LittleEndian.PutUint64(buf[0:], walMagic)
 	binary.LittleEndian.PutUint64(buf[8:], checkpointLSN)
 	binary.LittleEndian.PutUint64(buf[16:], w.nextLSN)
-	return w.vol.WritePage(ctx, 0, buf, HintHotData)
+	return w.vol.WritePage(ctx, 0, buf, HintLog)
 }
 
 // ReadAnchor returns the last checkpoint LSN (0 on a fresh log).
 func (w *WAL) ReadAnchor(ctx *IOCtx) (uint64, error) {
+	if w.alog != nil {
+		return w.readFlashAnchor(ctx)
+	}
 	buf := make([]byte, w.vol.PageSize())
 	if err := w.vol.ReadPage(ctx, 0, buf); err != nil {
 		return 0, err
@@ -242,6 +291,9 @@ func (w *WAL) ScanFrom(ctx *IOCtx, lsn uint64) ([]*LogRecord, error) {
 // stream end (the LSN right after the last good record). The scanned
 // bytes are retained so Adopt can resume appending seamlessly.
 func (w *WAL) RecoverScan(ctx *IOCtx, lsn uint64) ([]*LogRecord, uint64, error) {
+	if w.alog != nil {
+		return w.flashRecoverScan(ctx, lsn)
+	}
 	var stream []byte
 	streamStart := (lsn / uint64(w.payload)) * uint64(w.payload)
 	buf := make([]byte, w.vol.PageSize())
@@ -277,6 +329,14 @@ func (w *WAL) RecoverScan(ctx *IOCtx, lsn uint64) ([]*LogRecord, uint64, error) 
 // Adopt resumes the log at end (the value RecoverScan returned): new
 // records append right after the recovered stream.
 func (w *WAL) Adopt(end uint64) {
+	if w.alog != nil {
+		// Append-only pages are self-describing; no partial-page bytes
+		// need reconstructing.
+		w.nextLSN, w.durable, w.tailLSN = end, end, end
+		w.tail = nil
+		w.scanPages = nil
+		return
+	}
 	boundary := (end / uint64(w.payload)) * uint64(w.payload)
 	w.nextLSN = end
 	w.durable = end

@@ -169,6 +169,9 @@ func (t *TPCC) Load(ctx *storage.IOCtx, e *storage.Engine) error {
 		if err != nil {
 			return fmt.Errorf("tpcc: orders for wd %d: %w", wd, err)
 		}
+		if err := maybeCheckpointForLog(ctx, e); err != nil {
+			return err
+		}
 	}
 	return nil
 }

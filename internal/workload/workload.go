@@ -85,6 +85,20 @@ func loadRows(ctx *storage.IOCtx, e *storage.Engine, tbl, idx uint32, n int64,
 		if err != nil {
 			return err
 		}
+		if err := maybeCheckpointForLog(ctx, e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// maybeCheckpointForLog reclaims the WAL when it is halfway to
+// capacity. Bulk loads outrun any external checkpointer; when the WAL
+// is hosted on a finite flash log (window or region) it must be
+// reclaimed mid-load or the load wraps into its own records.
+func maybeCheckpointForLog(ctx *storage.IOCtx, e *storage.Engine) error {
+	if wal := e.Log(); wal.SinceAnchor()*2 > wal.Capacity() {
+		return e.Checkpoint(ctx)
 	}
 	return nil
 }

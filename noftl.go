@@ -29,6 +29,7 @@ import (
 	"noftl/internal/ftl"
 	"noftl/internal/nand"
 	"noftl/internal/noftl"
+	"noftl/internal/region"
 	"noftl/internal/sim"
 	"noftl/internal/storage"
 	"noftl/internal/workload"
@@ -108,6 +109,7 @@ const (
 	HintDefault = noftl.HintDefault
 	HintHot     = noftl.HintHot
 	HintCold    = noftl.HintCold
+	HintLog     = noftl.HintLog
 )
 
 // NewVolume creates a NoFTL volume over a native flash device.
@@ -118,6 +120,52 @@ func NewVolume(dev *Device, cfg VolumeConfig) (*Volume, error) { return noftl.Ne
 func RebuildVolume(dev *Device, cfg VolumeConfig, w Waiter) (*Volume, error) {
 	return noftl.Rebuild(dev, cfg, w)
 }
+
+// --- configurable flash regions ---
+
+type (
+	// RegionManager carves the die array into named regions, each with
+	// its own mapping granularity, GC policy and write frontier, plus
+	// the object-placement catalog.
+	RegionManager = region.Manager
+	// RegionLayout declares the regions and the placement catalog.
+	RegionLayout = region.Layout
+	// RegionSpec declares one region.
+	RegionSpec = region.Spec
+	// RegionClass identifies an object class for placement.
+	RegionClass = region.Class
+	// RegionStats is one region's reporting row (counters + occupancy).
+	RegionStats = region.RegionStats
+	// SeqLog is the block-granular sequential log mapper backing
+	// append-only regions (WAL hosting).
+	SeqLog = ftl.SeqLog
+)
+
+// Region mapping granularities and object classes.
+const (
+	PageMapped = region.PageMapped
+	SeqMapped  = region.SeqMapped
+
+	ClassWAL   = region.ClassWAL
+	ClassHeap  = region.ClassHeap
+	ClassIndex = region.ClassIndex
+	ClassDelta = region.ClassDelta
+)
+
+// NewRegionManager builds the regions of a layout over a device.
+func NewRegionManager(dev *Device, layout RegionLayout) (*RegionManager, error) {
+	return region.New(dev, layout)
+}
+
+// RebuildRegionManager reconstructs every region's mapping from flash
+// after a restart.
+func RebuildRegionManager(dev *Device, layout RegionLayout, w Waiter) (*RegionManager, error) {
+	return region.Rebuild(dev, layout, w)
+}
+
+// DefaultDBLayout is the canonical database layout: a sequential log
+// region for the WAL plus a page-mapped data region for everything else.
+func DefaultDBLayout(logDies int) RegionLayout { return region.DefaultDBLayout(logDies) }
 
 // --- conventional FTLs + legacy block device (the comparison) ---
 
@@ -197,6 +245,24 @@ func Open(ctx *IOCtx, dataVol, logVol EngineVolume, cfg EngineConfig) (*Engine, 
 	return storage.Open(ctx, dataVol, logVol, cfg)
 }
 
+// AppendLog is the engine's view of a native append-only log region.
+type AppendLog = storage.AppendLog
+
+// NewFlashLog adapts a sequential log region for WAL hosting.
+func NewFlashLog(l *SeqLog) AppendLog { return storage.NewFlashLog(l) }
+
+// FormatFlashLog initializes a fresh database whose WAL lives on a
+// native append-only log region.
+func FormatFlashLog(ctx *IOCtx, dataVol EngineVolume, log AppendLog) error {
+	return storage.FormatFlashLog(ctx, dataVol, log)
+}
+
+// OpenFlashLog mounts a database whose WAL is hosted on a native
+// append-only log region (region-managed placement).
+func OpenFlashLog(ctx *IOCtx, dataVol EngineVolume, log AppendLog, cfg EngineConfig) (*Engine, error) {
+	return storage.OpenFlashLog(ctx, dataVol, log, cfg)
+}
+
 // --- workloads ---
 
 type (
@@ -252,6 +318,12 @@ type (
 	DeltaConfig = bench.DeltaConfig
 	// DeltaResult is the delta-write ablation table.
 	DeltaResult = bench.DeltaResult
+	// RegionsConfig / RegionsResult: the configurable-regions ablation
+	// (A6), single-policy NoFTL vs region-managed placement with the
+	// WAL on a native append-only log region.
+	RegionsConfig = bench.RegionsConfig
+	// RegionsResult is the regions ablation table.
+	RegionsResult = bench.RegionsResult
 )
 
 // Figure3 regenerates the paper's Figure-3 table.
@@ -272,3 +344,8 @@ func Validate(cfg ValidateConfig) (*ValidateResult, error) { return bench.Valida
 // DeltaAblation runs the in-place-appends ablation: what page-
 // differential flushes (Volume.WriteDelta) buy over full-page writes.
 func DeltaAblation(cfg DeltaConfig) (*DeltaResult, error) { return bench.DeltaAblation(cfg) }
+
+// RegionsAblation runs the configurable-regions ablation: what
+// per-region management policies and object placement buy over a
+// single-policy volume when the WAL also lives on flash.
+func RegionsAblation(cfg RegionsConfig) (*RegionsResult, error) { return bench.RegionsAblation(cfg) }
