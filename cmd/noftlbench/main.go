@@ -10,6 +10,7 @@
 //	noftlbench -exp validate  # Demo 1: emulator validation
 //	noftlbench -exp delta     # A5: in-place appends (delta writes) vs full pages
 //	noftlbench -exp regions   # A6: configurable regions (WAL on a native log region)
+//	noftlbench -exp sched     # A7: command scheduling (background GC, priority queues)
 //	noftlbench -exp ablations # design-choice sweeps (A1-A4)
 //	noftlbench -exp all
 //
@@ -32,7 +33,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: fig3|fig4a|fig4b|headline|latency|validate|delta|regions|ablations|all")
+		exp     = flag.String("exp", "all", "experiment: fig3|fig4a|fig4b|headline|latency|validate|delta|regions|sched|ablations|all")
 		jsonOut = flag.String("json", "", "write machine-readable results (TPS, WA, erases, bytes/tx) to this path")
 		seed    = flag.Int64("seed", 42, "deterministic seed")
 		txs     = flag.Int("txs", 4000, "transactions per workload (fig3)")
@@ -43,6 +44,10 @@ func main() {
 		workers = flag.Int("workers", 16, "transaction processes")
 		driveMB = flag.Int("drive-mb", 192, "drive capacity for TPS runs")
 		measure = flag.Int("measure-s", 8, "measurement window, simulated seconds")
+
+		schedDies  = flag.Int("sched-dies", 0, "dies for the sched ablation (0: default 8)")
+		schedMB    = flag.Int("sched-mb", 0, "drive MB for the sched ablation (0: default 64)")
+		schedTrace = flag.Bool("sched-trace", false, "collect a command log and print per-class waits")
 	)
 	flag.Parse()
 
@@ -205,6 +210,38 @@ func main() {
 			for _, row := range res.Rows {
 				report.Add("regions", wl, row.Stack, &row.Result)
 			}
+		}
+		return nil
+	})
+
+	run("sched", func() error {
+		res, err := bench.SchedAblation(bench.SchedConfig{
+			Workload:  "tpcb",
+			Dies:      *schedDies,
+			DriveMB:   *schedMB,
+			Workers:   *workers,
+			Measure:   sim.Time(*measure) * sim.Second,
+			Seed:      *seed,
+			TraceCmds: *schedTrace,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println("Ablation A7 (tpcb): inline GC vs background GC vs background GC + priority scheduling")
+		fmt.Print(res.Table())
+		fmt.Println("\nper-class queue waits:")
+		fmt.Print(res.WaitTable())
+		if *schedTrace {
+			for _, row := range res.Rows {
+				if row.CmdLog != nil {
+					fmt.Printf("command log (%s):\n%s", row.Mode, row.CmdLog.Summary())
+				}
+			}
+		}
+		fmt.Printf("bg-gc+prio vs inline-gc: %.2fx TPS, %.2fx p99 commit, %.2fx p99 read\n\n",
+			res.TPSRatio(), res.CommitP99Ratio(), res.ReadP99Ratio())
+		for i := range res.Rows {
+			report.AddSched(res.Workload, &res.Rows[i])
 		}
 		return nil
 	})

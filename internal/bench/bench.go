@@ -6,7 +6,6 @@
 package bench
 
 import (
-	"errors"
 	"fmt"
 
 	"noftl/internal/blockdev"
@@ -14,7 +13,9 @@ import (
 	"noftl/internal/ftl"
 	"noftl/internal/noftl"
 	"noftl/internal/region"
+	"noftl/internal/sched"
 	"noftl/internal/sim"
+	"noftl/internal/stats"
 	"noftl/internal/storage"
 	"noftl/internal/workload"
 )
@@ -52,11 +53,17 @@ type System struct {
 	Engine   *storage.Engine
 	Dev      *flash.Device
 	Vol      storage.Volume
-	NoFTL    *noftl.Volume   // nil for block-device stacks
-	Regions  *region.Manager // set for the region-managed stack
+	NoFTL    *noftl.Volume    // nil for block-device stacks
+	Regions  *region.Manager  // set for the region-managed stack
+	Sched    *sched.Scheduler // set when BuildOpts attached a scheduler
 	FTLStats func() ftl.Stats
 	Ctx      *storage.IOCtx
 	K        *sim.Kernel // DES kernel; block-device queueing binds to it
+
+	// BackgroundGC records that the NoFTL volume was built for
+	// worker-driven GC; RunTPS then starts maintenance workers instead
+	// of piggybacking GC on the db-writers.
+	BackgroundGC bool
 
 	// Log backing chosen by the stack: exactly one of logVol (page
 	// volume; nil selects the default zero-latency memory volume) and
@@ -65,20 +72,52 @@ type System struct {
 	flashLog storage.AppendLog
 }
 
+// BuildOpts tunes the optional subsystems of a System. The zero value
+// reproduces the classic build: no command scheduler, GC at the
+// volume's low-water mark (inline plus db-writer-driven).
+type BuildOpts struct {
+	// Sched attaches a native command scheduler to the device and routes
+	// the NoFTL volume's (and log region's) commands through per-class
+	// views. Block-device stacks ignore it — an on-device FTL behind the
+	// legacy interface is exactly the thing the host cannot schedule.
+	Sched *sched.Config
+	// BackgroundGC configures NoFTL volumes for worker-driven GC
+	// (noftl.Config.BackgroundGC) and makes RunTPS start the background
+	// maintenance workers.
+	BackgroundGC bool
+}
+
 // BuildSystem assembles a full system: NAND device, flash management
 // (host- or device-side), volume adapter, formatted engine. The log
 // lives on a zero-latency memory volume for every stack, so measured
 // differences come from the data path.
 func BuildSystem(stack Stack, devCfg flash.Config, frames int) (*System, error) {
+	return BuildSystemOpts(stack, devCfg, frames, BuildOpts{})
+}
+
+// BuildSystemOpts is BuildSystem with scheduler/background-GC options.
+func BuildSystemOpts(stack Stack, devCfg flash.Config, frames int, opts BuildOpts) (*System, error) {
 	devCfg.Nand.StoreData = true
 	dev := flash.New(devCfg)
 	k := sim.New()
-	s := &System{Stack: stack, Dev: dev, Ctx: storage.NewIOCtx(&sim.ClockWaiter{}), K: k}
+	s := &System{Stack: stack, Dev: dev, Ctx: storage.NewIOCtx(&sim.ClockWaiter{}), K: k,
+		BackgroundGC: opts.BackgroundGC}
 	pageSize := devCfg.Geometry.PageSize
+
+	var devs noftl.ClassDevs
+	if opts.Sched != nil {
+		s.Sched = sched.New(k, dev, *opts.Sched)
+		devs = noftl.ClassDevs{
+			Read: s.Sched.Bind(sched.ClassRead),
+			WAL:  s.Sched.Bind(sched.ClassWAL),
+			Data: s.Sched.Bind(sched.ClassProgram),
+			GC:   s.Sched.Bind(sched.ClassGC),
+		}
+	}
 
 	switch stack {
 	case StackNoFTL, StackNoFTLDelta:
-		v, err := noftl.New(dev, noftl.Config{})
+		v, err := noftl.New(dev, noftl.Config{Devs: devs, BackgroundGC: opts.BackgroundGC})
 		if err != nil {
 			return nil, err
 		}
@@ -114,7 +153,8 @@ func BuildSystem(stack Stack, devCfg flash.Config, frames int) (*System, error) 
 		// Single-policy baseline with the WAL on flash: one volume, one
 		// mapping scheme, one write frontier for every stream (hints
 		// ignored); the log is just a window of the page space.
-		v, err := noftl.New(dev, noftl.Config{DisableHints: true})
+		v, err := noftl.New(dev, noftl.Config{DisableHints: true, Devs: devs,
+			BackgroundGC: opts.BackgroundGC})
 		if err != nil {
 			return nil, err
 		}
@@ -135,7 +175,14 @@ func BuildSystem(stack Stack, devCfg flash.Config, frames int) (*System, error) 
 	case StackNoFTLRegions:
 		// Region-managed placement: the engine declares WAL → log region
 		// and heaps/B+-trees → data region through the catalog.
-		m, err := region.New(dev, region.DefaultDBLayout(regionLogDies(devCfg.Geometry.Dies())))
+		lay := region.DefaultDBLayout(regionLogDies(devCfg.Geometry.Dies()))
+		lay.Scheduler = s.Sched
+		for i := range lay.Regions {
+			if lay.Regions[i].Mapping == region.PageMapped {
+				lay.Regions[i].BackgroundGC = opts.BackgroundGC
+			}
+		}
+		m, err := region.New(dev, lay)
 		if err != nil {
 			return nil, err
 		}
@@ -202,13 +249,19 @@ func logWindowPages(total int64, dies int) int64 {
 
 // TPSConfig drives a throughput measurement.
 type TPSConfig struct {
-	Workers     int // transaction processes ("read processes")
+	Workers     int // terminal processes running transactions
 	Writers     int // background db-writers
 	Association storage.WriterAssociation
 	Warm        sim.Time // excluded from the TPS window
 	Measure     sim.Time
 	CkptEvery   sim.Time // checkpoint period (log reclamation). Default 2s.
 	Seed        int64
+	// Think is per-terminal idle time between transactions (0: closed
+	// loop).
+	Think sim.Time
+	// TrackLatency records per-transaction commit latency and buffer
+	// read-miss latency histograms in the result (measure window only).
+	TrackLatency bool
 }
 
 // TPSResult is one throughput measurement.
@@ -219,11 +272,21 @@ type TPSResult struct {
 	Buffer    storage.BufferStats
 	FTL       ftl.Stats
 	Device    flash.Stats
+	// Latency histograms (TrackLatency): per-transaction commit latency
+	// and buffer-pool read-miss latency over the measure window.
+	CommitHist stats.Histogram
+	ReadHist   stats.Histogram
+	// Scheduler accounting (zero without an attached scheduler).
+	Sched sched.Stats
+	// Background maintenance counters (zero without BackgroundGC).
+	GCSteps   int64
+	WearMoves int64
 }
 
 // RunTPS loads wl on the system (serial phase), then measures
-// transaction throughput under the DES kernel with the configured
-// workers and db-writers.
+// transaction throughput under the DES kernel: N terminal processes,
+// background db-writers, a checkpointer, and — on a background-GC
+// system — dedicated flash-maintenance workers.
 func RunTPS(sys *System, wl workload.Workload, cfg TPSConfig) (*TPSResult, error) {
 	if cfg.CkptEvery <= 0 {
 		cfg.CkptEvery = 2 * sim.Second
@@ -235,7 +298,8 @@ func RunTPS(sys *System, wl workload.Workload, cfg TPSConfig) (*TPSResult, error
 		return nil, err
 	}
 	// The load ran on a private serial clock; restart the device
-	// timelines and counters for the measured phase.
+	// timelines and counters (including any scheduler's queue-wait
+	// accounting, via the reset hooks) for the measured phase.
 	sys.Dev.ResetTime()
 	sys.Dev.ResetStats()
 
@@ -244,41 +308,37 @@ func RunTPS(sys *System, wl workload.Workload, cfg TPSConfig) (*TPSResult, error
 	counting := false
 	stopped := false
 	var fatal error
+	fail := func(err error) {
+		if fatal == nil {
+			fatal = err
+		}
+	}
 
 	writerCfg := storage.WriterConfig{
 		N:           cfg.Writers,
 		Association: cfg.Association,
 	}
+	var maint *sched.Maintenance
 	if sys.NoFTL != nil {
-		writerCfg.DriveGC = true
-		writerCfg.GC = sys.NoFTL.GCStep
-		writerCfg.NeedsGC = sys.NoFTL.NeedsGC
+		if sys.BackgroundGC {
+			// Dedicated maintenance processes own GC and wear leveling;
+			// db-writers only flush.
+			maint = sched.StartMaintenance(k, sys.NoFTL, sched.MaintConfig{OnError: fail})
+		} else {
+			writerCfg.DriveGC = true
+			writerCfg.GC = sys.NoFTL.GCStep
+			writerCfg.NeedsGC = sys.NoFTL.NeedsGC
+		}
 	}
 	stopWriters := sys.Engine.StartWriters(k, writerCfg)
 
-	for i := 0; i < cfg.Workers; i++ {
-		seed := cfg.Seed + int64(i)*7919
-		k.Go("worker", func(p *sim.Proc) {
-			rng := newRand(seed)
-			ctx := storage.NewIOCtx(sim.ProcWaiter{P: p})
-			for !stopped {
-				err := wl.RunOne(ctx, sys.Engine, rng)
-				switch {
-				case err == nil:
-					if counting {
-						res.Committed++
-					}
-				case errors.Is(err, storage.ErrLockTimeout):
-					res.Retries++
-				default:
-					if fatal == nil {
-						fatal = err
-					}
-					return
-				}
-			}
-		})
-	}
+	terms := workload.StartTerminals(k, sys.Engine, wl, workload.TerminalConfig{
+		N:        cfg.Workers,
+		Seed:     cfg.Seed,
+		Think:    cfg.Think,
+		Counting: &counting,
+		OnFatal:  fail,
+	})
 	k.Go("checkpointer", func(p *sim.Proc) {
 		ctx := storage.NewIOCtx(sim.ProcWaiter{P: p})
 		wal := sys.Engine.Log()
@@ -293,8 +353,8 @@ func RunTPS(sys *System, wl workload.Workload, cfg TPSConfig) (*TPSResult, error
 			if p.Now()-last < cfg.CkptEvery && wal.SinceAnchor()*2 < wal.Capacity() {
 				continue
 			}
-			if err := sys.Engine.Checkpoint(ctx); err != nil && fatal == nil {
-				fatal = err
+			if err := sys.Engine.Checkpoint(ctx); err != nil {
+				fail(err)
 				return
 			}
 			last = p.Now()
@@ -303,18 +363,38 @@ func RunTPS(sys *System, wl workload.Workload, cfg TPSConfig) (*TPSResult, error
 
 	k.RunFor(cfg.Warm)
 	counting = true
+	if cfg.TrackLatency {
+		sys.Engine.Buffer().TrackReadLatency(&res.ReadHist)
+	}
 	k.RunFor(cfg.Measure)
 	counting = false
+	sys.Engine.Buffer().TrackReadLatency(nil)
 	stopped = true
+	terms.Stop()
 	stopWriters()
+	if maint != nil {
+		maint.Stop()
+	}
 	k.RunFor(10 * sim.Millisecond) // let loops observe the stop flag
 	k.Shutdown()
 	if fatal != nil {
 		return nil, fmt.Errorf("bench: %s on %s: %w", wl.Name(), sys.Stack, fatal)
 	}
+	res.Committed = terms.Committed()
+	res.Retries = terms.Retries()
+	if cfg.TrackLatency {
+		res.CommitHist = terms.CommitHist()
+	}
 	res.TPS = float64(res.Committed) / cfg.Measure.Seconds()
 	res.Buffer = sys.Engine.Buffer().Stats()
 	res.FTL = sys.FTLStats()
 	res.Device = sys.Dev.Stats()
+	if sys.Sched != nil {
+		res.Sched = sys.Sched.Stats()
+	}
+	if maint != nil {
+		res.GCSteps = maint.GCSteps
+		res.WearMoves = maint.WearMoves
+	}
 	return res, nil
 }

@@ -3,6 +3,8 @@ package bench
 import (
 	"encoding/json"
 	"os"
+
+	"noftl/internal/sim"
 )
 
 // Machine-readable experiment results: noftlbench -json <path> collects
@@ -15,12 +17,26 @@ type JSONResult struct {
 	Experiment string  `json:"experiment"`
 	Workload   string  `json:"workload"`
 	Stack      string  `json:"stack"`
+	Mode       string  `json:"mode,omitempty"` // scheduling regime (sched experiment)
 	TPS        float64 `json:"tps"`
 	WA         float64 `json:"wa"`
 	Erases     int64   `json:"erases"`
 	BytesPerTx float64 `json:"bytes_per_tx"`
 	Committed  int64   `json:"committed"`
+	// Latency tails in microseconds (experiments run with latency
+	// tracking; zero elsewhere).
+	CommitP50us float64 `json:"commit_p50_us,omitempty"`
+	CommitP95us float64 `json:"commit_p95_us,omitempty"`
+	CommitP99us float64 `json:"commit_p99_us,omitempty"`
+	ReadP50us   float64 `json:"read_p50_us,omitempty"`
+	ReadP95us   float64 `json:"read_p95_us,omitempty"`
+	ReadP99us   float64 `json:"read_p99_us,omitempty"`
+	// Scheduler accounting (sched experiment).
+	QueueWaitMeanUs float64 `json:"queue_wait_mean_us,omitempty"`
+	EraseSuspends   int64   `json:"erase_suspends,omitempty"`
 }
+
+func us(t sim.Time) float64 { return float64(t) / float64(sim.Microsecond) }
 
 // JSONReport is the file-level structure.
 type JSONReport struct {
@@ -43,6 +59,43 @@ func (r *JSONReport) Add(experiment, workload string, stack Stack, res *TPSResul
 		Erases:     res.Device.Erases,
 		BytesPerTx: bytesPerTx,
 		Committed:  res.Committed,
+	})
+}
+
+// AddSched appends one scheduling-ablation row, including the latency
+// tails and queue-wait accounting the sched experiment is about.
+func (r *JSONReport) AddSched(workload string, row *SchedRow) {
+	res := &row.Result
+	var bytesPerTx float64
+	if res.Committed > 0 {
+		bytesPerTx = float64(res.Device.ProgramBytes) / float64(res.Committed)
+	}
+	var waitMean float64
+	if n := res.Sched.TotalScheduled(); n > 0 {
+		var total sim.Time
+		for _, w := range res.Sched.QueueWait {
+			total += w
+		}
+		waitMean = us(total / sim.Time(n))
+	}
+	r.Results = append(r.Results, JSONResult{
+		Experiment:      "sched",
+		Workload:        workload,
+		Stack:           string(StackNoFTLRegions),
+		Mode:            string(row.Mode),
+		TPS:             res.TPS,
+		WA:              res.FTL.WriteAmplification(),
+		Erases:          res.Device.Erases,
+		BytesPerTx:      bytesPerTx,
+		Committed:       res.Committed,
+		CommitP50us:     us(res.CommitHist.Percentile(50)),
+		CommitP95us:     us(res.CommitHist.Percentile(95)),
+		CommitP99us:     us(res.CommitHist.Percentile(99)),
+		ReadP50us:       us(res.ReadHist.Percentile(50)),
+		ReadP95us:       us(res.ReadHist.Percentile(95)),
+		ReadP99us:       us(res.ReadHist.Percentile(99)),
+		QueueWaitMeanUs: waitMean,
+		EraseSuspends:   res.Device.EraseSuspends,
 	})
 }
 

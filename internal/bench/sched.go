@@ -1,0 +1,253 @@
+package bench
+
+import (
+	"fmt"
+
+	"noftl/internal/flash"
+	"noftl/internal/nand"
+	"noftl/internal/sched"
+	"noftl/internal/sim"
+	"noftl/internal/stats"
+	"noftl/internal/storage"
+	"noftl/internal/trace"
+	"noftl/internal/workload"
+)
+
+// SchedAblation (A7) isolates the command-scheduling design on the
+// region-managed NoFTL stack: the same multi-terminal workload runs at
+// matched occupancy under three maintenance/scheduling regimes:
+//
+//   - inline-gc: GC fires at the low-water mark on the allocating
+//     (commit/flush) path; commands dispatch FCFS per die — the closest
+//     native-flash analog of firmware-FTL behavior.
+//   - bg-gc: dedicated background GC workers (sim.Procs driving
+//     NeedsGC/GCStep) plus the wear-leveling sweep take maintenance off
+//     the commit path; dispatch stays FCFS.
+//   - bg-gc+prio: background maintenance plus the priority scheduler —
+//     foreground reads > WAL appends > data programs > GC, with erase
+//     suspension so a read never waits out a full tBERS.
+//
+// The ablation reports TPS and the commit/read latency distributions
+// (p50/p95/p99), which is where scheduling shows up: means barely move,
+// tails collapse.
+
+// SchedMode names one regime of the ablation.
+type SchedMode string
+
+// The three regimes.
+const (
+	SchedInline     SchedMode = "inline-gc"
+	SchedBackground SchedMode = "bg-gc"
+	SchedPriority   SchedMode = "bg-gc+prio"
+)
+
+// SchedConfig parameterizes the scheduling ablation.
+type SchedConfig struct {
+	Workload string      // "tpcb" (default) or "tpcc"
+	Modes    []SchedMode // default: all three
+	Dies     int         // default 8
+	DriveMB  int         // default 64
+	Workers  int         // default 16 terminals
+	Writers  int         // default 8
+	Frames   int         // default 384
+	Warm     sim.Time
+	Measure  sim.Time
+	Seed     int64
+	// TraceCmds attaches a trace.CmdLog to each mode's scheduler and
+	// keeps its per-class summary in the row (memory-heavy; off by
+	// default).
+	TraceCmds bool
+
+	TPCC workload.TPCCConfig
+	TPCB workload.TPCBConfig
+}
+
+func (c SchedConfig) withDefaults() SchedConfig {
+	if c.Workload == "" {
+		c.Workload = "tpcb"
+	}
+	if len(c.Modes) == 0 {
+		c.Modes = []SchedMode{SchedInline, SchedBackground, SchedPriority}
+	}
+	if c.Dies <= 0 {
+		c.Dies = 8
+	}
+	// Sized so the TPC-B data below lands around 80% occupancy of the
+	// data region — the regime where GC runs constantly and scheduling
+	// decides who waits for it.
+	if c.DriveMB <= 0 {
+		c.DriveMB = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = 16
+	}
+	if c.Writers <= 0 {
+		c.Writers = 8
+	}
+	if c.Frames <= 0 {
+		c.Frames = 384
+	}
+	if c.Warm <= 0 {
+		c.Warm = 2 * sim.Second
+	}
+	if c.Measure <= 0 {
+		c.Measure = 8 * sim.Second
+	}
+	if c.TPCC.Warehouses == 0 {
+		c.TPCC = workload.TPCCConfig{Warehouses: 4}
+	}
+	// TPCB is sized per geometry (deriveTPCB) unless set explicitly.
+	return c
+}
+
+// deriveTPCB sizes the TPC-B population for roughly 80% end-of-run
+// occupancy of the data region: about 40 rows (heap row + pk entry) fit
+// a 4 KiB page, and the append-only history table keeps growing through
+// the run, so the load starts a bit lower.
+func deriveTPCB(dataPages int64) workload.TPCBConfig {
+	const rowsPerPage = 34 // heap rows + pk entries per 4 KiB page, measured
+	const accounts = 6000
+	rows := int64(float64(dataPages) * 0.68 * rowsPerPage)
+	branches := int(rows / accounts)
+	if branches < 2 {
+		branches = 2
+	}
+	return workload.TPCBConfig{Branches: branches, AccountsPerBranch: accounts}
+}
+
+// SchedRow is one regime's measurement.
+type SchedRow struct {
+	Mode      SchedMode
+	Result    TPSResult
+	Occupancy float64 // data-region live fraction at the end of the run
+	CmdLog    *trace.CmdLog
+}
+
+// SchedResult is the ablation outcome.
+type SchedResult struct {
+	Workload string
+	Rows     []SchedRow
+}
+
+func (r *SchedResult) row(m SchedMode) *SchedRow {
+	for i := range r.Rows {
+		if r.Rows[i].Mode == m {
+			return &r.Rows[i]
+		}
+	}
+	return nil
+}
+
+func (r *SchedResult) ratio(f func(*SchedRow) float64) float64 {
+	base, prio := r.row(SchedInline), r.row(SchedPriority)
+	if base == nil || prio == nil || f(base) == 0 {
+		return 0
+	}
+	return f(prio) / f(base)
+}
+
+// CommitP99Ratio is bg-gc+prio p99 commit latency over inline-gc's
+// (< 1 means the scheduled stack has a shorter commit tail).
+func (r *SchedResult) CommitP99Ratio() float64 {
+	return r.ratio(func(row *SchedRow) float64 {
+		return float64(row.Result.CommitHist.Percentile(99))
+	})
+}
+
+// ReadP99Ratio is bg-gc+prio p99 read latency over inline-gc's.
+func (r *SchedResult) ReadP99Ratio() float64 {
+	return r.ratio(func(row *SchedRow) float64 {
+		return float64(row.Result.ReadHist.Percentile(99))
+	})
+}
+
+// TPSRatio is bg-gc+prio TPS over inline-gc TPS.
+func (r *SchedResult) TPSRatio() float64 {
+	return r.ratio(func(row *SchedRow) float64 { return row.Result.TPS })
+}
+
+// Table renders the regime comparison.
+func (r *SchedResult) Table() string {
+	t := stats.NewTable("mode", "TPS", "commit p50", "p95", "p99",
+		"read p50", "p95", "p99", "erases", "suspends", "gcSteps", "occ")
+	for _, row := range r.Rows {
+		c, rd := &row.Result.CommitHist, &row.Result.ReadHist
+		t.Row(string(row.Mode), row.Result.TPS,
+			c.Percentile(50).String(), c.Percentile(95).String(), c.Percentile(99).String(),
+			rd.Percentile(50).String(), rd.Percentile(95).String(), rd.Percentile(99).String(),
+			row.Result.Device.Erases, row.Result.Device.EraseSuspends,
+			row.Result.GCSteps, fmt.Sprintf("%.0f%%", 100*row.Occupancy))
+	}
+	return t.String()
+}
+
+// WaitTable renders per-class queue waits of the scheduled regimes.
+func (r *SchedResult) WaitTable() string {
+	t := stats.NewTable("mode", "class", "cmds", "mean wait", "max wait")
+	for _, row := range r.Rows {
+		st := row.Result.Sched
+		for c := sched.Class(0); c < sched.NumClasses; c++ {
+			if st.Scheduled[c] == 0 {
+				continue
+			}
+			t.Row(string(row.Mode), c.String(), st.Scheduled[c],
+				st.MeanWait(c).String(), st.MaxWait[c].String())
+		}
+	}
+	return t.String()
+}
+
+// SchedAblation runs the sweep: one freshly built region-managed system
+// per regime, same seed, same workload.
+func SchedAblation(cfg SchedConfig) (*SchedResult, error) {
+	cfg = cfg.withDefaults()
+	res := &SchedResult{Workload: cfg.Workload}
+	for _, mode := range cfg.Modes {
+		opts := BuildOpts{Sched: &sched.Config{Policy: sched.FCFS}}
+		switch mode {
+		case SchedBackground:
+			opts.BackgroundGC = true
+		case SchedPriority:
+			opts.BackgroundGC = true
+			opts.Sched.Policy = sched.Priority
+		}
+		var log *trace.CmdLog
+		if cfg.TraceCmds {
+			log = &trace.CmdLog{}
+			opts.Sched.Trace = log.Record
+		}
+		devCfg := flash.EmulatorConfig(cfg.Dies, cfg.DriveMB, nand.SLC)
+		sys, err := BuildSystemOpts(StackNoFTLRegions, devCfg, cfg.Frames, opts)
+		if err != nil {
+			return nil, fmt.Errorf("sched ablation %s: %w", mode, err)
+		}
+		var wl workload.Workload
+		if cfg.Workload == "tpcb" {
+			tpcb := cfg.TPCB
+			if tpcb.Branches == 0 {
+				tpcb = deriveTPCB(sys.NoFTL.LogicalPages())
+			}
+			wl = workload.NewTPCB(tpcb)
+		} else {
+			wl = workload.NewTPCC(cfg.TPCC)
+		}
+		r, err := RunTPS(sys, wl, TPSConfig{
+			Workers:      cfg.Workers,
+			Writers:      cfg.Writers,
+			Association:  storage.AssocDieWise,
+			Warm:         cfg.Warm,
+			Measure:      cfg.Measure,
+			Seed:         cfg.Seed,
+			TrackLatency: true,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("sched ablation %s: %w", mode, err)
+		}
+		row := SchedRow{Mode: mode, Result: *r, CmdLog: log}
+		if sys.NoFTL != nil && sys.NoFTL.LogicalPages() > 0 {
+			row.Occupancy = float64(sys.NoFTL.LivePages()) / float64(sys.NoFTL.LogicalPages())
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}

@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"testing"
+
+	"noftl/internal/sim"
+)
+
+func tinySchedConfig(seed int64) SchedConfig {
+	return SchedConfig{
+		Dies:    4,
+		DriveMB: 24,
+		Workers: 8,
+		Writers: 4,
+		Frames:  128,
+		Warm:    300 * sim.Millisecond,
+		Measure: 1 * sim.Second,
+		Seed:    seed,
+	}
+}
+
+// TestSchedAblationSmoke runs the three regimes at tiny geometry and
+// checks the result structure: work happened in every mode, latency
+// histograms are populated, background modes report GC-worker progress,
+// and the priority mode actually scheduled and suspended.
+func TestSchedAblationSmoke(t *testing.T) {
+	res, err := SchedAblation(tinySchedConfig(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Result.Committed == 0 {
+			t.Fatalf("%s committed nothing", row.Mode)
+		}
+		if row.Result.CommitHist.Count() == 0 || row.Result.ReadHist.Count() == 0 {
+			t.Fatalf("%s has empty latency histograms", row.Mode)
+		}
+		if row.Result.Sched.TotalScheduled() == 0 {
+			t.Fatalf("%s scheduled no commands", row.Mode)
+		}
+		if row.Occupancy <= 0.5 || row.Occupancy > 1 {
+			t.Fatalf("%s occupancy = %.2f, want GC-pressure regime", row.Mode, row.Occupancy)
+		}
+	}
+	for _, mode := range []SchedMode{SchedBackground, SchedPriority} {
+		if res.row(mode).Result.GCSteps == 0 {
+			t.Fatalf("%s background workers made no GC progress", mode)
+		}
+	}
+	if res.row(SchedInline).Result.GCSteps != 0 {
+		t.Fatal("inline mode ran background GC workers")
+	}
+	prio := res.row(SchedPriority)
+	if prio.Result.Device.EraseSuspends == 0 {
+		t.Fatal("priority mode never suspended an erase")
+	}
+	if res.row(SchedInline).Result.Device.EraseSuspends != 0 {
+		t.Fatal("FCFS mode suspended an erase")
+	}
+	// Priority scheduling must shorten the read tail versus FCFS inline
+	// GC (the headline claim; commit tails need the full-scale run to
+	// separate cleanly from bucket noise).
+	if r := res.ReadP99Ratio(); r >= 1 {
+		t.Fatalf("read p99 ratio = %.2f, want < 1", r)
+	}
+}
+
+// TestSchedAblationDeterministic repeats one regime with a fixed seed
+// and expects identical throughput and device counters.
+func TestSchedAblationDeterministic(t *testing.T) {
+	cfg := tinySchedConfig(7)
+	cfg.Modes = []SchedMode{SchedPriority}
+	a, err := SchedAblation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SchedAblation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, rb := a.Rows[0].Result, b.Rows[0].Result
+	if ra.Committed != rb.Committed || ra.Device.Erases != rb.Device.Erases ||
+		ra.Device.EraseSuspends != rb.Device.EraseSuspends ||
+		ra.Sched != rb.Sched {
+		t.Fatalf("nondeterministic ablation:\n%+v\n%+v", ra.Device, rb.Device)
+	}
+	if ra.CommitHist.Percentile(99) != rb.CommitHist.Percentile(99) {
+		t.Fatal("commit p99 diverged between identical runs")
+	}
+}
+
+// TestSchedJSONRow checks the machine-readable output carries the
+// latency tails and scheduler accounting.
+func TestSchedJSONRow(t *testing.T) {
+	cfg := tinySchedConfig(11)
+	cfg.Modes = []SchedMode{SchedPriority}
+	res, err := SchedAblation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := &JSONReport{Seed: 11}
+	report.AddSched(res.Workload, &res.Rows[0])
+	if len(report.Results) != 1 {
+		t.Fatalf("results = %d, want 1", len(report.Results))
+	}
+	r := report.Results[0]
+	if r.Experiment != "sched" || r.Mode != string(SchedPriority) {
+		t.Fatalf("bad row identity: %+v", r)
+	}
+	if r.CommitP99us <= 0 || r.ReadP99us <= 0 {
+		t.Fatalf("latency tails missing: %+v", r)
+	}
+	if r.EraseSuspends == 0 {
+		t.Fatalf("erase suspends missing: %+v", r)
+	}
+}

@@ -60,10 +60,27 @@ type Identity struct {
 	Cell         nand.CellType
 	Timing       nand.Timing
 	TransferPage sim.Time // per-page channel transfer time
+	CmdOverhead  sim.Time // fixed controller cost per command
 	Endurance    int      // erase budget per block
 	// PartialProgramsPerPage is the NOP budget: how many times a page can
 	// be programmed between erases via PROGRAM PARTIAL (append-only).
 	PartialProgramsPerPage int
+}
+
+// Dev is the native flash command interface: the set of operations
+// *Device implements directly and that a command scheduler (package
+// sched) re-exports with priority classes. Host-side flash management
+// code programs against Dev so a scheduler can be interposed without it
+// noticing.
+type Dev interface {
+	Identify() Identity
+	Geometry() nand.Geometry
+	Array() *nand.Array
+	ReadPage(w sim.Waiter, p nand.PPN, buf []byte) (nand.OOB, error)
+	ProgramPage(w sim.Waiter, p nand.PPN, data []byte, oob nand.OOB) error
+	ProgramPartial(w sim.Waiter, p nand.PPN, off int, data []byte, oob nand.OOB) error
+	EraseBlock(w sim.Waiter, b nand.PBN) error
+	Copyback(w sim.Waiter, src, dst nand.PPN, newOOB *nand.OOB) error
 }
 
 // Stats is a snapshot of device operation counters and busy times.
@@ -80,17 +97,25 @@ type Stats struct {
 	CopybackTime    sim.Time
 	DieBusy         []sim.Time // per-die accumulated service time
 	ChannelBusy     []sim.Time // per-channel accumulated transfer time
+	// Scheduler-reported accounting (zero without a command scheduler):
+	// time commands spent in host-side queues before reaching their die,
+	// how many commands were queued, and how often an in-flight erase was
+	// suspended to let a read through.
+	QueueWait     sim.Time
+	QueuedCmds    int64
+	EraseSuspends int64
 }
 
 // Device is the emulated native-flash device.
 type Device struct {
-	mu       sync.Mutex
-	cfg      Config
-	arr      *nand.Array
-	xferPage sim.Time
-	dieBusy  []sim.Time
-	chBusy   []sim.Time
-	stats    Stats
+	mu         sync.Mutex
+	cfg        Config
+	arr        *nand.Array
+	xferPage   sim.Time
+	dieBusy    []sim.Time
+	chBusy     []sim.Time
+	stats      Stats
+	resetHooks []func()
 }
 
 // New builds a device from cfg. Invalid geometry panics (it is a
@@ -117,6 +142,7 @@ func (d *Device) Identify() Identity {
 		Cell:         d.cfg.Cell,
 		Timing:       d.cfg.Timing,
 		TransferPage: d.xferPage,
+		CmdOverhead:  d.cfg.CmdOverhead,
 		Endurance:    d.arr.Endurance(),
 
 		PartialProgramsPerPage: d.arr.MaxPartialPrograms(),
@@ -140,28 +166,63 @@ func (d *Device) Stats() Stats {
 	return s
 }
 
+// OnReset registers fn to run after every ResetTime or ResetStats.
+// Attached command schedulers use it to clear their own queue-wait
+// accounting, so back-to-back bench phases spliced with resets cannot
+// inherit stale per-die busy projections or wait counters.
+func (d *Device) OnReset(fn func()) {
+	d.mu.Lock()
+	d.resetHooks = append(d.resetHooks, fn)
+	d.mu.Unlock()
+}
+
 // ResetTime rewinds the die and channel timelines to zero. Experiments
 // use it to splice phases that run on different timelines (e.g. a serial
 // load phase followed by a DES measurement phase starting at time 0).
 func (d *Device) ResetTime() {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	for i := range d.dieBusy {
 		d.dieBusy[i] = 0
 	}
 	for i := range d.chBusy {
 		d.chBusy[i] = 0
 	}
+	hooks := append([]func(){}, d.resetHooks...)
+	d.mu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
 }
 
 // ResetStats zeroes the operation counters (timelines are preserved).
 func (d *Device) ResetStats() {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	d.stats = Stats{
 		DieBusy:     make([]sim.Time, len(d.dieBusy)),
 		ChannelBusy: make([]sim.Time, len(d.chBusy)),
 	}
+	hooks := append([]func(){}, d.resetHooks...)
+	d.mu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
+}
+
+// NoteQueueWait records time a command spent queued in a host-side
+// scheduler before reaching its die. Package sched calls it at dispatch;
+// the wait surfaces in Stats alongside device service times.
+func (d *Device) NoteQueueWait(wait sim.Time) {
+	d.mu.Lock()
+	d.stats.QueueWait += wait
+	d.stats.QueuedCmds++
+	d.mu.Unlock()
+}
+
+// NoteEraseSuspend records one erase suspension issued by a scheduler.
+func (d *Device) NoteEraseSuspend() {
+	d.mu.Lock()
+	d.stats.EraseSuspends++
+	d.mu.Unlock()
 }
 
 // ReadPage executes READ PAGE: tR on the die, then the transfer on the
@@ -282,6 +343,37 @@ func (d *Device) EraseBlock(w sim.Waiter, b nand.PBN) error {
 	return err
 }
 
+// EraseChunk accounts one chunk of a scheduler-run BLOCK ERASE: `dur` of
+// die occupancy that ended at the waiter's current time. A command
+// scheduler that suspends and resumes erases owns the erase's wall-clock
+// placement (the die must stay free for the reads served during a
+// suspension), so the device cannot reserve the timeline up front the
+// way EraseBlock does; instead the scheduler reports each executed chunk
+// after the fact. commit applies the erase to the array — the final
+// chunk. The die timeline advances to the chunk's end so later commands
+// queue behind it.
+func (d *Device) EraseChunk(w sim.Waiter, b nand.PBN, dur sim.Time, commit bool) error {
+	if !d.cfg.Geometry.ValidPBN(b) {
+		return fmt.Errorf("flash: erase chunk: %w", errAddr(nand.PPN(b)))
+	}
+	die := d.cfg.Geometry.DieOfBlock(b)
+	now := w.Now()
+
+	d.mu.Lock()
+	if now > d.dieBusy[die] {
+		d.dieBusy[die] = now
+	}
+	var err error
+	if commit {
+		err = d.arr.EraseBlock(b)
+		d.stats.Erases++
+	}
+	d.stats.EraseTime += dur
+	d.stats.DieBusy[die] += dur
+	d.mu.Unlock()
+	return err
+}
+
 // Copyback executes COPYBACK PROGRAM: tR + tPROG entirely inside the die;
 // the data never crosses the channel. Source and target must share a
 // plane (nand.ErrCrossPlane otherwise).
@@ -324,6 +416,8 @@ func (d *Device) ReadPages(w sim.Waiter, ppns []nand.PPN, bufs [][]byte) ([]nand
 	}
 	return oobs, nil
 }
+
+var _ Dev = (*Device)(nil)
 
 func errAddr(p nand.PPN) error { return fmt.Errorf("%w (%d)", nand.ErrBadAddress, p) }
 

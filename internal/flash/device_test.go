@@ -305,3 +305,79 @@ func TestEmulatorConfigSizing(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestEraseChunkAccounting checks the scheduler-facing erase-chunk API:
+// chunks accumulate erase busy time, only the committing chunk counts an
+// erase and mutates the array, and the die timeline follows the chunk
+// ends so later commands queue correctly.
+func TestEraseChunkAccounting(t *testing.T) {
+	dev := New(smallConfig())
+	w := &sim.ClockWaiter{}
+
+	// Program a page so the erase visibly clears it.
+	if err := dev.ProgramPage(w, 0, make([]byte, dev.Geometry().PageSize), nand.OOB{LPN: 1}); err != nil {
+		t.Fatal(err)
+	}
+	progEnd := w.T
+
+	w.WaitUntil(progEnd + 100*sim.Microsecond)
+	if err := dev.EraseChunk(w, 0, 300*sim.Microsecond, false); err != nil {
+		t.Fatal(err)
+	}
+	if got := dev.Stats().Erases; got != 0 {
+		t.Fatalf("non-commit chunk counted an erase: %d", got)
+	}
+	w.WaitUntil(w.T + 1200*sim.Microsecond)
+	if err := dev.EraseChunk(w, 0, 1200*sim.Microsecond, true); err != nil {
+		t.Fatal(err)
+	}
+	st := dev.Stats()
+	if st.Erases != 1 {
+		t.Fatalf("erases = %d, want 1", st.Erases)
+	}
+	if st.EraseTime != 1500*sim.Microsecond {
+		t.Fatalf("erase time = %v, want 1.5ms", st.EraseTime)
+	}
+	if dev.Array().EraseCount(0) != 1 {
+		t.Fatalf("array erase count = %d, want 1", dev.Array().EraseCount(0))
+	}
+	// The die timeline must sit at the final chunk's end: a read issued
+	// earlier must start no earlier than that.
+	readStart := w.T
+	if _, err := dev.ReadPage(w, 8, nil); err != nil && !errors.Is(err, nand.ErrPageErased) {
+		t.Fatal(err)
+	}
+	if w.T < readStart {
+		t.Fatal("time went backwards")
+	}
+}
+
+// TestNoteQueueWaitSurfacesInStats checks the scheduler accounting
+// round-trip and that ResetStats clears it.
+func TestNoteQueueWaitSurfacesInStats(t *testing.T) {
+	dev := New(smallConfig())
+	dev.NoteQueueWait(120 * sim.Microsecond)
+	dev.NoteQueueWait(30 * sim.Microsecond)
+	dev.NoteEraseSuspend()
+	st := dev.Stats()
+	if st.QueuedCmds != 2 || st.QueueWait != 150*sim.Microsecond || st.EraseSuspends != 1 {
+		t.Fatalf("queue accounting = %+v", st)
+	}
+	dev.ResetStats()
+	st = dev.Stats()
+	if st.QueuedCmds != 0 || st.QueueWait != 0 || st.EraseSuspends != 0 {
+		t.Fatalf("ResetStats left accounting: %+v", st)
+	}
+}
+
+// TestOnResetHooksFire checks hooks run on both reset paths.
+func TestOnResetHooksFire(t *testing.T) {
+	dev := New(smallConfig())
+	fired := 0
+	dev.OnReset(func() { fired++ })
+	dev.ResetTime()
+	dev.ResetStats()
+	if fired != 2 {
+		t.Fatalf("hooks fired %d times, want 2", fired)
+	}
+}

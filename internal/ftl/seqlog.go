@@ -53,6 +53,12 @@ type SeqLogConfig struct {
 	// ReservePerDie keeps this many free blocks per die out of the
 	// exported capacity as bad-block headroom. Default 1.
 	ReservePerDie int
+	// Dev optionally reroutes appends and reads through a command
+	// scheduler view (class WAL). Nil: the raw device.
+	Dev flash.Dev
+	// GCDev reroutes truncation erases and bad-block salvage copies
+	// (class GC). Nil: Dev.
+	GCDev flash.Dev
 }
 
 func (c SeqLogConfig) withDefaults(dev *flash.Device) SeqLogConfig {
@@ -76,6 +82,8 @@ type seqExt struct {
 // SeqLog is the sequential log region manager.
 type SeqLog struct {
 	dev   *flash.Device
+	io    flash.Dev // append/read path (class WAL when scheduled)
+	gcio  flash.Dev // truncation erases and salvage (class GC)
 	cfg   SeqLogConfig
 	sps   []DieSpace
 	bts   []*BlockTable
@@ -91,6 +99,14 @@ type SeqLog struct {
 func NewSeqLog(dev *flash.Device, cfg SeqLogConfig) (*SeqLog, error) {
 	cfg = cfg.withDefaults(dev)
 	l := &SeqLog{dev: dev, cfg: cfg}
+	l.io = cfg.Dev
+	if l.io == nil {
+		l.io = dev
+	}
+	l.gcio = cfg.GCDev
+	if l.gcio == nil {
+		l.gcio = l.io
+	}
 	for _, die := range cfg.Dies {
 		if die < 0 || die >= dev.Geometry().Dies() {
 			return nil, fmt.Errorf("ftl: seqlog die %d out of range", die)
@@ -203,7 +219,7 @@ func (l *SeqLog) Append(w sim.Waiter, data []byte) (int64, error) {
 		l.next = pos + 1
 		l.stats.HostWrites++
 
-		err := l.dev.ProgramPage(w, ppn, data, oob)
+		err := l.io.ProgramPage(w, ppn, data, oob)
 		if err == nil {
 			return pos, nil
 		}
@@ -243,13 +259,13 @@ retry:
 			src := l.sps[bad.die].PPN(bad.local, i)
 			dst := l.sps[repl.die].PPN(repl.local, i)
 			l.stats.GCReads++
-			if _, err := l.dev.ReadPage(w, src, buf); err != nil && !errors.Is(err, nand.ErrPageErased) {
+			if _, err := l.gcio.ReadPage(w, src, buf); err != nil && !errors.Is(err, nand.ErrPageErased) {
 				return err
 			}
 			l.seq++
 			oob := nand.OOB{LPN: uint64(extStart + int64(i)), Seq: l.seq, Flags: OOBSeqLogFlag}
 			l.stats.GCWrites++
-			if err := l.dev.ProgramPage(w, dst, buf, oob); err != nil {
+			if err := l.gcio.ProgramPage(w, dst, buf, oob); err != nil {
 				l.stats.GCWrites--
 				if errors.Is(err, nand.ErrBadBlock) {
 					// The replacement went bad too: drop it and retry.
@@ -274,7 +290,7 @@ func (l *SeqLog) ReadAt(w sim.Waiter, pos int64, buf []byte) error {
 		return fmt.Errorf("%w: %d not in [%d,%d)", ErrLogRange, pos, l.base, l.next)
 	}
 	l.stats.HostReads++
-	_, err := l.dev.ReadPage(w, l.ppnAt(pos), buf)
+	_, err := l.io.ReadPage(w, l.ppnAt(pos), buf)
 	if errors.Is(err, nand.ErrPageErased) {
 		return nil
 	}
@@ -292,7 +308,7 @@ func (l *SeqLog) Truncate(w sim.Waiter, keepFrom int64) error {
 	for len(l.exts) > 1 && l.base+ppb <= keepFrom {
 		e := l.exts[0]
 		l.stats.Erases++
-		err := l.dev.EraseBlock(w, l.sps[e.die].PBN(e.local))
+		err := l.gcio.EraseBlock(w, l.sps[e.die].PBN(e.local))
 		switch {
 		case err == nil:
 			l.bts[e.die].Release(e.local)

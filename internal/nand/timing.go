@@ -37,6 +37,13 @@ type Timing struct {
 	ReadPage    sim.Time // tR: cell array -> page register
 	ProgramPage sim.Time // tPROG: page register -> cell array
 	EraseBlock  sim.Time // tBERS
+	// EraseSuspend / EraseResume are the overheads of the ERASE SUSPEND
+	// command pair: suspending an in-flight erase costs EraseSuspend
+	// before the die can serve a read, and resuming costs EraseResume on
+	// top of the remaining erase time. Only command schedulers that own
+	// the die timeline (package sched) issue suspends.
+	EraseSuspend sim.Time
+	EraseResume  sim.Time
 }
 
 // Timing returns datasheet-typical latencies for the cell type.
@@ -46,21 +53,27 @@ func (c CellType) Timing() Timing {
 	switch c {
 	case SLC:
 		return Timing{
-			ReadPage:    25 * sim.Microsecond,
-			ProgramPage: 200 * sim.Microsecond,
-			EraseBlock:  1500 * sim.Microsecond,
+			ReadPage:     25 * sim.Microsecond,
+			ProgramPage:  200 * sim.Microsecond,
+			EraseBlock:   1500 * sim.Microsecond,
+			EraseSuspend: 20 * sim.Microsecond,
+			EraseResume:  20 * sim.Microsecond,
 		}
 	case MLC:
 		return Timing{
-			ReadPage:    50 * sim.Microsecond,
-			ProgramPage: 660 * sim.Microsecond,
-			EraseBlock:  3000 * sim.Microsecond,
+			ReadPage:     50 * sim.Microsecond,
+			ProgramPage:  660 * sim.Microsecond,
+			EraseBlock:   3000 * sim.Microsecond,
+			EraseSuspend: 30 * sim.Microsecond,
+			EraseResume:  40 * sim.Microsecond,
 		}
 	case TLC:
 		return Timing{
-			ReadPage:    75 * sim.Microsecond,
-			ProgramPage: 1500 * sim.Microsecond,
-			EraseBlock:  4500 * sim.Microsecond,
+			ReadPage:     75 * sim.Microsecond,
+			ProgramPage:  1500 * sim.Microsecond,
+			EraseBlock:   4500 * sim.Microsecond,
+			EraseSuspend: 40 * sim.Microsecond,
+			EraseResume:  50 * sim.Microsecond,
 		}
 	default:
 		return Timing{}

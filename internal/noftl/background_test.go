@@ -1,0 +1,190 @@
+package noftl
+
+import (
+	"reflect"
+	"testing"
+
+	"noftl/internal/flash"
+	"noftl/internal/ftl"
+	"noftl/internal/nand"
+	"noftl/internal/sched"
+	"noftl/internal/sim"
+)
+
+// The background maintenance workers program against these contracts.
+var (
+	_ sched.GCDriver    = (*Volume)(nil)
+	_ sched.WearLeveler = (*Volume)(nil)
+)
+
+func backgroundTestVolume(t *testing.T) (*flash.Device, *Volume) {
+	t.Helper()
+	dev := flash.New(flash.Config{
+		Geometry: nand.Geometry{
+			Channels:        2,
+			ChipsPerChannel: 1,
+			DiesPerChip:     1,
+			PlanesPerDie:    2,
+			BlocksPerPlane:  24,
+			PagesPerBlock:   16,
+			PageSize:        1024,
+			OOBSize:         32,
+		},
+		Cell: nand.SLC,
+		Nand: nand.Options{StoreData: true},
+	})
+	v, err := New(dev, Config{BackgroundGC: true, WearDelta: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dev, v
+}
+
+// runBackgroundStress fills the volume, then overwrites from concurrent
+// writer processes while background workers keep the regions clean. It
+// returns the final volume stats plus the maintenance counters.
+func runBackgroundStress(t *testing.T, seed int64) (ftl.Stats, int64, int64) {
+	t.Helper()
+	dev, v := backgroundTestVolume(t)
+	buf := make([]byte, 1024)
+
+	// Serial fill to ~85% so GC pressure is constant during the run.
+	span := v.LogicalPages() * 85 / 100
+	cw := &sim.ClockWaiter{}
+	for lpn := int64(0); lpn < span; lpn++ {
+		if err := v.Write(cw, lpn, buf); err != nil {
+			t.Fatalf("fill lpn %d: %v", lpn, err)
+		}
+	}
+	dev.ResetTime()
+	dev.ResetStats()
+
+	k := sim.New()
+	var fatal error
+	mt := sched.StartMaintenance(k, v, sched.MaintConfig{
+		SweepEvery: 5 * sim.Millisecond,
+		OnError:    func(err error) { fatal = err },
+	})
+
+	stopped := false
+	const writers = 4
+	for i := 0; i < writers; i++ {
+		i := i
+		rng := seed + int64(i)*7919
+		k.Go("writer", func(p *sim.Proc) {
+			w := sim.ProcWaiter{P: p}
+			x := uint64(rng)
+			for !stopped {
+				// xorshift keeps the test free of math/rand ordering.
+				x ^= x << 13
+				x ^= x >> 7
+				x ^= x << 17
+				lpn := int64(x % uint64(span))
+				if err := v.Write(w, lpn, buf); err != nil {
+					fatal = err
+					return
+				}
+			}
+		})
+	}
+
+	// Monitor the free-block floor. A plane may dip to zero free blocks
+	// for an instant (the last free block just became a frontier; the
+	// next allocation triggers the emergency collection), but it must
+	// never STAY dry: a plane at zero across many consecutive samples
+	// with no GC in flight means reclamation stalled.
+	streak := make(map[[2]int]int)
+	k.Go("monitor", func(p *sim.Proc) {
+		for !stopped {
+			p.Sleep(500 * sim.Microsecond)
+			for r, d := range v.dies {
+				for plane := 0; plane < d.sp.Planes(); plane++ {
+					key := [2]int{r, plane}
+					if d.bt.FreeCount(plane) < 1 && !d.gcActive[plane] {
+						streak[key]++
+						if streak[key] > 20 { // 10ms dry with no GC running
+							fatal = errFloor{region: r, plane: plane}
+							return
+						}
+					} else {
+						streak[key] = 0
+					}
+				}
+			}
+		}
+	})
+
+	k.RunFor(200 * sim.Millisecond)
+	stopped = true
+	mt.Stop()
+	k.RunFor(5 * sim.Millisecond)
+	k.Shutdown()
+
+	if fatal != nil {
+		t.Fatalf("background stress: %v", fatal)
+	}
+	if err := v.checkAccounting(); err != nil {
+		t.Fatalf("accounting after stress: %v", err)
+	}
+	// Every plane ends at or above the floor.
+	for _, d := range v.dies {
+		for plane := 0; plane < d.sp.Planes(); plane++ {
+			if d.bt.FreeCount(plane) < 1 {
+				t.Fatalf("die %d plane %d ended with %d free blocks", d.sp.Die, plane, d.bt.FreeCount(plane))
+			}
+		}
+	}
+	return v.Stats(), mt.GCSteps, mt.WearMoves
+}
+
+type errFloor struct{ region, plane int }
+
+func (e errFloor) Error() string {
+	return "free-block floor violated without GC in flight"
+}
+
+// TestBackgroundGCInvariants runs concurrent writers against a
+// BackgroundGC volume with dedicated maintenance workers: the workers
+// must make progress while writes commit, the free-block floor must
+// hold, and the volume's accounting must stay consistent.
+func TestBackgroundGCInvariants(t *testing.T) {
+	st, gcSteps, _ := runBackgroundStress(t, 42)
+	if gcSteps == 0 {
+		t.Fatal("background worker made no GC progress")
+	}
+	if st.HostWrites == 0 {
+		t.Fatal("writers committed nothing")
+	}
+	if st.Erases == 0 {
+		t.Fatal("no blocks reclaimed under sustained overwrite")
+	}
+}
+
+// TestBackgroundGCDeterminism repeats the stress with a fixed seed and
+// expects identical flash-maintenance counters.
+func TestBackgroundGCDeterminism(t *testing.T) {
+	s1, gc1, wl1 := runBackgroundStress(t, 7)
+	s2, gc2, wl2 := runBackgroundStress(t, 7)
+	if !reflect.DeepEqual(s1, s2) || gc1 != gc2 || wl1 != wl2 {
+		t.Fatalf("nondeterministic background GC:\n%+v gc=%d wl=%d\n%+v gc=%d wl=%d",
+			s1, gc1, wl1, s2, gc2, wl2)
+	}
+}
+
+// TestInlineWaterHonorsBackgroundGC pins the emergency-floor contract:
+// with BackgroundGC the write path only collects when a plane is dry,
+// without it the LowWater mark applies.
+func TestInlineWaterHonorsBackgroundGC(t *testing.T) {
+	dev, v := backgroundTestVolume(t)
+	_ = dev
+	if got := v.dies[0].inlineWater(); got != 1 {
+		t.Fatalf("BackgroundGC inline water = %d, want 1", got)
+	}
+	v2, err := New(flash.New(flash.EmulatorConfig(1, 8, nand.SLC)), Config{LowWater: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := v2.dies[0].inlineWater(); got != 3 {
+		t.Fatalf("inline water = %d, want LowWater 3", got)
+	}
+}

@@ -176,7 +176,7 @@ func (d *dieMgr) writeDelta(w sim.Waiter, dlpn, globalLPN int64, payload []byte)
 
 		buf := encodeDeltaRecord(globalLPN, seq, payload)
 		oob := nand.OOB{LPN: uint64(globalLPN), Seq: seq, Flags: oobDeltaFlag}
-		perr := d.sp.Dev.ProgramPartial(w, ref.ppn, off, buf, oob)
+		perr := d.devData.ProgramPartial(w, ref.ppn, off, buf, oob)
 		if perr == nil {
 			return nil
 		}
@@ -298,9 +298,13 @@ func (d *dieMgr) statsRead(gcPath bool) {
 // readFolded reads the page's base image into buf and applies its delta
 // chain. Used by both the read path and folding.
 func (d *dieMgr) readFolded(w sim.Waiter, dlpn int64, base nand.PPN, snap []chainRef, buf []byte, gcPath bool) error {
+	dev := d.devFG
+	if gcPath {
+		dev = d.devGC
+	}
 	if base != nand.InvalidPPN {
 		d.statsRead(gcPath)
-		if _, err := d.sp.Dev.ReadPage(w, base, buf); err != nil && !errors.Is(err, nand.ErrPageErased) {
+		if _, err := dev.ReadPage(w, base, buf); err != nil && !errors.Is(err, nand.ErrPageErased) {
 			return err
 		}
 	} else {
@@ -316,7 +320,7 @@ func (d *dieMgr) readFolded(w sim.Waiter, dlpn int64, base nand.PPN, snap []chai
 	for _, ref := range snap {
 		if ref.ppn != last {
 			d.statsRead(gcPath)
-			if _, err := d.sp.Dev.ReadPage(w, ref.ppn, scratch); err != nil && !errors.Is(err, nand.ErrPageErased) {
+			if _, err := dev.ReadPage(w, ref.ppn, scratch); err != nil && !errors.Is(err, nand.ErrPageErased) {
 				return err
 			}
 			last = ref.ppn
@@ -414,8 +418,12 @@ func (d *dieMgr) foldChain(w sim.Waiter, dlpn int64, extra []byte, gcPath bool) 
 		} else {
 			d.stats.HostWrites++
 		}
+		foldDev := d.devData
+		if gcPath {
+			foldDev = d.devGC
+		}
 		for {
-			perr := d.sp.Dev.ProgramPage(w, dst, buf, oob)
+			perr := foldDev.ProgramPage(w, dst, buf, oob)
 			if perr == nil {
 				return nil
 			}

@@ -78,6 +78,44 @@ type Config struct {
 	// where several independently-managed volumes share one die array.
 	// Empty means every die.
 	Dies []int
+	// Devs routes commands through per-class device views (a command
+	// scheduler's Bind results; see package sched). Nil fields fall back
+	// to the raw device: the unscheduled volume behaves exactly as
+	// before.
+	Devs ClassDevs
+	// BackgroundGC takes garbage collection off the write path: the
+	// write path reclaims space inline only when a plane is completely
+	// out of free blocks (the emergency floor); routine cleaning is left
+	// to background workers driving GCStep (sched.StartMaintenance).
+	// Without background workers the volume still functions — every
+	// collection just becomes an emergency one.
+	BackgroundGC bool
+}
+
+// ClassDevs binds each command class the volume issues to a device
+// view, so an attached scheduler can prioritize foreground traffic over
+// maintenance. The zero value routes everything to the raw device.
+type ClassDevs struct {
+	Read flash.Dev // foreground page reads
+	WAL  flash.Dev // HintLog appends (commit path)
+	Data flash.Dev // data page programs and delta appends
+	GC   flash.Dev // GC copies, folds, erases, wear moves
+}
+
+func (c ClassDevs) withDefault(dev flash.Dev) ClassDevs {
+	if c.Read == nil {
+		c.Read = dev
+	}
+	if c.WAL == nil {
+		c.WAL = dev
+	}
+	if c.Data == nil {
+		c.Data = dev
+	}
+	if c.GC == nil {
+		c.GC = dev
+	}
+	return c
 }
 
 func (c Config) withDefaults() Config {
@@ -124,8 +162,12 @@ type dieMgr struct {
 	sp            ftl.DieSpace
 	bt            *ftl.BlockTable
 	cfg           Config
-	idx           int // position within the volume's stripe
-	stripe        int // number of dies in the volume
+	devFG         flash.Dev // foreground reads
+	devWAL        flash.Dev // log appends
+	devData       flash.Dev // data programs, delta appends
+	devGC         flash.Dev // maintenance traffic
+	idx           int       // position within the volume's stripe
+	stripe        int       // number of dies in the volume
 	l2p           []nand.PPN
 	hot           []ftl.Frontier // per plane
 	cold          []ftl.Frontier
@@ -189,10 +231,15 @@ func New(dev *flash.Device, cfg Config) (*Volume, error) {
 
 func newDieMgr(dev *flash.Device, die, idx, stripe int, cfg Config) (*dieMgr, error) {
 	sp := ftl.NewDieSpace(dev, die)
+	devs := cfg.Devs.withDefault(dev)
 	d := &dieMgr{
 		sp:         sp,
 		bt:         ftl.NewBlockTable(sp),
 		cfg:        cfg,
+		devFG:      devs.Read,
+		devWAL:     devs.WAL,
+		devData:    devs.Data,
+		devGC:      devs.GC,
 		idx:        idx,
 		stripe:     stripe,
 		hot:        make([]ftl.Frontier, sp.Planes()),
@@ -345,6 +392,50 @@ func (v *Volume) GCStep(w sim.Waiter, region int) (bool, error) {
 	return false, nil
 }
 
+// WearSpread returns a region's erase-count spread (the widest max-min
+// over its planes' non-bad blocks) — the signal the background
+// wear-leveling sweep uses to pick the region to clean next.
+func (v *Volume) WearSpread(region int) int {
+	d := v.dies[region]
+	spread := 0
+	for plane := 0; plane < d.sp.Planes(); plane++ {
+		minWear, maxWear, _ := d.wearScan(plane)
+		if maxWear >= 0 && maxWear-minWear > spread {
+			spread = maxWear - minWear
+		}
+	}
+	return spread
+}
+
+// WearLevelStep migrates at most one cold block in the region if a
+// plane's erase-count spread exceeds WearDelta, reporting whether it
+// moved one. Background sweeps (sched.StartMaintenance) drive it; it
+// skips planes with GC in flight.
+func (v *Volume) WearLevelStep(w sim.Waiter, region int) (bool, error) {
+	d := v.dies[region]
+	if d.cfg.DisableWearLevel {
+		return false, nil
+	}
+	for plane := 0; plane < d.sp.Planes(); plane++ {
+		if d.gcActive[plane] {
+			continue
+		}
+		d.gcActive[plane] = true
+		did, err := d.wearMove(w, plane)
+		d.gcActive[plane] = false
+		if err != nil {
+			if errors.Is(err, ftl.ErrGCStuck) {
+				continue
+			}
+			return false, err
+		}
+		if did {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
 func (v *Volume) check(lpn int64) error {
 	if lpn < 0 || lpn >= v.st.Total() {
 		return fmt.Errorf("%w: lpn %d of %d", ftl.ErrOutOfRange, lpn, v.st.Total())
@@ -371,7 +462,7 @@ func (d *dieMgr) read(w sim.Waiter, dlpn int64, buf []byte) error {
 		return d.readFolded(w, dlpn, ppn, chain, buf, false)
 	}
 	d.stats.HostReads++
-	_, err := d.sp.Dev.ReadPage(w, ppn, buf)
+	_, err := d.devFG.ReadPage(w, ppn, buf)
 	return err
 }
 
@@ -437,7 +528,11 @@ func (d *dieMgr) write(w sim.Waiter, dlpn, globalLPN int64, data []byte, h Hint)
 		d.l2p[dlpn] = ppn
 		d.stats.HostWrites++
 
-		perr := d.sp.Dev.ProgramPage(w, ppn, data, oob)
+		dev := d.devData
+		if h == HintLog {
+			dev = d.devWAL // commit-path appends outrank flush programs
+		}
+		perr := dev.ProgramPage(w, ppn, data, oob)
 		if perr == nil {
 			return nil
 		}
@@ -499,9 +594,20 @@ func (d *dieMgr) allocPage(plane int, fr *ftl.Frontier, kind uint8) (nand.PPN, e
 	return ppn, nil
 }
 
+// inlineWater is the free-block count below which the write path runs
+// GC itself. With BackgroundGC the routine watermark belongs to the
+// background workers and the write path keeps only the emergency floor:
+// one free block per plane, the minimum GC needs to make progress.
+func (d *dieMgr) inlineWater() int {
+	if d.cfg.BackgroundGC {
+		return 1
+	}
+	return d.cfg.LowWater
+}
+
 func (d *dieMgr) ensureSpace(w sim.Waiter, plane int) error {
 	const maxSpins = 1 << 16
-	for spins := 0; d.bt.FreeCount(plane) < d.cfg.LowWater; spins++ {
+	for spins := 0; d.bt.FreeCount(plane) < d.inlineWater(); spins++ {
 		if spins > maxSpins {
 			return fmt.Errorf("%w: noftl plane %d of die %d", ftl.ErrGCStuck, plane, d.sp.Die)
 		}
@@ -616,18 +722,18 @@ func (d *dieMgr) relocate(w sim.Waiter, srcLocal, srcPage int, dlpn int64, plane
 		var cerr error
 		if dstPlane == plane {
 			d.stats.GCCopybacks++
-			cerr = d.sp.Dev.Copyback(w, src, dst, &oob)
+			cerr = d.devGC.Copyback(w, src, dst, &oob)
 			if cerr != nil {
 				d.stats.GCCopybacks--
 			}
 		} else {
 			d.stats.GCReads++
 			buf := make([]byte, d.sp.Geo().PageSize)
-			if _, rerr := d.sp.Dev.ReadPage(w, src, buf); rerr != nil && !errors.Is(rerr, nand.ErrPageErased) {
+			if _, rerr := d.devGC.ReadPage(w, src, buf); rerr != nil && !errors.Is(rerr, nand.ErrPageErased) {
 				cerr = rerr
 			} else {
 				d.stats.GCWrites++
-				cerr = d.sp.Dev.ProgramPage(w, dst, buf, oob)
+				cerr = d.devGC.ProgramPage(w, dst, buf, oob)
 				if cerr != nil {
 					d.stats.GCWrites--
 				}
@@ -658,7 +764,7 @@ func (d *dieMgr) globalLPN(dlpn int64) int64 {
 
 func (d *dieMgr) eraseAndRelease(w sim.Waiter, local int) error {
 	d.stats.Erases++
-	err := d.sp.Dev.EraseBlock(w, d.sp.PBN(local))
+	err := d.devGC.EraseBlock(w, d.sp.PBN(local))
 	switch {
 	case err == nil:
 		d.bt.Release(local)
@@ -707,7 +813,7 @@ func (d *dieMgr) retireAndSalvage(w sim.Waiter, local int) error {
 			}
 		}
 		d.stats.GCReads++
-		if _, err := d.sp.Dev.ReadPage(w, src, buf); err != nil && !errors.Is(err, nand.ErrPageErased) {
+		if _, err := d.devGC.ReadPage(w, src, buf); err != nil && !errors.Is(err, nand.ErrPageErased) {
 			return err
 		}
 		dst, _, err := d.allocRelocTarget(plane)
@@ -731,7 +837,7 @@ func (d *dieMgr) retireAndSalvage(w sim.Waiter, local int) error {
 			oob.LPN = uint64(d.globalLPN(dlpn))
 		}
 		d.stats.GCWrites++
-		if err := d.sp.Dev.ProgramPage(w, dst, buf, oob); err != nil {
+		if err := d.devGC.ProgramPage(w, dst, buf, oob); err != nil {
 			if errors.Is(err, nand.ErrBadBlock) {
 				d.stats.GCWrites--
 				d.bt.Invalidate(dl, dp)
@@ -757,9 +863,15 @@ func (d *dieMgr) maybeWearLevel(w sim.Waiter, plane int) {
 		return
 	}
 	d.erasesSinceWL = 0
+	d.wearMove(w, plane) // opportunistic; a failed move is retried by later GC
+}
+
+// wearScan returns the erase-count extremes of a plane's non-bad blocks
+// and the coldest Used block (the wear-move candidate; -1 if none).
+func (d *dieMgr) wearScan(plane int) (minWear, maxWear, coldest int) {
 	arr := d.sp.Dev.Array()
-	minWear, maxWear := int(^uint(0)>>1), -1
-	coldest := -1
+	minWear, maxWear = int(^uint(0)>>1), -1
+	coldest = -1
 	start := plane * d.sp.Geo().BlocksPerPlane
 	end := start + d.sp.Geo().BlocksPerPlane
 	for b := start; b < end; b++ {
@@ -777,14 +889,22 @@ func (d *dieMgr) maybeWearLevel(w sim.Waiter, plane int) {
 			}
 		}
 	}
+	return minWear, maxWear, coldest
+}
+
+// wearMove migrates the plane's coldest block if the erase-count spread
+// exceeds WearDelta, reporting whether it moved one.
+func (d *dieMgr) wearMove(w sim.Waiter, plane int) (bool, error) {
+	minWear, maxWear, coldest := d.wearScan(plane)
 	if coldest < 0 || maxWear-minWear <= d.cfg.WearDelta {
-		return
+		return false, nil
 	}
 	moves := d.bt.Info[coldest].Valid
 	if err := d.collectBlock(w, coldest, plane); err != nil {
-		return
+		return false, err
 	}
 	d.stats.WearMoves += int64(moves)
+	return true, nil
 }
 
 // checkAccounting audits internal invariants: every mapped logical page

@@ -24,6 +24,7 @@ import (
 	"noftl/internal/flash"
 	"noftl/internal/ftl"
 	"noftl/internal/noftl"
+	"noftl/internal/sched"
 	"noftl/internal/sim"
 )
 
@@ -97,6 +98,11 @@ type Spec struct {
 	DisableWearLevel bool
 	WearDelta        int
 
+	// BackgroundGC configures a page-mapped region for worker-driven
+	// cleaning (noftl.Config.BackgroundGC): the write path keeps only the
+	// emergency free-block floor and background GC workers do the rest.
+	BackgroundGC bool
+
 	// Seq-mapped knobs (forwarded to ftl.SeqLogConfig).
 	ReservePerDie int
 }
@@ -108,6 +114,10 @@ type Spec struct {
 type Layout struct {
 	Regions   []Spec
 	Placement map[Class]string
+	// Scheduler routes every region's flash commands through a native
+	// command scheduler with per-class priorities: reads and WAL appends
+	// ahead of data programs ahead of GC (nil: raw device order).
+	Scheduler *sched.Scheduler
 }
 
 // DefaultDBLayout is the canonical database layout: a sequential "log"
@@ -187,6 +197,17 @@ func build(dev *flash.Device, layout Layout, rebuild sim.Waiter) (*Manager, erro
 		return nil, err
 	}
 	m := &Manager{dev: dev, layout: layout, byName: map[string]*Region{}}
+	var devs noftl.ClassDevs
+	var walDev, gcDev flash.Dev
+	if s := layout.Scheduler; s != nil {
+		devs = noftl.ClassDevs{
+			Read: s.Bind(sched.ClassRead),
+			WAL:  s.Bind(sched.ClassWAL),
+			Data: s.Bind(sched.ClassProgram),
+			GC:   s.Bind(sched.ClassGC),
+		}
+		walDev, gcDev = devs.WAL, devs.GC
+	}
 	for i, spec := range layout.Regions {
 		r := &Region{Name: spec.Name, Spec: spec, Dies: assign[i], mapping: spec.Mapping}
 		switch spec.Mapping {
@@ -200,6 +221,8 @@ func build(dev *flash.Device, layout Layout, rebuild sim.Waiter) (*Manager, erro
 				DisableWearLevel: spec.DisableWearLevel,
 				WearDelta:        spec.WearDelta,
 				Dies:             assign[i],
+				Devs:             devs,
+				BackgroundGC:     spec.BackgroundGC,
 			}
 			if rebuild != nil {
 				r.Vol, err = noftl.Rebuild(dev, cfg, rebuild)
@@ -207,7 +230,12 @@ func build(dev *flash.Device, layout Layout, rebuild sim.Waiter) (*Manager, erro
 				r.Vol, err = noftl.New(dev, cfg)
 			}
 		case SeqMapped:
-			cfg := ftl.SeqLogConfig{Dies: assign[i], ReservePerDie: spec.ReservePerDie}
+			cfg := ftl.SeqLogConfig{
+				Dies:          assign[i],
+				ReservePerDie: spec.ReservePerDie,
+				Dev:           walDev,
+				GCDev:         gcDev,
+			}
 			if rebuild != nil {
 				r.Log, err = ftl.RebuildSeqLog(dev, cfg, rebuild)
 			} else {
@@ -378,7 +406,16 @@ type RegionStats struct {
 	FTL           ftl.Stats
 	LivePages     int64 // pages currently holding data
 	CapacityPages int64 // pages the region can hold
+	// Erase-count statistics over the region's non-bad blocks — the
+	// reporting view of the wear imbalance the background sweep acts on
+	// (the sweep itself reads noftl.Volume.WearSpread per volume region).
+	MinErase int
+	MaxErase int
+	AvgErase float64
 }
+
+// EraseSpread is MaxErase-MinErase, the region's wear imbalance.
+func (s RegionStats) EraseSpread() int { return s.MaxErase - s.MinErase }
 
 // Occupancy is the live fraction of the region's capacity (frontier
 // occupancy for sequential regions, mapped-page fraction for page
@@ -403,7 +440,37 @@ func (m *Manager) RegionStats() []RegionStats {
 			s.LivePages = r.Vol.LivePages()
 			s.CapacityPages = r.Vol.LogicalPages()
 		}
+		s.MinErase, s.MaxErase, s.AvgErase = m.eraseStats(r)
 		out = append(out, s)
 	}
 	return out
+}
+
+// eraseStats scans a region's dies for per-block erase counts.
+func (m *Manager) eraseStats(r *Region) (minE, maxE int, avg float64) {
+	arr := m.dev.Array()
+	minE = int(^uint(0) >> 1)
+	total, n := 0, 0
+	for _, die := range r.Dies {
+		sp := ftl.NewDieSpace(m.dev, die)
+		for local := 0; local < sp.Blocks(); local++ {
+			pbn := sp.PBN(local)
+			if arr.IsBad(pbn) {
+				continue
+			}
+			e := arr.EraseCount(pbn)
+			if e < minE {
+				minE = e
+			}
+			if e > maxE {
+				maxE = e
+			}
+			total += e
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, 0, 0
+	}
+	return minE, maxE, float64(total) / float64(n)
 }

@@ -1,0 +1,525 @@
+// Package sched implements a native flash command scheduler: the layer
+// the NoFTL architecture puts between host-side flash management and the
+// raw device so the DBMS — not device firmware — decides how commands
+// interleave on every die.
+//
+// Each die gets a command queue and a dispatcher process on the DES
+// kernel. Commands carry a priority class (foreground read > WAL append
+// > data program > GC work) and the dispatcher serves the
+// highest-priority hazard-free command first; under the FCFS policy it
+// degrades to plain arrival order, which is what an on-device FTL behind
+// a legacy interface effectively gives the host. Because reordering must
+// never break flash state dependencies, the dispatcher tracks hazards:
+// a read never overtakes a pending program to the same page, and nothing
+// overtakes a pending erase of its own block.
+//
+// Erases are the latency killers (tBERS is ~60x tR on SLC), so the
+// dispatcher runs them suspendable: when a foreground read arrives while
+// an erase is in flight, the erase is suspended (ERASE SUSPEND latency),
+// the read is served, and the erase resumes with a resume penalty —
+// bounding read tail latency at roughly tSUS+tR instead of tBERS.
+// Suspensions per erase are capped so erases cannot starve.
+//
+// Queue waits are accounted per class and surfaced both here (Stats) and
+// through flash.Device.Stats (NoteQueueWait); the optional Trace hook
+// emits one Event per command for offline analysis (trace.CmdLog).
+//
+// Serial callers (sim.ClockWaiter phases: loads, trace replays, rebuild
+// scans) bypass the queues entirely — there is nothing to schedule when
+// one synchronous client owns the device.
+package sched
+
+import (
+	"fmt"
+
+	"noftl/internal/flash"
+	"noftl/internal/nand"
+	"noftl/internal/sim"
+)
+
+// Class is a command priority class. Lower values are served first under
+// the Priority policy.
+type Class uint8
+
+// Priority classes, highest first.
+const (
+	ClassRead    Class = iota // foreground page reads (query latency)
+	ClassWAL                  // log appends (commit path)
+	ClassProgram              // data page programs and delta appends
+	ClassGC                   // GC copies, folds, erases, wear moves
+	NumClasses
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case ClassRead:
+		return "read"
+	case ClassWAL:
+		return "wal"
+	case ClassProgram:
+		return "program"
+	case ClassGC:
+		return "gc"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Policy selects the queue discipline.
+type Policy uint8
+
+// Queue disciplines.
+const (
+	// FCFS serves commands in arrival order (the firmware-FTL baseline).
+	FCFS Policy = iota
+	// Priority serves the highest class first and suspends in-flight
+	// erases for queued reads.
+	Priority
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	if p == Priority {
+		return "priority"
+	}
+	return "fcfs"
+}
+
+// Config tunes a Scheduler.
+type Config struct {
+	// Policy selects the queue discipline. Default FCFS.
+	Policy Policy
+	// DisableSuspend turns off erase suspension under Priority.
+	DisableSuspend bool
+	// MaxSuspends bounds suspensions per erase so reads cannot starve an
+	// erase forever. Default 4.
+	MaxSuspends int
+	// GCAgeLimit promotes a GC command that has waited longer than this
+	// to the head of its die's queue (starvation guard for free-block
+	// reclamation under read-heavy load). Default 10ms; negative
+	// disables.
+	GCAgeLimit sim.Time
+	// Trace receives one Event per dispatched command (nil: off).
+	Trace func(Event)
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxSuspends == 0 {
+		c.MaxSuspends = 4
+	}
+	if c.GCAgeLimit == 0 {
+		c.GCAgeLimit = 10 * sim.Millisecond
+	}
+	return c
+}
+
+// Stats is scheduler-level accounting.
+type Stats struct {
+	Scheduled     [NumClasses]int64    // commands dispatched per class
+	QueueWait     [NumClasses]sim.Time // accumulated queue wait per class
+	MaxWait       [NumClasses]sim.Time // worst queue wait per class
+	Bypassed      int64                // serial commands that skipped the queues
+	EraseSuspends int64
+	Promotions    int64 // aged GC commands served ahead of their class
+}
+
+// MeanWait returns the average queue wait of a class.
+func (s *Stats) MeanWait(c Class) sim.Time {
+	if s.Scheduled[c] == 0 {
+		return 0
+	}
+	return s.QueueWait[c] / sim.Time(s.Scheduled[c])
+}
+
+// TotalScheduled sums dispatched commands over all classes.
+func (s *Stats) TotalScheduled() int64 {
+	var n int64
+	for _, v := range s.Scheduled {
+		n += v
+	}
+	return n
+}
+
+// Event describes one dispatched command for the trace hook.
+type Event struct {
+	Die      int
+	Class    Class
+	Op       string // "read","program","partial","erase","copyback"
+	Arrival  sim.Time
+	Start    sim.Time // dispatch time (Start-Arrival is the queue wait)
+	End      sim.Time
+	Suspends int // erase suspensions taken during this command
+}
+
+// Command op kinds.
+const (
+	opRead uint8 = iota
+	opProgram
+	opPartial
+	opErase
+	opCopyback
+)
+
+func opName(op uint8) string {
+	switch op {
+	case opRead:
+		return "read"
+	case opProgram:
+		return "program"
+	case opPartial:
+		return "partial"
+	case opErase:
+		return "erase"
+	default:
+		return "copyback"
+	}
+}
+
+// request is one queued command. Queue position (the reqs slice) is the
+// arrival order; there is no separate sequence number.
+type request struct {
+	op      uint8
+	class   Class
+	arrival sim.Time
+
+	ppn    nand.PPN // read/program/partial target, copyback source
+	dst    nand.PPN // copyback destination
+	pbn    nand.PBN // erase target
+	off    int
+	data   []byte
+	oob    nand.OOB
+	oobPtr *nand.OOB
+	buf    []byte
+
+	oobOut   nand.OOB
+	err      error
+	promoted bool
+	done     sim.Signal
+}
+
+// touches returns the pages a non-erase command reads or programs.
+func (r *request) touches() (a, b nand.PPN, n int) {
+	switch r.op {
+	case opRead, opProgram, opPartial:
+		return r.ppn, 0, 1
+	case opCopyback:
+		return r.ppn, r.dst, 2
+	default:
+		return 0, 0, 0
+	}
+}
+
+// conflict reports whether two commands on the same die must not be
+// reordered: they touch the same page, or one erases the block the
+// other touches. Serving them in arrival order is always safe.
+func conflict(geo nand.Geometry, a, b *request) bool {
+	if a.op == opErase || b.op == opErase {
+		if a.op == opErase && b.op == opErase {
+			return a.pbn == b.pbn
+		}
+		er, other := a, b
+		if b.op == opErase {
+			er, other = b, a
+		}
+		p1, p2, n := other.touches()
+		if n >= 1 && geo.BlockOf(p1) == er.pbn {
+			return true
+		}
+		if n >= 2 && geo.BlockOf(p2) == er.pbn {
+			return true
+		}
+		return false
+	}
+	a1, a2, an := a.touches()
+	b1, b2, bn := b.touches()
+	if an >= 1 && bn >= 1 && a1 == b1 {
+		return true
+	}
+	if an >= 1 && bn >= 2 && a1 == b2 {
+		return true
+	}
+	if an >= 2 && bn >= 1 && a2 == b1 {
+		return true
+	}
+	if an >= 2 && bn >= 2 && a2 == b2 {
+		return true
+	}
+	return false
+}
+
+// Scheduler is the native command scheduler over one flash device.
+type Scheduler struct {
+	k     *sim.Kernel
+	dev   *flash.Device
+	cfg   Config
+	id    flash.Identity
+	geo   nand.Geometry
+	dies  []*dieSched
+	stats Stats
+}
+
+// New builds a scheduler over dev with one dispatcher process per die on
+// kernel k. The dispatchers live until the kernel shuts down. The
+// scheduler registers a device reset hook so ResetTime/ResetStats clear
+// its wait accounting along with the device's.
+func New(k *sim.Kernel, dev *flash.Device, cfg Config) *Scheduler {
+	cfg = cfg.withDefaults()
+	s := &Scheduler{k: k, dev: dev, cfg: cfg, id: dev.Identify(), geo: dev.Geometry()}
+	for die := 0; die < s.geo.Dies(); die++ {
+		ds := &dieSched{s: s, die: die, alarm: sim.NewAlarm(k)}
+		s.dies = append(s.dies, ds)
+		k.Go(fmt.Sprintf("sched-die%d", die), ds.run)
+	}
+	dev.OnReset(s.Reset)
+	return s
+}
+
+// Device returns the scheduled device.
+func (s *Scheduler) Device() *flash.Device { return s.dev }
+
+// Policy returns the configured queue discipline.
+func (s *Scheduler) Policy() Policy { return s.cfg.Policy }
+
+// Stats returns a snapshot of scheduler accounting.
+func (s *Scheduler) Stats() Stats { return s.stats }
+
+// Reset clears the scheduler's wait accounting. The device calls it from
+// ResetTime/ResetStats via OnReset; queued commands (none between bench
+// phases) are unaffected.
+func (s *Scheduler) Reset() { s.stats = Stats{} }
+
+// QueueDepth reports the number of commands currently queued on a die.
+func (s *Scheduler) QueueDepth(die int) int { return len(s.dies[die].reqs) }
+
+func (s *Scheduler) suspendable() bool {
+	return s.cfg.Policy == Priority && !s.cfg.DisableSuspend
+}
+
+// dieSched is one die's queue plus its dispatcher state.
+type dieSched struct {
+	s       *Scheduler
+	die     int
+	reqs    []*request
+	alarm   *sim.Alarm
+	idle    bool
+	erasing bool     // an erase is in its suspendable window
+	inErase *request // erase being served (suspension hazard source)
+}
+
+// suspendsErase reports whether a command class is urgent enough to
+// suspend an in-flight erase: foreground reads (query latency) and WAL
+// appends (commit latency). tBERS is the one device latency the commit
+// path must never eat whole.
+func suspendsErase(c Class) bool { return c <= ClassWAL }
+
+// enqueue adds a request and pokes the dispatcher: an idle dispatcher
+// wakes to serve it; an erasing dispatcher is interrupted only by a
+// command urgent enough to suspend the erase.
+func (ds *dieSched) enqueue(r *request) {
+	ds.reqs = append(ds.reqs, r)
+	if ds.idle {
+		ds.alarm.Interrupt()
+	} else if ds.erasing && suspendsErase(r.class) {
+		ds.alarm.Interrupt()
+	}
+}
+
+// blocked reports whether reqs[i] has a hazard against an older pending
+// request or the in-flight erase. The oldest request is never blocked,
+// so the queue always drains.
+func (ds *dieSched) blocked(i int) bool {
+	r := ds.reqs[i]
+	if ds.inErase != nil && conflict(ds.s.geo, ds.inErase, r) {
+		return true
+	}
+	for j := 0; j < i; j++ {
+		if conflict(ds.s.geo, ds.reqs[j], r) {
+			return true
+		}
+	}
+	return false
+}
+
+// effClass is the class used for ordering: GC commands past the age
+// limit are promoted to the front so sustained foreground traffic cannot
+// starve free-block reclamation.
+func (ds *dieSched) effClass(r *request, now sim.Time) Class {
+	if r.class == ClassGC && ds.s.cfg.GCAgeLimit > 0 && now-r.arrival > ds.s.cfg.GCAgeLimit {
+		return ClassRead
+	}
+	return r.class
+}
+
+// pop removes and returns the next hazard-free command: the oldest under
+// FCFS, the best (class, then arrival) under Priority. urgentOnly
+// restricts candidates to erase-suspending classes (the suspension
+// window).
+func (ds *dieSched) pop(urgentOnly bool) *request {
+	if len(ds.reqs) == 0 {
+		return nil
+	}
+	now := ds.s.k.Now()
+	prio := ds.s.cfg.Policy == Priority
+	best := -1
+	for i, r := range ds.reqs {
+		if urgentOnly && !suspendsErase(r.class) {
+			continue
+		}
+		if ds.blocked(i) {
+			continue
+		}
+		if best < 0 {
+			best = i
+			if !prio {
+				break
+			}
+			continue
+		}
+		if prio && ds.effClass(r, now) < ds.effClass(ds.reqs[best], now) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	r := ds.reqs[best]
+	if prio && r.class == ClassGC && ds.effClass(r, now) != r.class {
+		r.promoted = true
+	}
+	ds.reqs = append(ds.reqs[:best], ds.reqs[best+1:]...)
+	return r
+}
+
+// run is the dispatcher loop: one command in service per die at a time.
+func (ds *dieSched) run(p *sim.Proc) {
+	for {
+		r := ds.pop(false)
+		if r == nil {
+			ds.idle = true
+			ds.alarm.Wait(p, -1)
+			ds.idle = false
+			continue
+		}
+		if r.op == opErase && ds.s.suspendable() {
+			ds.serveErase(p, r)
+		} else {
+			ds.serve(p, r)
+		}
+	}
+}
+
+// account records the queue wait of a command being dispatched.
+func (ds *dieSched) account(r *request, now sim.Time) {
+	wait := now - r.arrival
+	st := &ds.s.stats
+	st.Scheduled[r.class]++
+	st.QueueWait[r.class] += wait
+	if wait > st.MaxWait[r.class] {
+		st.MaxWait[r.class] = wait
+	}
+	if r.promoted {
+		st.Promotions++
+	}
+	ds.s.dev.NoteQueueWait(wait)
+}
+
+// issue submits the command to the device on w. With a ClockWaiter the
+// call returns immediately, leaving the completion time in the clock —
+// the device commits state and reserves its timelines synchronously.
+func (ds *dieSched) issue(w sim.Waiter, r *request) {
+	dev := ds.s.dev
+	switch r.op {
+	case opRead:
+		r.oobOut, r.err = dev.ReadPage(w, r.ppn, r.buf)
+	case opProgram:
+		r.err = dev.ProgramPage(w, r.ppn, r.data, r.oob)
+	case opPartial:
+		r.err = dev.ProgramPartial(w, r.ppn, r.off, r.data, r.oob)
+	case opCopyback:
+		r.err = dev.Copyback(w, r.ppn, r.dst, r.oobPtr)
+	case opErase:
+		r.err = dev.EraseBlock(w, r.pbn)
+	}
+}
+
+// serve dispatches one non-suspendable command: reserve the device
+// timeline now, hold the die until the completion time, then release the
+// submitter.
+func (ds *dieSched) serve(p *sim.Proc, r *request) {
+	start := p.Now()
+	ds.account(r, start)
+	cw := &sim.ClockWaiter{T: start}
+	ds.issue(cw, r)
+	p.SleepUntil(cw.T)
+	ds.finish(r, start, 0)
+}
+
+// serveErase dispatches an erase with suspension: the die runs the erase
+// until either it completes or a foreground read arrives; on arrival the
+// erase is suspended (tSUS), its executed chunk is charged to the
+// device, queued reads are served, and the erase resumes (tRES added to
+// the remaining time). The array state commits with the final chunk.
+func (ds *dieSched) serveErase(p *sim.Proc, r *request) {
+	s := ds.s
+	start := p.Now()
+	ds.account(r, start)
+	ds.inErase = r
+	total := s.id.CmdOverhead + s.id.Timing.EraseBlock
+	remaining := total
+	suspends := 0
+	for {
+		ds.erasing = suspends < s.cfg.MaxSuspends
+		sliceStart := p.Now()
+		preempted := false
+		if ds.erasing {
+			preempted = ds.alarm.Wait(p, remaining)
+		} else {
+			p.Sleep(remaining)
+		}
+		ds.erasing = false
+		if !preempted {
+			r.err = s.dev.EraseChunk(&sim.ClockWaiter{T: p.Now()}, r.pbn, p.Now()-sliceStart, true)
+			break
+		}
+		slice := p.Now() - sliceStart
+		suspends++
+		s.stats.EraseSuspends++
+		s.dev.NoteEraseSuspend()
+		p.Sleep(s.id.Timing.EraseSuspend)
+		if err := s.dev.EraseChunk(&sim.ClockWaiter{T: p.Now()}, r.pbn, slice+s.id.Timing.EraseSuspend, false); err != nil {
+			r.err = err
+			break
+		}
+		remaining -= slice
+		if remaining < sim.Microsecond {
+			remaining = sim.Microsecond
+		}
+		for {
+			rr := ds.pop(true)
+			if rr == nil {
+				break
+			}
+			ds.serve(p, rr)
+		}
+		remaining += s.id.Timing.EraseResume
+	}
+	ds.inErase = nil
+	ds.finish(r, start, suspends)
+}
+
+// finish releases the submitter and emits the trace event.
+func (ds *dieSched) finish(r *request, start sim.Time, suspends int) {
+	r.done.Fire()
+	if tr := ds.s.cfg.Trace; tr != nil {
+		tr(Event{
+			Die:      ds.die,
+			Class:    r.class,
+			Op:       opName(r.op),
+			Arrival:  r.arrival,
+			Start:    start,
+			End:      ds.s.k.Now(),
+			Suspends: suspends,
+		})
+	}
+}

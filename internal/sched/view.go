@@ -1,0 +1,105 @@
+package sched
+
+import (
+	"noftl/internal/flash"
+	"noftl/internal/nand"
+	"noftl/internal/sim"
+)
+
+// view is a flash.Dev that issues every command through the scheduler at
+// a fixed priority class. Host-side managers hold one view per command
+// class (noftl.ClassDevs) and stay oblivious to the scheduling.
+type view struct {
+	s *Scheduler
+	c Class
+}
+
+// Bind returns a flash.Dev issuing commands at class c.
+func (s *Scheduler) Bind(c Class) flash.Dev { return view{s: s, c: c} }
+
+// Identify forwards the native IDENTIFY command.
+func (v view) Identify() flash.Identity { return v.s.dev.Identify() }
+
+// Geometry returns the device geometry.
+func (v view) Geometry() nand.Geometry { return v.s.dev.Geometry() }
+
+// Array exposes the underlying NAND array for state inspection.
+func (v view) Array() *nand.Array { return v.s.dev.Array() }
+
+// submit queues r on the die and parks the caller until the dispatcher
+// completes it. It reports false for serial callers (no DES process on
+// this kernel), who must bypass the queues.
+func (v view) submit(w sim.Waiter, r *request, die int) bool {
+	pw, ok := w.(sim.ProcWaiter)
+	if !ok || pw.P.Kernel() != v.s.k {
+		v.s.stats.Bypassed++
+		return false
+	}
+	r.class = v.c
+	r.arrival = pw.P.Now()
+	v.s.dies[die].enqueue(r)
+	r.done.Wait(pw.P)
+	return true
+}
+
+// ReadPage implements flash.Dev.
+func (v view) ReadPage(w sim.Waiter, p nand.PPN, buf []byte) (nand.OOB, error) {
+	if !v.s.geo.ValidPPN(p) {
+		return v.s.dev.ReadPage(w, p, buf)
+	}
+	r := &request{op: opRead, ppn: p, buf: buf}
+	if !v.submit(w, r, v.s.geo.DieOf(p)) {
+		return v.s.dev.ReadPage(w, p, buf)
+	}
+	return r.oobOut, r.err
+}
+
+// ProgramPage implements flash.Dev.
+func (v view) ProgramPage(w sim.Waiter, p nand.PPN, data []byte, oob nand.OOB) error {
+	if !v.s.geo.ValidPPN(p) {
+		return v.s.dev.ProgramPage(w, p, data, oob)
+	}
+	r := &request{op: opProgram, ppn: p, data: data, oob: oob}
+	if !v.submit(w, r, v.s.geo.DieOf(p)) {
+		return v.s.dev.ProgramPage(w, p, data, oob)
+	}
+	return r.err
+}
+
+// ProgramPartial implements flash.Dev.
+func (v view) ProgramPartial(w sim.Waiter, p nand.PPN, off int, data []byte, oob nand.OOB) error {
+	if !v.s.geo.ValidPPN(p) {
+		return v.s.dev.ProgramPartial(w, p, off, data, oob)
+	}
+	r := &request{op: opPartial, ppn: p, off: off, data: data, oob: oob}
+	if !v.submit(w, r, v.s.geo.DieOf(p)) {
+		return v.s.dev.ProgramPartial(w, p, off, data, oob)
+	}
+	return r.err
+}
+
+// EraseBlock implements flash.Dev.
+func (v view) EraseBlock(w sim.Waiter, b nand.PBN) error {
+	if !v.s.geo.ValidPBN(b) {
+		return v.s.dev.EraseBlock(w, b)
+	}
+	r := &request{op: opErase, pbn: b}
+	if !v.submit(w, r, v.s.geo.DieOfBlock(b)) {
+		return v.s.dev.EraseBlock(w, b)
+	}
+	return r.err
+}
+
+// Copyback implements flash.Dev.
+func (v view) Copyback(w sim.Waiter, src, dst nand.PPN, newOOB *nand.OOB) error {
+	if !v.s.geo.ValidPPN(src) || !v.s.geo.ValidPPN(dst) {
+		return v.s.dev.Copyback(w, src, dst, newOOB)
+	}
+	r := &request{op: opCopyback, ppn: src, dst: dst, oobPtr: newOOB}
+	if !v.submit(w, r, v.s.geo.DieOf(src)) {
+		return v.s.dev.Copyback(w, src, dst, newOOB)
+	}
+	return r.err
+}
+
+var _ flash.Dev = view{}

@@ -1,0 +1,131 @@
+package sched
+
+import (
+	"fmt"
+
+	"noftl/internal/sim"
+)
+
+// GCDriver is the volume-side contract for background garbage
+// collection: the NeedsGC/GCStep hooks a noftl.Volume exposes per region
+// (die). Background workers drive it so space reclamation never runs on
+// the commit path.
+type GCDriver interface {
+	Regions() int
+	NeedsGC(region int) bool
+	GCStep(w sim.Waiter, region int) (bool, error)
+}
+
+// WearLeveler extends GCDriver with the background wear-leveling sweep
+// contract: per-region erase-count spread and a cold-block migration
+// step. noftl.Volume implements it.
+type WearLeveler interface {
+	WearSpread(region int) int
+	WearLevelStep(w sim.Waiter, region int) (bool, error)
+}
+
+// MaintConfig tunes StartMaintenance.
+type MaintConfig struct {
+	// Interval is the GC workers' idle poll period. Default 200µs.
+	Interval sim.Time
+	// SweepEvery is the wear-leveling sweep period. Default 50ms;
+	// negative disables the sweep.
+	SweepEvery sim.Time
+	// OnError receives the first fatal maintenance error (nil: ignored).
+	OnError func(error)
+}
+
+func (c MaintConfig) withDefaults() MaintConfig {
+	if c.Interval <= 0 {
+		c.Interval = 200 * sim.Microsecond
+	}
+	if c.SweepEvery == 0 {
+		c.SweepEvery = 50 * sim.Millisecond
+	}
+	return c
+}
+
+// Maintenance is the handle over a running worker set.
+type Maintenance struct {
+	// GCSteps counts successful background GC victim collections.
+	GCSteps int64
+	// WearMoves counts cold-block migrations done by the sweep.
+	WearMoves int64
+	stopped   bool
+}
+
+// Stop halts the workers; they drain at their next poll.
+func (m *Maintenance) Stop() { m.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (m *Maintenance) Stopped() bool { return m.stopped }
+
+// StartMaintenance launches the DBMS's background flash-maintenance
+// processes on kernel k: one GC worker per region driving GCStep while
+// NeedsGC, plus — when gc also implements WearLeveler — a wear-leveling
+// sweep that each period migrates cold blocks in the region with the
+// widest erase-count spread. This is the paper's argument made
+// concrete: maintenance runs when the DBMS schedules it, not when
+// firmware decides mid-commit.
+func StartMaintenance(k *sim.Kernel, gc GCDriver, cfg MaintConfig) *Maintenance {
+	cfg = cfg.withDefaults()
+	mt := &Maintenance{}
+	fail := func(err error) {
+		if cfg.OnError != nil {
+			cfg.OnError(err)
+		}
+	}
+	for r := 0; r < gc.Regions(); r++ {
+		r := r
+		k.Go(fmt.Sprintf("gc-worker%d", r), func(p *sim.Proc) {
+			w := sim.ProcWaiter{P: p}
+			for !mt.stopped {
+				if gc.NeedsGC(r) {
+					did, err := gc.GCStep(w, r)
+					if err != nil {
+						fail(err)
+						return
+					}
+					if did {
+						mt.GCSteps++
+						continue
+					}
+				}
+				p.Sleep(cfg.Interval)
+			}
+		})
+	}
+	wl, ok := gc.(WearLeveler)
+	if !ok || cfg.SweepEvery < 0 {
+		return mt
+	}
+	k.Go("wear-sweep", func(p *sim.Proc) {
+		w := sim.ProcWaiter{P: p}
+		for !mt.stopped {
+			p.Sleep(cfg.SweepEvery)
+			if mt.stopped {
+				return
+			}
+			// Sweep the region with the widest erase-count spread first;
+			// ties break toward the lowest region for determinism.
+			best, spread := -1, 0
+			for r := 0; r < gc.Regions(); r++ {
+				if s := wl.WearSpread(r); s > spread {
+					best, spread = r, s
+				}
+			}
+			if best < 0 {
+				continue
+			}
+			did, err := wl.WearLevelStep(w, best)
+			if err != nil {
+				fail(err)
+				return
+			}
+			if did {
+				mt.WearMoves++
+			}
+		}
+	})
+	return mt
+}

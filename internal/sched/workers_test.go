@@ -1,0 +1,97 @@
+package sched
+
+import (
+	"testing"
+
+	"noftl/internal/sim"
+)
+
+// fakeDriver is a scripted GCDriver+WearLeveler for worker-loop tests.
+type fakeDriver struct {
+	regions int
+	dirty   []int // pending GC steps per region
+	gcSteps []int
+	spread  []int
+	wlSteps []int
+}
+
+func (f *fakeDriver) Regions() int         { return f.regions }
+func (f *fakeDriver) NeedsGC(r int) bool   { return f.dirty[r] > 0 }
+func (f *fakeDriver) WearSpread(r int) int { return f.spread[r] }
+
+func (f *fakeDriver) GCStep(w sim.Waiter, r int) (bool, error) {
+	if f.dirty[r] == 0 {
+		return false, nil
+	}
+	f.dirty[r]--
+	f.gcSteps[r]++
+	w.WaitUntil(w.Now() + 100*sim.Microsecond) // a step costs device time
+	return true, nil
+}
+
+func (f *fakeDriver) WearLevelStep(w sim.Waiter, r int) (bool, error) {
+	if f.spread[r] == 0 {
+		return false, nil
+	}
+	f.spread[r] = 0
+	f.wlSteps[r]++
+	w.WaitUntil(w.Now() + 500*sim.Microsecond)
+	return true, nil
+}
+
+func TestMaintenanceDrivesGCAndWearSweep(t *testing.T) {
+	k := sim.New()
+	f := &fakeDriver{
+		regions: 3,
+		dirty:   []int{5, 0, 2},
+		gcSteps: make([]int, 3),
+		spread:  []int{0, 80, 10},
+		wlSteps: make([]int, 3),
+	}
+	mt := StartMaintenance(k, f, MaintConfig{SweepEvery: 10 * sim.Millisecond})
+	k.RunFor(50 * sim.Millisecond)
+	mt.Stop()
+	k.RunFor(5 * sim.Millisecond)
+	k.Shutdown()
+
+	if f.gcSteps[0] != 5 || f.gcSteps[1] != 0 || f.gcSteps[2] != 2 {
+		t.Fatalf("gcSteps = %v, want [5 0 2]", f.gcSteps)
+	}
+	if mt.GCSteps != 7 {
+		t.Fatalf("GCSteps = %d, want 7", mt.GCSteps)
+	}
+	// The sweep must clean the widest-spread region first, then the next.
+	if f.wlSteps[1] != 1 || f.wlSteps[2] != 1 || f.wlSteps[0] != 0 {
+		t.Fatalf("wlSteps = %v, want [0 1 1]", f.wlSteps)
+	}
+	if mt.WearMoves != 2 {
+		t.Fatalf("WearMoves = %d, want 2", mt.WearMoves)
+	}
+}
+
+func TestMaintenanceReportsErrors(t *testing.T) {
+	k := sim.New()
+	f := &failingDriver{}
+	var got error
+	mt := StartMaintenance(k, f, MaintConfig{SweepEvery: -1, OnError: func(err error) { got = err }})
+	k.RunFor(5 * sim.Millisecond)
+	mt.Stop()
+	k.Shutdown()
+	if got == nil {
+		t.Fatal("worker error not reported")
+	}
+}
+
+type failingDriver struct{}
+
+func (failingDriver) Regions() int     { return 1 }
+func (failingDriver) NeedsGC(int) bool { return true }
+func (failingDriver) GCStep(sim.Waiter, int) (bool, error) {
+	return false, errBoom
+}
+
+var errBoom = errStr("boom")
+
+type errStr string
+
+func (e errStr) Error() string { return string(e) }

@@ -56,6 +56,29 @@ func (h *Histogram) Add(d sim.Time) {
 	}
 }
 
+// AddHist merges another histogram's samples into h (per-terminal
+// latency histograms merge into a workload-wide one).
+func (h *Histogram) AddHist(o *Histogram) {
+	if o.count == 0 {
+		return
+	}
+	if h.buckets == nil {
+		h.buckets = make([]int64, histBuckets)
+		h.min = o.min
+	}
+	for i, n := range o.buckets {
+		h.buckets[i] += n
+	}
+	h.count += o.count
+	h.sum += o.sum
+	if o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
 // Count returns the number of samples.
 func (h *Histogram) Count() int64 { return h.count }
 

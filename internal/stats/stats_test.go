@@ -101,3 +101,30 @@ func TestSorted(t *testing.T) {
 		t.Error("Sorted wrong or mutated input")
 	}
 }
+
+func TestHistogramAddHist(t *testing.T) {
+	var a, b, merged Histogram
+	for _, d := range []sim.Time{10 * sim.Microsecond, 100 * sim.Microsecond} {
+		a.Add(d)
+	}
+	for _, d := range []sim.Time{50 * sim.Microsecond, 2 * sim.Millisecond} {
+		b.Add(d)
+	}
+	merged.AddHist(&a)
+	merged.AddHist(&b)
+	if merged.Count() != 4 {
+		t.Fatalf("count = %d, want 4", merged.Count())
+	}
+	if merged.Min() != 10*sim.Microsecond || merged.Max() != 2*sim.Millisecond {
+		t.Fatalf("min/max = %v/%v", merged.Min(), merged.Max())
+	}
+	want := (10 + 100 + 50 + 2000) * sim.Microsecond / 4
+	if merged.Mean() != want {
+		t.Fatalf("mean = %v, want %v", merged.Mean(), want)
+	}
+	var empty Histogram
+	merged.AddHist(&empty) // no-op
+	if merged.Count() != 4 {
+		t.Fatal("merging an empty histogram changed the count")
+	}
+}

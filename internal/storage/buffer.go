@@ -5,6 +5,7 @@ import (
 
 	"noftl/internal/delta"
 	"noftl/internal/sim"
+	"noftl/internal/stats"
 )
 
 // Frame is a buffer-pool slot holding one page.
@@ -63,7 +64,17 @@ type BufferPool struct {
 	// page programs.
 	deltaVol DeltaVolume
 	deltaMax int
+
+	// readLat, when set, records the latency of every volume read miss
+	// — the foreground read latency a query experiences when its page is
+	// not cached. The scheduling benchmarks use it for read-tail
+	// accounting.
+	readLat *stats.Histogram
 }
+
+// TrackReadLatency starts recording read-miss latencies into h; nil
+// stops recording.
+func (bp *BufferPool) TrackReadLatency(h *stats.Histogram) { bp.readLat = h }
 
 // deltaDiffGap is the equal-byte gap below which neighbouring modified
 // runs are coalesced when diffing a frame against its base image.
@@ -193,7 +204,12 @@ func (bp *BufferPool) Pin(ctx *IOCtx, id PageID, fresh bool) (*Frame, error) {
 			f.tracker.MarkWhole()
 		} else {
 			f.bulk = false
-			if err := bp.vol.ReadPage(ctx, id, f.Data); err != nil {
+			t0 := wait.Now()
+			err := bp.vol.ReadPage(ctx, id, f.Data)
+			if bp.readLat != nil {
+				bp.readLat.Add(wait.Now() - t0)
+			}
+			if err != nil {
 				f.loading = false
 				if bp.table[id] == f {
 					delete(bp.table, id)

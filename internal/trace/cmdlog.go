@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"noftl/internal/sched"
+	"noftl/internal/sim"
+	"noftl/internal/stats"
+)
+
+// CmdLog collects native command-scheduler events (sched.Config.Trace)
+// for offline latency analysis — the command-level counterpart of the
+// page-level traces this package replays: one record per dispatched
+// flash command with its class, die, queue wait and service window.
+type CmdLog struct {
+	Events []sched.Event
+}
+
+// Record appends one event; pass it as the scheduler's Trace hook.
+func (l *CmdLog) Record(ev sched.Event) { l.Events = append(l.Events, ev) }
+
+// ClassWait builds the queue-wait histogram of one class.
+func (l *CmdLog) ClassWait(c sched.Class) *stats.Histogram {
+	var h stats.Histogram
+	for _, ev := range l.Events {
+		if ev.Class == c {
+			h.Add(ev.Start - ev.Arrival)
+		}
+	}
+	return &h
+}
+
+// ClassService builds the service-time histogram (dispatch to
+// completion, suspensions included) of one class.
+func (l *CmdLog) ClassService(c sched.Class) *stats.Histogram {
+	var h stats.Histogram
+	for _, ev := range l.Events {
+		if ev.Class == c {
+			h.Add(ev.End - ev.Start)
+		}
+	}
+	return &h
+}
+
+// Suspends counts erase suspensions recorded in the log.
+func (l *CmdLog) Suspends() int {
+	n := 0
+	for _, ev := range l.Events {
+		n += ev.Suspends
+	}
+	return n
+}
+
+// Summary renders per-class command counts and wait/service
+// distributions.
+func (l *CmdLog) Summary() string {
+	t := stats.NewTable("class", "cmds", "wait mean", "wait p99", "svc mean", "svc max")
+	for c := sched.Class(0); c < sched.NumClasses; c++ {
+		w := l.ClassWait(c)
+		if w.Count() == 0 {
+			continue
+		}
+		s := l.ClassService(c)
+		t.Row(c.String(), w.Count(), w.Mean().String(),
+			w.Percentile(99).String(), s.Mean().String(), s.Max().String())
+	}
+	return t.String()
+}
+
+// Span returns the time window the log covers.
+func (l *CmdLog) Span() (first, last sim.Time) {
+	if len(l.Events) == 0 {
+		return 0, 0
+	}
+	first = l.Events[0].Arrival
+	for _, ev := range l.Events {
+		if ev.End > last {
+			last = ev.End
+		}
+	}
+	return first, last
+}

@@ -1,0 +1,42 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"noftl/internal/sched"
+	"noftl/internal/sim"
+)
+
+func TestCmdLogAggregation(t *testing.T) {
+	var l CmdLog
+	l.Record(sched.Event{Die: 0, Class: sched.ClassRead, Op: "read",
+		Arrival: 0, Start: 10 * sim.Microsecond, End: 40 * sim.Microsecond})
+	l.Record(sched.Event{Die: 0, Class: sched.ClassRead, Op: "read",
+		Arrival: 5 * sim.Microsecond, Start: 45 * sim.Microsecond, End: 80 * sim.Microsecond})
+	l.Record(sched.Event{Die: 1, Class: sched.ClassGC, Op: "erase",
+		Arrival: 0, Start: 0, End: 1500 * sim.Microsecond, Suspends: 2})
+
+	w := l.ClassWait(sched.ClassRead)
+	if w.Count() != 2 {
+		t.Fatalf("read waits = %d, want 2", w.Count())
+	}
+	if w.Mean() != 25*sim.Microsecond {
+		t.Fatalf("mean read wait = %v, want 25µs", w.Mean())
+	}
+	s := l.ClassService(sched.ClassGC)
+	if s.Count() != 1 || s.Max() != 1500*sim.Microsecond {
+		t.Fatalf("gc service = %v", s)
+	}
+	if l.Suspends() != 2 {
+		t.Fatalf("suspends = %d, want 2", l.Suspends())
+	}
+	first, last := l.Span()
+	if first != 0 || last != 1500*sim.Microsecond {
+		t.Fatalf("span = [%v, %v]", first, last)
+	}
+	sum := l.Summary()
+	if !strings.Contains(sum, "read") || !strings.Contains(sum, "gc") {
+		t.Fatalf("summary missing classes:\n%s", sum)
+	}
+}

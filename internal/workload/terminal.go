@@ -1,0 +1,114 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"noftl/internal/sim"
+	"noftl/internal/stats"
+	"noftl/internal/storage"
+)
+
+// Terminal is one simulated client terminal: a closed-loop sim.Proc
+// running transactions back-to-back against the engine, with
+// per-transaction commit-latency accounting. N terminals together form
+// the concurrent multi-terminal workload the command-scheduling
+// experiments need — the regime where foreground transactions, background
+// db-writers and flash maintenance all contend for the same dies.
+type Terminal struct {
+	ID        int
+	Committed int64
+	Retries   int64           // lock-timeout restarts
+	Hist      stats.Histogram // commit latency of counted transactions
+}
+
+// TerminalConfig configures StartTerminals.
+type TerminalConfig struct {
+	// N is the number of terminal processes.
+	N int
+	// Seed derives each terminal's private RNG (seed + id*7919).
+	Seed int64
+	// Think is idle time between transactions (0: closed loop).
+	Think sim.Time
+	// Counting gates Committed and Hist so warm-up transactions are
+	// excluded; nil counts from the start.
+	Counting *bool
+	// OnFatal receives a terminal's fatal error; the terminal then
+	// stops. Nil ignores errors.
+	OnFatal func(error)
+}
+
+// Terminals is the handle over a running terminal set.
+type Terminals struct {
+	All     []*Terminal
+	stopped bool
+}
+
+// StartTerminals launches cfg.N terminal processes running wl against e
+// on kernel k. Terminals observe Stop at their next transaction
+// boundary.
+func StartTerminals(k *sim.Kernel, e *storage.Engine, wl Workload, cfg TerminalConfig) *Terminals {
+	ts := &Terminals{}
+	for i := 0; i < cfg.N; i++ {
+		term := &Terminal{ID: i}
+		ts.All = append(ts.All, term)
+		seed := cfg.Seed + int64(i)*7919
+		k.Go(fmt.Sprintf("terminal%d", i), func(p *sim.Proc) {
+			rng := rand.New(rand.NewSource(seed))
+			ctx := storage.NewIOCtx(sim.ProcWaiter{P: p})
+			for !ts.stopped {
+				t0 := p.Now()
+				err := wl.RunOne(ctx, e, rng)
+				switch {
+				case err == nil:
+					if cfg.Counting == nil || *cfg.Counting {
+						term.Committed++
+						term.Hist.Add(p.Now() - t0)
+					}
+				case errors.Is(err, storage.ErrLockTimeout):
+					term.Retries++
+				default:
+					if cfg.OnFatal != nil {
+						cfg.OnFatal(err)
+					}
+					return
+				}
+				if cfg.Think > 0 {
+					p.Sleep(cfg.Think)
+				}
+			}
+		})
+	}
+	return ts
+}
+
+// Stop halts the terminals at their next transaction boundary.
+func (ts *Terminals) Stop() { ts.stopped = true }
+
+// Committed sums committed (counted) transactions over all terminals.
+func (ts *Terminals) Committed() int64 {
+	var n int64
+	for _, t := range ts.All {
+		n += t.Committed
+	}
+	return n
+}
+
+// Retries sums lock-timeout restarts over all terminals.
+func (ts *Terminals) Retries() int64 {
+	var n int64
+	for _, t := range ts.All {
+		n += t.Retries
+	}
+	return n
+}
+
+// CommitHist merges the terminals' commit-latency histograms.
+func (ts *Terminals) CommitHist() stats.Histogram {
+	var h stats.Histogram
+	for _, t := range ts.All {
+		h.AddHist(&t.Hist)
+	}
+	return h
+}
