@@ -11,6 +11,7 @@
 //	noftlbench -exp delta     # A5: in-place appends (delta writes) vs full pages
 //	noftlbench -exp regions   # A6: configurable regions (WAL on a native log region)
 //	noftlbench -exp sched     # A7: command scheduling (background GC, priority queues)
+//	noftlbench -exp htap      # A8: HTAP — OLTP terminals vs analytical scans, pool policies
 //	noftlbench -exp ablations # design-choice sweeps (A1-A4)
 //	noftlbench -exp all
 //
@@ -33,7 +34,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: fig3|fig4a|fig4b|headline|latency|validate|delta|regions|sched|ablations|all")
+		exp     = flag.String("exp", "all", "experiment: fig3|fig4a|fig4b|headline|latency|validate|delta|regions|sched|htap|ablations|all")
 		jsonOut = flag.String("json", "", "write machine-readable results (TPS, WA, erases, bytes/tx) to this path")
 		seed    = flag.Int64("seed", 42, "deterministic seed")
 		txs     = flag.Int("txs", 4000, "transactions per workload (fig3)")
@@ -48,6 +49,13 @@ func main() {
 		schedDies  = flag.Int("sched-dies", 0, "dies for the sched ablation (0: default 8)")
 		schedMB    = flag.Int("sched-mb", 0, "drive MB for the sched ablation (0: default 64)")
 		schedTrace = flag.Bool("sched-trace", false, "collect a command log and print per-class waits")
+
+		htapDies    = flag.Int("htap-dies", 0, "dies for the htap ablation (0: default 8)")
+		htapMB      = flag.Int("htap-mb", 0, "drive MB for the htap ablation (0: default 64)")
+		htapTerms   = flag.Int("htap-terminals", 0, "OLTP terminals for htap (0: default 12)")
+		htapReaders = flag.Int("htap-readers", 0, "analytical readers for htap (0: default 2)")
+		htapFrames  = flag.Int("htap-frames", 0, "buffer frames for htap (0: default 256)")
+		htapWindow  = flag.Int("htap-window", 0, "prefetch read-ahead depth for htap (0: default 16)")
 	)
 	flag.Parse()
 
@@ -242,6 +250,30 @@ func main() {
 			res.TPSRatio(), res.CommitP99Ratio(), res.ReadP99Ratio())
 		for i := range res.Rows {
 			report.AddSched(res.Workload, &res.Rows[i])
+		}
+		return nil
+	})
+
+	run("htap", func() error {
+		res, err := bench.HTAPAblation(bench.HTAPConfig{
+			Dies:      *htapDies,
+			DriveMB:   *htapMB,
+			Terminals: *htapTerms,
+			Readers:   *htapReaders,
+			Frames:    *htapFrames,
+			Window:    *htapWindow,
+			Measure:   sim.Time(*measure) * sim.Second,
+			Seed:      *seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println("Ablation A8 (tpcb+tpch): naive shared pool vs scan-resistant vs scan-resistant + prefetch")
+		fmt.Print(res.Table())
+		fmt.Printf("scan-resist+prefetch vs naive: %.2fx OLTP TPS, %.2fx p99 commit, %.2fx scan rows/s\n\n",
+			res.TPSRatio(), res.CommitP99Ratio(), res.ScanRatio())
+		for i := range res.Rows {
+			report.AddHTAP(&res.Rows[i])
 		}
 		return nil
 	})

@@ -85,6 +85,13 @@ type BuildOpts struct {
 	// (noftl.Config.BackgroundGC) and makes RunTPS start the background
 	// maintenance workers.
 	BackgroundGC bool
+	// ScanResistant segments the engine's buffer-pool clock so scan
+	// traffic cannot evict the OLTP working set (HTAP experiment).
+	ScanResistant bool
+	// PrefetchWindow sets the engine's Scan read-ahead depth in pages
+	// (0: off). Read-ahead also needs prefetcher processes at run time
+	// (RunHTAP starts them when the window is set).
+	PrefetchWindow int
 }
 
 // BuildSystem assembles a full system: NAND device, flash management
@@ -108,10 +115,11 @@ func BuildSystemOpts(stack Stack, devCfg flash.Config, frames int, opts BuildOpt
 	if opts.Sched != nil {
 		s.Sched = sched.New(k, dev, *opts.Sched)
 		devs = noftl.ClassDevs{
-			Read: s.Sched.Bind(sched.ClassRead),
-			WAL:  s.Sched.Bind(sched.ClassWAL),
-			Data: s.Sched.Bind(sched.ClassProgram),
-			GC:   s.Sched.Bind(sched.ClassGC),
+			Read:     s.Sched.Bind(sched.ClassRead),
+			WAL:      s.Sched.Bind(sched.ClassWAL),
+			Data:     s.Sched.Bind(sched.ClassProgram),
+			Prefetch: s.Sched.Bind(sched.ClassPrefetch),
+			GC:       s.Sched.Bind(sched.ClassGC),
 		}
 	}
 
@@ -199,7 +207,12 @@ func BuildSystemOpts(stack Stack, devCfg flash.Config, frames int, opts BuildOpt
 		return nil, fmt.Errorf("bench: unknown stack %q", stack)
 	}
 
-	engCfg := storage.EngineConfig{BufferFrames: frames, DeltaWrites: stack == StackNoFTLDelta}
+	engCfg := storage.EngineConfig{
+		BufferFrames:   frames,
+		DeltaWrites:    stack == StackNoFTLDelta,
+		ScanResistant:  opts.ScanResistant,
+		PrefetchWindow: opts.PrefetchWindow,
+	}
 	if s.flashLog != nil {
 		if err := storage.FormatFlashLog(s.Ctx, s.Vol, s.flashLog); err != nil {
 			return nil, err

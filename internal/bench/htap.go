@@ -1,0 +1,398 @@
+package bench
+
+import (
+	"fmt"
+
+	"noftl/internal/flash"
+	"noftl/internal/nand"
+	"noftl/internal/sched"
+	"noftl/internal/sim"
+	"noftl/internal/stats"
+	"noftl/internal/storage"
+	"noftl/internal/workload"
+)
+
+// HTAPAblation (A8) is the mixed-workload experiment the NoFTL thesis
+// has been building toward: an OLTP terminal set (TPC-B) and an
+// analytical reader set (TPC-H-style scans) run concurrently on the
+// region-managed, priority-scheduled stack, and the DBMS-side IO policy
+// decides how the two streams share the flash. Three pool/read policies
+// are compared at matched everything-else:
+//
+//   - naive: one shared clock buffer pool, no read-ahead — a table scan
+//     wipes the OLTP working set and every scan read is a foreground
+//     read (the uFLIP-style interference baseline).
+//   - scan-resist: the 2Q/CAR-style segmented clock — single-touch scan
+//     pages cycle through a probationary region and cannot evict the
+//     re-referenced OLTP set.
+//   - scan-resist+prefetch: the segmented clock plus sequential
+//     read-ahead issued through the scheduler's low-priority prefetch
+//     class, pipelining the scan across dies below OLTP reads and WAL
+//     appends.
+//
+// Reported per mode and per stream: OLTP TPS + commit tails, analytical
+// queries/s + rows/s + query tails, pool hit rate and ghost/prefetch
+// counters over the measure window.
+
+// HTAPMode names one pool/read policy of the ablation.
+type HTAPMode string
+
+// The three policies.
+const (
+	HTAPNaive    HTAPMode = "naive"
+	HTAPScanRes  HTAPMode = "scan-resist"
+	HTAPPrefetch HTAPMode = "scan-resist+prefetch"
+)
+
+// HTAPConfig parameterizes the HTAP ablation.
+type HTAPConfig struct {
+	Modes     []HTAPMode // default: all three
+	Dies      int        // default 8
+	DriveMB   int        // default 64
+	Terminals int        // OLTP terminal processes, default 12
+	Readers   int        // analytical reader processes, default 2
+	Writers   int        // db-writers, default 8
+	Frames    int        // buffer pool, default 256
+	Window    int        // prefetch read-ahead depth, default 16
+	Warm      sim.Time
+	Measure   sim.Time
+	Seed      int64
+
+	TPCB workload.TPCBConfig
+	TPCH workload.TPCHConfig
+}
+
+func (c HTAPConfig) withDefaults() HTAPConfig {
+	if len(c.Modes) == 0 {
+		c.Modes = []HTAPMode{HTAPNaive, HTAPScanRes, HTAPPrefetch}
+	}
+	if c.Dies <= 0 {
+		c.Dies = 8
+	}
+	if c.DriveMB <= 0 {
+		c.DriveMB = 64
+	}
+	if c.Terminals <= 0 {
+		c.Terminals = 12
+	}
+	if c.Readers <= 0 {
+		c.Readers = 2
+	}
+	if c.Writers <= 0 {
+		c.Writers = 8
+	}
+	// The pool must be smaller than the scanned table or nothing
+	// collides: TPC-H SF2's lineitem spans several hundred pages against
+	// 256 frames shared with the whole TPC-B working set.
+	if c.Frames <= 0 {
+		c.Frames = 256
+	}
+	if c.Window <= 0 {
+		c.Window = 16
+	}
+	if c.Warm <= 0 {
+		c.Warm = 2 * sim.Second
+	}
+	if c.Measure <= 0 {
+		c.Measure = 8 * sim.Second
+	}
+	// TPCB is sized per geometry (deriveHTAPTPCB) unless set explicitly.
+	// Only the scale factor is defaulted here — a caller-set Seed or
+	// Filler must survive.
+	if c.TPCH.ScaleFactor == 0 {
+		c.TPCH.ScaleFactor = 2
+	}
+	return c
+}
+
+// deriveHTAPTPCB sizes the TPC-B population at ~30% of the data region;
+// with the TPC-H tables and the history table's growth the run ends
+// near 50% occupancy — moderate GC pressure. The HTAP ablation is about
+// buffer-pool and read-scheduling policy, and a drive saturated by GC
+// would measure free-block reclamation instead.
+func deriveHTAPTPCB(dataPages int64) workload.TPCBConfig {
+	const rowsPerPage = 34 // heap rows + pk entries per 4 KiB page, measured
+	const accounts = 6000
+	rows := int64(float64(dataPages) * 0.30 * rowsPerPage)
+	branches := int(rows / accounts)
+	if branches < 2 {
+		branches = 2
+	}
+	return workload.TPCBConfig{Branches: branches, AccountsPerBranch: accounts}
+}
+
+// HTAPRow is one policy's measurement.
+type HTAPRow struct {
+	Mode HTAPMode
+
+	// OLTP stream.
+	TPS        float64
+	Committed  int64
+	Retries    int64
+	CommitHist stats.Histogram
+	ReadHist   stats.Histogram // buffer read-miss latency (both streams)
+
+	// Analytical stream.
+	QPS       float64 // analytical queries per second
+	Queries   int64
+	RowsPerS  float64 // rows visited per second
+	QueryHist stats.Histogram
+
+	// Pool and device accounting over the measure window.
+	Buffer    storage.BufferStats
+	Device    flash.Stats
+	Sched     sched.Stats
+	Occupancy float64
+}
+
+// HTAPResult is the ablation outcome.
+type HTAPResult struct {
+	Rows []HTAPRow
+}
+
+func (r *HTAPResult) row(m HTAPMode) *HTAPRow {
+	for i := range r.Rows {
+		if r.Rows[i].Mode == m {
+			return &r.Rows[i]
+		}
+	}
+	return nil
+}
+
+func (r *HTAPResult) ratio(f func(*HTAPRow) float64) float64 {
+	base, full := r.row(HTAPNaive), r.row(HTAPPrefetch)
+	if base == nil || full == nil || f(base) == 0 {
+		return 0
+	}
+	return f(full) / f(base)
+}
+
+// TPSRatio is the full stack's OLTP TPS over the naive pool's (>= 1
+// means scan resistance + prefetch held the OLTP stream).
+func (r *HTAPResult) TPSRatio() float64 {
+	return r.ratio(func(row *HTAPRow) float64 { return row.TPS })
+}
+
+// ScanRatio is the full stack's analytical rows/s over the naive
+// pool's.
+func (r *HTAPResult) ScanRatio() float64 {
+	return r.ratio(func(row *HTAPRow) float64 { return row.RowsPerS })
+}
+
+// CommitP99Ratio is the full stack's p99 commit latency over the naive
+// pool's (< 1 means a shorter commit tail under the same scan load).
+func (r *HTAPResult) CommitP99Ratio() float64 {
+	return r.ratio(func(row *HTAPRow) float64 {
+		return float64(row.CommitHist.Percentile(99))
+	})
+}
+
+// Table renders the per-stream comparison.
+func (r *HTAPResult) Table() string {
+	t := stats.NewTable("mode", "oltp TPS", "commit p50", "p99",
+		"scan q/s", "rows/s", "query p50", "p99", "hit%", "ghost", "prefetch", "occ")
+	for i := range r.Rows {
+		row := &r.Rows[i]
+		c, q := &row.CommitHist, &row.QueryHist
+		t.Row(string(row.Mode), row.TPS,
+			c.Percentile(50).String(), c.Percentile(99).String(),
+			fmt.Sprintf("%.2f", row.QPS), fmt.Sprintf("%.0f", row.RowsPerS),
+			q.Percentile(50).String(), q.Percentile(99).String(),
+			fmt.Sprintf("%.1f", 100*row.Buffer.HitRate()),
+			row.Buffer.GhostHits, row.Buffer.Prefetches,
+			fmt.Sprintf("%.0f%%", 100*row.Occupancy))
+	}
+	return t.String()
+}
+
+// HTAPAblation runs the sweep: one freshly built region-managed,
+// priority-scheduled system per pool policy, same seed, same workloads.
+func HTAPAblation(cfg HTAPConfig) (*HTAPResult, error) {
+	cfg = cfg.withDefaults()
+	res := &HTAPResult{}
+	for _, mode := range cfg.Modes {
+		opts := BuildOpts{
+			Sched:        &sched.Config{Policy: sched.Priority},
+			BackgroundGC: true,
+		}
+		switch mode {
+		case HTAPScanRes:
+			opts.ScanResistant = true
+		case HTAPPrefetch:
+			opts.ScanResistant = true
+			opts.PrefetchWindow = cfg.Window
+		}
+		devCfg := flash.EmulatorConfig(cfg.Dies, cfg.DriveMB, nand.SLC)
+		sys, err := BuildSystemOpts(StackNoFTLRegions, devCfg, cfg.Frames, opts)
+		if err != nil {
+			return nil, fmt.Errorf("htap ablation %s: %w", mode, err)
+		}
+		tpcb := cfg.TPCB
+		if tpcb.Branches == 0 {
+			tpcb = deriveHTAPTPCB(sys.NoFTL.LogicalPages())
+		}
+		tpch := cfg.TPCH
+		if tpch.Seed == 0 {
+			// The experiment seed drives the analytical population too,
+			// so -seed varies the whole run, not just the query streams.
+			tpch.Seed = cfg.Seed
+		}
+		row, err := RunHTAP(sys, workload.NewTPCB(tpcb), workload.NewTPCH(tpch), HTAPRunConfig{
+			Terminals: cfg.Terminals,
+			Readers:   cfg.Readers,
+			Writers:   cfg.Writers,
+			Warm:      cfg.Warm,
+			Measure:   cfg.Measure,
+			Seed:      cfg.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("htap ablation %s: %w", mode, err)
+		}
+		row.Mode = mode
+		if sys.NoFTL != nil && sys.NoFTL.LogicalPages() > 0 {
+			row.Occupancy = float64(sys.NoFTL.LivePages()) / float64(sys.NoFTL.LogicalPages())
+		}
+		res.Rows = append(res.Rows, *row)
+	}
+	return res, nil
+}
+
+// HTAPRunConfig drives one mixed-workload measurement.
+type HTAPRunConfig struct {
+	Terminals int // OLTP terminal processes
+	Readers   int // analytical reader processes
+	Writers   int // background db-writers
+	Warm      sim.Time
+	Measure   sim.Time
+	CkptEvery sim.Time // checkpoint period. Default 2s.
+	Seed      int64
+}
+
+// rowCounter is the optional analytical-workload capability reporting
+// rows visited (workload.TPCH implements it).
+type rowCounter interface{ RowsScanned() int64 }
+
+// RunHTAP loads both workloads on the system (serial phase), then
+// measures the mixed regime under the DES kernel: OLTP terminals and
+// analytical readers run concurrently next to db-writers, the
+// checkpointer, flash maintenance workers and — when the engine has a
+// prefetch window — the read-ahead prefetchers.
+func RunHTAP(sys *System, oltp, analytical workload.Workload, cfg HTAPRunConfig) (*HTAPRow, error) {
+	if cfg.CkptEvery <= 0 {
+		cfg.CkptEvery = 2 * sim.Second
+	}
+	if err := oltp.Load(sys.Ctx, sys.Engine); err != nil {
+		return nil, fmt.Errorf("bench: load %s: %w", oltp.Name(), err)
+	}
+	if err := analytical.Load(sys.Ctx, sys.Engine); err != nil {
+		return nil, fmt.Errorf("bench: load %s: %w", analytical.Name(), err)
+	}
+	if err := sys.Engine.Checkpoint(sys.Ctx); err != nil {
+		return nil, err
+	}
+	sys.Dev.ResetTime()
+	sys.Dev.ResetStats()
+
+	k := sys.K
+	row := &HTAPRow{}
+	counting := false
+	stopped := false
+	var fatal error
+	fail := func(err error) {
+		if fatal == nil {
+			fatal = err
+		}
+	}
+
+	var maint *sched.Maintenance
+	writerCfg := storage.WriterConfig{N: cfg.Writers, Association: storage.AssocDieWise}
+	if sys.NoFTL != nil {
+		if sys.BackgroundGC {
+			maint = sched.StartMaintenance(k, sys.NoFTL, sched.MaintConfig{OnError: fail})
+		} else {
+			writerCfg.DriveGC = true
+			writerCfg.GC = sys.NoFTL.GCStep
+			writerCfg.NeedsGC = sys.NoFTL.NeedsGC
+		}
+	}
+	stopWriters := sys.Engine.StartWriters(k, writerCfg)
+	stopPrefetchers := func() {}
+	if sys.Engine.PrefetchWindow() > 0 {
+		stopPrefetchers = sys.Engine.StartPrefetchers(k, storage.PrefetcherConfig{
+			N: sys.Vol.Regions(), OnError: fail,
+		})
+	}
+
+	terms := workload.StartTerminals(k, sys.Engine, oltp, workload.TerminalConfig{
+		N:        cfg.Terminals,
+		Seed:     cfg.Seed,
+		Counting: &counting,
+		OnFatal:  fail,
+	})
+	readers := workload.StartReaders(k, sys.Engine, analytical, workload.ReaderConfig{
+		N:        cfg.Readers,
+		Seed:     cfg.Seed,
+		Counting: &counting,
+		OnFatal:  fail,
+	})
+	k.Go("checkpointer", func(p *sim.Proc) {
+		ctx := storage.NewIOCtx(sim.ProcWaiter{P: p})
+		wal := sys.Engine.Log()
+		last := p.Now()
+		for !stopped {
+			p.Sleep(100 * sim.Millisecond)
+			if stopped {
+				return
+			}
+			if p.Now()-last < cfg.CkptEvery && wal.SinceAnchor()*2 < wal.Capacity() {
+				continue
+			}
+			if err := sys.Engine.Checkpoint(ctx); err != nil {
+				fail(err)
+				return
+			}
+			last = p.Now()
+		}
+	})
+
+	k.RunFor(cfg.Warm)
+	counting = true
+	bufBase := sys.Engine.Buffer().Stats()
+	var rowsBase int64
+	if rc, ok := analytical.(rowCounter); ok {
+		rowsBase = rc.RowsScanned()
+	}
+	sys.Engine.Buffer().TrackReadLatency(&row.ReadHist)
+	k.RunFor(cfg.Measure)
+	counting = false
+	sys.Engine.Buffer().TrackReadLatency(nil)
+	row.Buffer = sys.Engine.Buffer().Stats().Sub(bufBase)
+	if rc, ok := analytical.(rowCounter); ok {
+		row.RowsPerS = float64(rc.RowsScanned()-rowsBase) / cfg.Measure.Seconds()
+	}
+	stopped = true
+	terms.Stop()
+	readers.Stop()
+	stopWriters()
+	stopPrefetchers()
+	if maint != nil {
+		maint.Stop()
+	}
+	k.RunFor(10 * sim.Millisecond)
+	k.Shutdown()
+	if fatal != nil {
+		return nil, fmt.Errorf("bench: htap %s+%s on %s: %w", oltp.Name(), analytical.Name(), sys.Stack, fatal)
+	}
+	row.Committed = terms.Committed()
+	row.Retries = terms.Retries()
+	row.CommitHist = terms.CommitHist()
+	row.TPS = float64(row.Committed) / cfg.Measure.Seconds()
+	row.Queries = readers.Queries()
+	row.QueryHist = readers.QueryHist()
+	row.QPS = float64(row.Queries) / cfg.Measure.Seconds()
+	row.Device = sys.Dev.Stats()
+	if sys.Sched != nil {
+		row.Sched = sys.Sched.Stats()
+	}
+	return row, nil
+}

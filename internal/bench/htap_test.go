@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"noftl/internal/sim"
+	"noftl/internal/workload"
+)
+
+func tinyHTAPConfig(seed int64) HTAPConfig {
+	return HTAPConfig{
+		Dies:      4,
+		DriveMB:   24,
+		Terminals: 6,
+		Readers:   2,
+		Writers:   4,
+		Frames:    128,
+		Warm:      300 * sim.Millisecond,
+		Measure:   1 * sim.Second,
+		Seed:      seed,
+		TPCB:      workload.TPCBConfig{Branches: 4, AccountsPerBranch: 2000},
+		TPCH:      workload.TPCHConfig{ScaleFactor: 1},
+	}
+}
+
+// TestHTAPAblationSmoke runs the three pool policies at tiny geometry
+// and checks the per-stream structure: both streams made progress in
+// every mode, the scan-resistant modes promoted pages, and only the
+// prefetch mode issued (and profited from) read-ahead.
+func TestHTAPAblationSmoke(t *testing.T) {
+	res, err := HTAPAblation(tinyHTAPConfig(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(res.Rows))
+	}
+	for i := range res.Rows {
+		row := &res.Rows[i]
+		if row.Committed == 0 {
+			t.Fatalf("%s: OLTP stream committed nothing", row.Mode)
+		}
+		if row.Queries == 0 || row.RowsPerS == 0 {
+			t.Fatalf("%s: analytical stream idle (q=%d rows/s=%.0f)", row.Mode, row.Queries, row.RowsPerS)
+		}
+		if row.CommitHist.Empty() || row.QueryHist.Empty() {
+			t.Fatalf("%s: empty latency histograms", row.Mode)
+		}
+		if row.Sched.TotalScheduled() == 0 {
+			t.Fatalf("%s: no commands scheduled", row.Mode)
+		}
+	}
+	naive := res.row(HTAPNaive)
+	if naive.Buffer.Promotions != 0 || naive.Buffer.GhostHits != 0 || naive.Buffer.Prefetches != 0 {
+		t.Fatalf("naive mode ran scan-resist/prefetch machinery: %+v", naive.Buffer)
+	}
+	for _, m := range []HTAPMode{HTAPScanRes, HTAPPrefetch} {
+		if res.row(m).Buffer.Promotions == 0 {
+			t.Fatalf("%s: segmented clock never promoted", m)
+		}
+	}
+	if res.row(HTAPScanRes).Buffer.Prefetches != 0 {
+		t.Fatal("scan-resist mode issued prefetches")
+	}
+	pf := res.row(HTAPPrefetch)
+	if pf.Buffer.Prefetches == 0 || pf.Buffer.PrefetchHits == 0 {
+		t.Fatalf("prefetch mode: prefetches=%d hits=%d", pf.Buffer.Prefetches, pf.Buffer.PrefetchHits)
+	}
+	// The whole point: read-ahead must raise analytical throughput over
+	// the naive pool without costing OLTP throughput.
+	if pf.RowsPerS <= naive.RowsPerS {
+		t.Fatalf("prefetch scan throughput %.0f rows/s <= naive %.0f", pf.RowsPerS, naive.RowsPerS)
+	}
+	if pf.TPS < 0.95*naive.TPS {
+		t.Fatalf("prefetch OLTP TPS %.0f dropped below naive %.0f", pf.TPS, naive.TPS)
+	}
+}
+
+// TestHTAPDeterministicJSON is the satellite regression: two identical
+// htap runs must produce byte-identical machine-readable output.
+func TestHTAPDeterministicJSON(t *testing.T) {
+	render := func() []byte {
+		res, err := HTAPAblation(tinyHTAPConfig(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		report := &JSONReport{Seed: 7}
+		for i := range res.Rows {
+			report.AddHTAP(&res.Rows[i])
+		}
+		out, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := render(), render()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("two identical htap runs diverged:\n%s\n---\n%s", a, b)
+	}
+}

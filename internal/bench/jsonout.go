@@ -21,6 +21,13 @@ type JSONResult struct {
 	TPS        float64 `json:"tps"`
 	WA         float64 `json:"wa"`
 	Erases     int64   `json:"erases"`
+	// BytesPerTx divides the device's program bytes over warm-up AND
+	// measure by the commits of the measure window alone (device
+	// counters reset after load, commit counting starts after warm-up) —
+	// an upper bound whose bias shrinks with the measure/warm ratio. It
+	// is comparable across stacks/modes of one run, which is what the
+	// trajectory files diff; every TPS experiment (headline, delta,
+	// regions, sched, htap) shares this convention.
 	BytesPerTx float64 `json:"bytes_per_tx"`
 	Committed  int64   `json:"committed"`
 	// Latency tails in microseconds (experiments run with latency
@@ -34,6 +41,15 @@ type JSONResult struct {
 	// Scheduler accounting (sched experiment).
 	QueueWaitMeanUs float64 `json:"queue_wait_mean_us,omitempty"`
 	EraseSuspends   int64   `json:"erase_suspends,omitempty"`
+	// Analytical stream + pool accounting (htap experiment).
+	ScanQPS      float64 `json:"scan_qps,omitempty"`
+	ScanRowsPerS float64 `json:"scan_rows_per_s,omitempty"`
+	ScanP50us    float64 `json:"scan_p50_us,omitempty"`
+	ScanP99us    float64 `json:"scan_p99_us,omitempty"`
+	BufferHit    float64 `json:"buffer_hit_rate,omitempty"`
+	GhostHits    int64   `json:"ghost_hits,omitempty"`
+	Prefetches   int64   `json:"prefetches,omitempty"`
+	PrefetchHits int64   `json:"prefetch_hits,omitempty"`
 }
 
 func us(t sim.Time) float64 { return float64(t) / float64(sim.Microsecond) }
@@ -96,6 +112,40 @@ func (r *JSONReport) AddSched(workload string, row *SchedRow) {
 		ReadP99us:       us(res.ReadHist.Percentile(99)),
 		QueueWaitMeanUs: waitMean,
 		EraseSuspends:   res.Device.EraseSuspends,
+	})
+}
+
+// AddHTAP appends one HTAP-ablation row: the OLTP stream under the TPS
+// fields, the analytical stream and pool policy accounting under the
+// scan/buffer fields.
+func (r *JSONReport) AddHTAP(row *HTAPRow) {
+	var bytesPerTx float64
+	if row.Committed > 0 {
+		bytesPerTx = float64(row.Device.ProgramBytes) / float64(row.Committed)
+	}
+	r.Results = append(r.Results, JSONResult{
+		Experiment:   "htap",
+		Workload:     "tpcb+tpch",
+		Stack:        string(StackNoFTLRegions),
+		Mode:         string(row.Mode),
+		TPS:          row.TPS,
+		Erases:       row.Device.Erases,
+		BytesPerTx:   bytesPerTx,
+		Committed:    row.Committed,
+		CommitP50us:  us(row.CommitHist.Percentile(50)),
+		CommitP95us:  us(row.CommitHist.Percentile(95)),
+		CommitP99us:  us(row.CommitHist.Percentile(99)),
+		ReadP50us:    us(row.ReadHist.Percentile(50)),
+		ReadP95us:    us(row.ReadHist.Percentile(95)),
+		ReadP99us:    us(row.ReadHist.Percentile(99)),
+		ScanQPS:      row.QPS,
+		ScanRowsPerS: row.RowsPerS,
+		ScanP50us:    us(row.QueryHist.Percentile(50)),
+		ScanP99us:    us(row.QueryHist.Percentile(99)),
+		BufferHit:    row.Buffer.HitRate(),
+		GhostHits:    row.Buffer.GhostHits,
+		Prefetches:   row.Buffer.Prefetches,
+		PrefetchHits: row.Buffer.PrefetchHits,
 	})
 }
 

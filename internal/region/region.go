@@ -201,10 +201,11 @@ func build(dev *flash.Device, layout Layout, rebuild sim.Waiter) (*Manager, erro
 	var walDev, gcDev flash.Dev
 	if s := layout.Scheduler; s != nil {
 		devs = noftl.ClassDevs{
-			Read: s.Bind(sched.ClassRead),
-			WAL:  s.Bind(sched.ClassWAL),
-			Data: s.Bind(sched.ClassProgram),
-			GC:   s.Bind(sched.ClassGC),
+			Read:     s.Bind(sched.ClassRead),
+			WAL:      s.Bind(sched.ClassWAL),
+			Data:     s.Bind(sched.ClassProgram),
+			Prefetch: s.Bind(sched.ClassPrefetch),
+			GC:       s.Bind(sched.ClassGC),
 		}
 		walDev, gcDev = devs.WAL, devs.GC
 	}

@@ -5,7 +5,7 @@
 //
 // Each die gets a command queue and a dispatcher process on the DES
 // kernel. Commands carry a priority class (foreground read > WAL append
-// > data program > GC work) and the dispatcher serves the
+// > data program > prefetch read > GC work) and the dispatcher serves the
 // highest-priority hazard-free command first; under the FCFS policy it
 // degrades to plain arrival order, which is what an on-device FTL behind
 // a legacy interface effectively gives the host. Because reordering must
@@ -43,10 +43,11 @@ type Class uint8
 
 // Priority classes, highest first.
 const (
-	ClassRead    Class = iota // foreground page reads (query latency)
-	ClassWAL                  // log appends (commit path)
-	ClassProgram              // data page programs and delta appends
-	ClassGC                   // GC copies, folds, erases, wear moves
+	ClassRead     Class = iota // foreground page reads (query latency)
+	ClassWAL                   // log appends (commit path)
+	ClassProgram               // data page programs and delta appends
+	ClassPrefetch              // speculative read-ahead (analytical scans)
+	ClassGC                    // GC copies, folds, erases, wear moves
 	NumClasses
 )
 
@@ -59,6 +60,8 @@ func (c Class) String() string {
 		return "wal"
 	case ClassProgram:
 		return "program"
+	case ClassPrefetch:
+		return "prefetch"
 	case ClassGC:
 		return "gc"
 	default:

@@ -90,17 +90,37 @@ func (h *Histogram) Mean() sim.Time {
 	return h.sum / sim.Time(h.count)
 }
 
-// Min returns the smallest sample.
-func (h *Histogram) Min() sim.Time { return h.min }
+// Empty reports whether the histogram holds no samples. Consumers that
+// serialize summary statistics should check it: an empty histogram
+// reports 0 for Min/Max/Mean/Percentile, and "no reads measured" must
+// not be confused with "0µs reads".
+func (h *Histogram) Empty() bool { return h.count == 0 }
 
-// Max returns the largest sample.
+// Min returns the smallest sample, or 0 when the histogram is empty
+// (check Empty/Count to tell "no samples" from a genuine 0 minimum).
+func (h *Histogram) Min() sim.Time {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest sample, or 0 when the histogram is empty.
 func (h *Histogram) Max() sim.Time { return h.max }
 
-// Percentile returns an upper bound for the p-th percentile (0 < p <=
-// 100) from the bucket boundaries; Max is exact.
+// Percentile returns an upper bound for the p-th percentile from the
+// bucket boundaries; Max is exact. Out-of-range p is clamped: p <= 0
+// reports the minimum sample and p >= 100 the maximum. An empty
+// histogram reports 0 for every p (see Empty).
 func (h *Histogram) Percentile(p float64) sim.Time {
 	if h.count == 0 {
 		return 0
+	}
+	if p <= 0 {
+		return h.min
+	}
+	if p >= 100 {
+		return h.max
 	}
 	target := int64(math.Ceil(p / 100 * float64(h.count)))
 	var cum int64
@@ -166,7 +186,14 @@ func (t *Table) String() string {
 			if i > 0 {
 				b.WriteString("  ")
 			}
-			fmt.Fprintf(&b, "%-*s", widths[i], c)
+			// A row may carry more cells than the header has columns;
+			// the extra cells render with zero pad width instead of
+			// indexing widths out of range.
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			fmt.Fprintf(&b, "%-*s", w, c)
 		}
 		b.WriteByte('\n')
 	}

@@ -62,6 +62,55 @@ func TestHistogramPercentileMonotoneProperty(t *testing.T) {
 	}
 }
 
+// Regression: a Row with more cells than the header used to index the
+// width table out of range and panic; extra cells must render with zero
+// pad width instead.
+func TestTableRowWiderThanHeader(t *testing.T) {
+	tb := NewTable("a", "b")
+	tb.Row("x", "y", "overflow", 42)
+	out := tb.String()
+	if !strings.Contains(out, "overflow") || !strings.Contains(out, "42") {
+		t.Errorf("extra cells lost:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Errorf("want 3 lines, got %d:\n%s", len(lines), out)
+	}
+}
+
+// Empty histograms and out-of-range percentiles must behave explicitly:
+// every summary statistic of an empty histogram is 0 (callers check
+// Empty/Count to distinguish "no samples" from "0µs samples"), and p is
+// clamped to [min sample, max sample].
+func TestHistogramEmptyAndInvalidP(t *testing.T) {
+	var h Histogram
+	if !h.Empty() {
+		t.Error("zero-value histogram not Empty")
+	}
+	if h.Min() != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Errorf("empty summary not 0: min=%v max=%v mean=%v", h.Min(), h.Max(), h.Mean())
+	}
+	for _, p := range []float64{-10, 0, 50, 100, 1000} {
+		if got := h.Percentile(p); got != 0 {
+			t.Errorf("empty Percentile(%v) = %v, want 0", p, got)
+		}
+	}
+	h.Add(3 * sim.Microsecond)
+	h.Add(90 * sim.Microsecond)
+	if h.Empty() {
+		t.Error("non-empty histogram reports Empty")
+	}
+	if got := h.Percentile(-5); got != 3*sim.Microsecond {
+		t.Errorf("Percentile(-5) = %v, want min", got)
+	}
+	if got := h.Percentile(0); got != 3*sim.Microsecond {
+		t.Errorf("Percentile(0) = %v, want min", got)
+	}
+	if got := h.Percentile(150); got != 90*sim.Microsecond {
+		t.Errorf("Percentile(150) = %v, want max", got)
+	}
+}
+
 func TestTableRendering(t *testing.T) {
 	tb := NewTable("IO type", "Absolute", "Relative")
 	tb.Row("COPYBACK", 16465930, 1.98)

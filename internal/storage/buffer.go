@@ -10,16 +10,19 @@ import (
 
 // Frame is a buffer-pool slot holding one page.
 type Frame struct {
-	ID      PageID
-	Data    []byte
-	P       Page // view over Data
-	pin     int
-	dirty   bool
-	ref     bool
-	loading bool
-	bulk    bool   // freshly created in the pool, never yet flushed
-	recLSN  uint64 // LSN of first change since last clean
-	flushTo uint64 // log must be durable to here before the page is written
+	ID       PageID
+	Data     []byte
+	P        Page // view over Data
+	pin      int
+	dirty    bool
+	ref      bool
+	loading  bool
+	bulk     bool   // freshly created in the pool, never yet flushed
+	prot     bool   // protected clock segment (scan-resistant mode)
+	prefet   bool   // loaded by read-ahead, not yet touched by a query
+	stealing bool   // read-ahead in flight; a foreground miss may steal the id
+	recLSN   uint64 // LSN of first change since last clean
+	flushTo  uint64 // log must be durable to here before the page is written
 
 	// Delta-write state (allocated only when the pool's volume supports
 	// page-differential writes). base mirrors the page's content as the
@@ -43,6 +46,46 @@ type BufferStats struct {
 	DeltaBytes  int64 // differential payload bytes shipped
 	FullWrites  int64 // flushes that went out as full page images
 	CleanSkips  int64 // dirty frames whose bytes matched the volume exactly
+
+	// Scan-resistant clock accounting (EnableScanResist).
+	Promotions int64 // probationary frames promoted on re-reference
+	Demotions  int64 // protected frames demoted by the eviction clock
+	GhostHits  int64 // misses of recently evicted pages (loaded protected)
+
+	// Read-ahead accounting (Prefetch).
+	Prefetches    int64 // read-ahead page loads issued
+	PrefetchHits  int64 // pins served by a prefetched frame
+	PrefetchDrops int64 // read-ahead requests dropped (queue full)
+}
+
+// HitRate is the fraction of pins served from the pool.
+func (s BufferStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// Sub returns the counter deltas s - o; experiments use it to scope the
+// cumulative pool counters to a measurement window.
+func (s BufferStats) Sub(o BufferStats) BufferStats {
+	return BufferStats{
+		Hits:          s.Hits - o.Hits,
+		Misses:        s.Misses - o.Misses,
+		Evictions:     s.Evictions - o.Evictions,
+		SyncWrites:    s.SyncWrites - o.SyncWrites,
+		AsyncWrites:   s.AsyncWrites - o.AsyncWrites,
+		DeltaWrites:   s.DeltaWrites - o.DeltaWrites,
+		DeltaBytes:    s.DeltaBytes - o.DeltaBytes,
+		FullWrites:    s.FullWrites - o.FullWrites,
+		CleanSkips:    s.CleanSkips - o.CleanSkips,
+		Promotions:    s.Promotions - o.Promotions,
+		Demotions:     s.Demotions - o.Demotions,
+		GhostHits:     s.GhostHits - o.GhostHits,
+		Prefetches:    s.Prefetches - o.Prefetches,
+		PrefetchHits:  s.PrefetchHits - o.PrefetchHits,
+		PrefetchDrops: s.PrefetchDrops - o.PrefetchDrops,
+	}
 }
 
 // BufferPool caches data-volume pages. Eviction is clock second-chance.
@@ -64,6 +107,24 @@ type BufferPool struct {
 	// page programs.
 	deltaVol DeltaVolume
 	deltaMax int
+
+	// Scan-resistant clock (EnableScanResist): frames live in a
+	// probationary or a protected segment; evictions of probationary
+	// pages leave a ghost entry so a re-reference shortly after eviction
+	// still counts as one.
+	scanResist bool
+	protCap    int // max protected frames
+	protCount  int
+	ghost      map[PageID]struct{}
+	ghostFIFO  []PageID
+	ghostCap   int
+
+	// Read-ahead request queue (RequestPrefetch/Prefetch), drained by
+	// prefetcher processes (Engine.StartPrefetchers).
+	prefetchQ   []PageID
+	prefetchSet map[PageID]struct{}
+	prefetchCap int
+	prefVol     PrefetchVolume // nil: read-ahead uses the foreground path
 
 	// readLat, when set, records the latency of every volume read miss
 	// — the foreground read latency a query experiences when its page is
@@ -87,11 +148,16 @@ func NewBufferPool(vol Volume, wal *WAL, n int) *BufferPool {
 		n = 4
 	}
 	bp := &BufferPool{
-		vol:    vol,
-		wal:    wal,
-		frames: make([]*Frame, n),
-		table:  make(map[PageID]*Frame, n),
-		dirty:  make([]map[PageID]*Frame, vol.Regions()),
+		vol:         vol,
+		wal:         wal,
+		frames:      make([]*Frame, n),
+		table:       make(map[PageID]*Frame, n),
+		dirty:       make([]map[PageID]*Frame, vol.Regions()),
+		prefetchSet: map[PageID]struct{}{},
+		prefetchCap: 64,
+	}
+	if pv, ok := vol.(PrefetchVolume); ok {
+		bp.prefVol = pv
 	}
 	for i := range bp.frames {
 		data := make([]byte, vol.PageSize())
@@ -136,6 +202,78 @@ func (bp *BufferPool) EnableDeltaWrites(maxFraction float64) bool {
 // DeltaWritesEnabled reports whether the pool flushes via the delta path.
 func (bp *BufferPool) DeltaWritesEnabled() bool { return bp.deltaVol != nil }
 
+// EnableScanResist segments the eviction clock 2Q/CAR-style. Pages enter
+// the pool probationary; only a re-reference while resident — or a miss
+// of a recently evicted page (ghost hit) — promotes a page into the
+// protected segment. The eviction clock never evicts a protected frame
+// directly: it demotes it back to probation and gives it one more lap.
+// Single-touch scan traffic therefore cycles through the probationary
+// frames and cannot push a re-referenced OLTP working set out of the
+// pool.
+//
+// probFraction is the share of frames reserved for probation (bounding
+// the protected segment at 1-probFraction); <= 0 selects the default of
+// 0.25. ghostFrames bounds the ghost list; <= 0 selects one pool's
+// worth.
+func (bp *BufferPool) EnableScanResist(probFraction float64, ghostFrames int) {
+	if probFraction <= 0 || probFraction >= 1 {
+		probFraction = 0.25
+	}
+	if ghostFrames <= 0 {
+		ghostFrames = len(bp.frames)
+	}
+	bp.scanResist = true
+	bp.protCap = len(bp.frames) - int(probFraction*float64(len(bp.frames)))
+	if bp.protCap < 1 {
+		bp.protCap = 1
+	}
+	bp.ghostCap = ghostFrames
+	bp.ghost = make(map[PageID]struct{}, ghostFrames)
+}
+
+// ScanResistant reports whether the segmented clock is on.
+func (bp *BufferPool) ScanResistant() bool { return bp.scanResist }
+
+// promote moves a re-referenced probationary frame into the protected
+// segment, respecting the segment cap (the clock's demotions free cap
+// space as it sweeps).
+func (bp *BufferPool) promote(f *Frame) {
+	if !bp.scanResist || f.prot || bp.protCount >= bp.protCap {
+		return
+	}
+	f.prot = true
+	bp.protCount++
+	bp.stats.Promotions++
+}
+
+// ghostAdd remembers an evicted page id, bounded FIFO.
+func (bp *BufferPool) ghostAdd(id PageID) {
+	if _, ok := bp.ghost[id]; ok {
+		return
+	}
+	for len(bp.ghostFIFO) >= bp.ghostCap {
+		delete(bp.ghost, bp.ghostFIFO[0])
+		bp.ghostFIFO = bp.ghostFIFO[1:]
+	}
+	bp.ghost[id] = struct{}{}
+	bp.ghostFIFO = append(bp.ghostFIFO, id)
+}
+
+// ghostTake reports (and consumes) a ghost entry for id.
+func (bp *BufferPool) ghostTake(id PageID) bool {
+	if _, ok := bp.ghost[id]; !ok {
+		return false
+	}
+	delete(bp.ghost, id)
+	for i, g := range bp.ghostFIFO {
+		if g == id {
+			bp.ghostFIFO = append(bp.ghostFIFO[:i], bp.ghostFIFO[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
 // Stats returns a snapshot of pool counters.
 func (bp *BufferPool) Stats() BufferStats { return bp.stats }
 
@@ -163,12 +301,37 @@ func (bp *BufferPool) Pin(ctx *IOCtx, id PageID, fresh bool) (*Frame, error) {
 	for {
 		if f, ok := bp.table[id]; ok {
 			if f.loading {
+				if f.stealing {
+					// The page is mid-flight on a read-ahead at prefetch
+					// priority. Waiting here would demote this foreground
+					// read to that class, so steal the id: detach the
+					// mapping (the prefetcher discards its result) and
+					// load the page again at foreground priority.
+					delete(bp.table, id)
+					continue
+				}
 				wait.WaitUntil(wait.Now() + 10*sim.Microsecond)
 				continue
 			}
 			f.pin++
-			f.ref = true
 			bp.stats.Hits++
+			if f.prefet {
+				// First query touch of a read-ahead page: the load stood in
+				// for the miss, so this is still single-touch traffic — the
+				// page stays probationary and must not be promoted. One
+				// exception: a page ghosted by a FOREGROUND eviction before
+				// the prefetch keeps its ghost-hit promotion, exactly as the
+				// miss would have granted without read-ahead.
+				f.prefet = false
+				bp.stats.PrefetchHits++
+				if bp.scanResist && bp.ghostTake(id) {
+					bp.stats.GhostHits++
+					bp.promote(f)
+				}
+			} else {
+				f.ref = true
+				bp.promote(f)
+			}
 			if fresh {
 				// The caller reformats a (re)allocated page. The volume's
 				// content for this id can no longer be assumed to match
@@ -180,6 +343,7 @@ func (bp *BufferPool) Pin(ctx *IOCtx, id PageID, fresh bool) (*Frame, error) {
 			}
 			return f, nil
 		}
+		bp.cancelPrefetch(id)
 		placeholder := &Frame{ID: id, loading: true}
 		bp.table[id] = placeholder
 		f, err := bp.grabVictim(ctx)
@@ -223,6 +387,12 @@ func (bp *BufferPool) Pin(ctx *IOCtx, id PageID, fresh bool) (*Frame, error) {
 				copy(f.base, f.Data)
 				f.hasBase = true
 			}
+			if bp.scanResist && bp.ghostTake(id) {
+				// Evicted and missed again within one ghost window: the
+				// page is re-referenced, not scan traffic — protect it.
+				bp.stats.GhostHits++
+				bp.promote(f)
+			}
 		}
 		f.loading = false
 		return f, nil
@@ -259,13 +429,24 @@ func (bp *BufferPool) Unpin(f *Frame, dirty bool, lsn uint64) {
 // grabVictim returns an empty, pinned frame, evicting a page if needed.
 // When every frame is pinned it waits and rescans (another process's
 // unpin is the only cure).
+//
+// Under the scan-resistant clock, protected frames are never evicted
+// directly. While the protected segment is under its cap the hand skips
+// them entirely (only clearing ref bits as it passes), so a scan of any
+// length cycles through the probationary frames alone. Only when the
+// segment is at its cap does the hand demote protected frames whose ref
+// bit has been cleared, making room for newly promoted pages.
 func (bp *BufferPool) grabVictim(ctx *IOCtx) (*Frame, error) {
 	wait := ctx.waiter()
+	laps := 2
+	if bp.scanResist {
+		laps = 4
+	}
 	for round := 0; ; round++ {
 		if round > 1<<16 {
 			return nil, fmt.Errorf("storage: buffer pool wedged (all %d frames pinned)", len(bp.frames))
 		}
-		for scanned := 0; scanned < 2*len(bp.frames); scanned++ {
+		for scanned := 0; scanned < laps*len(bp.frames); scanned++ {
 			f := bp.frames[bp.hand]
 			bp.hand = (bp.hand + 1) % len(bp.frames)
 			if f.pin > 0 || f.loading {
@@ -273,6 +454,18 @@ func (bp *BufferPool) grabVictim(ctx *IOCtx) (*Frame, error) {
 			}
 			if f.ref {
 				f.ref = false
+				continue
+			}
+			if f.prot {
+				if bp.protCount < bp.protCap {
+					continue // protected and under budget: untouchable
+				}
+				// Segment at its cap: demote the not-recently-used frame
+				// back to probation so promotions keep flowing; it gets
+				// one more lap before it can actually fall out.
+				f.prot = false
+				bp.protCount--
+				bp.stats.Demotions++
 				continue
 			}
 			f.pin = 1 // claim
@@ -296,8 +489,15 @@ func (bp *BufferPool) grabVictim(ctx *IOCtx) (*Frame, error) {
 				if bp.table[f.ID] == f {
 					delete(bp.table, f.ID)
 				}
+				// Never ghost a prefetched page no query touched: the
+				// scan's own upcoming miss would ghost-promote it, moving
+				// single-touch scan traffic into the protected segment.
+				if bp.scanResist && !f.prefet {
+					bp.ghostAdd(f.ID)
+				}
 				bp.stats.Evictions++
 			}
+			f.prefet = false
 			return f, nil
 		}
 		wait.WaitUntil(wait.Now() + 50*sim.Microsecond)
@@ -396,6 +596,130 @@ func (bp *BufferPool) hintFor(f *Frame) WriteHint {
 		return HintColdData
 	}
 	return HintHotData
+}
+
+// RequestPrefetch queues a page for background read-ahead. It reports
+// whether the request was accepted; cached pages and duplicates are
+// ignored. A full queue drops the OLDEST request (read-ahead is
+// best-effort, and the oldest entry describes the scan position
+// furthest in the past — the scan has likely already passed it).
+func (bp *BufferPool) RequestPrefetch(id PageID) bool {
+	if id < 0 || int64(id) >= bp.vol.Pages() {
+		return false
+	}
+	if _, ok := bp.table[id]; ok {
+		return false
+	}
+	if _, ok := bp.prefetchSet[id]; ok {
+		return false
+	}
+	for len(bp.prefetchQ) >= bp.prefetchCap {
+		delete(bp.prefetchSet, bp.prefetchQ[0])
+		bp.prefetchQ = bp.prefetchQ[1:]
+		bp.stats.PrefetchDrops++
+	}
+	bp.prefetchSet[id] = struct{}{}
+	bp.prefetchQ = append(bp.prefetchQ, id)
+	return true
+}
+
+// cancelPrefetch withdraws a still-queued read-ahead request for id: a
+// foreground miss beat the prefetcher to the page, and serving it at
+// prefetch priority would invert the scheduler's classes (the query
+// would wait on a read that programs and other reads overtake).
+func (bp *BufferPool) cancelPrefetch(id PageID) {
+	if _, ok := bp.prefetchSet[id]; !ok {
+		return
+	}
+	delete(bp.prefetchSet, id)
+	for i, q := range bp.prefetchQ {
+		if q == id {
+			bp.prefetchQ = append(bp.prefetchQ[:i], bp.prefetchQ[i+1:]...)
+			break
+		}
+	}
+}
+
+// PopPrefetch removes the NEWEST queued read-ahead request (prefetcher
+// processes drain the queue with it). LIFO order keeps the prefetchers
+// working just ahead of the scan's current position: when they cannot
+// keep up, the entries that rot in the queue are the oldest ones —
+// pages the scan has already read at foreground priority — and those
+// are exactly the ones drop-on-full discards.
+func (bp *BufferPool) PopPrefetch() (PageID, bool) {
+	if len(bp.prefetchQ) == 0 {
+		return InvalidPageID, false
+	}
+	id := bp.prefetchQ[len(bp.prefetchQ)-1]
+	bp.prefetchQ = bp.prefetchQ[:len(bp.prefetchQ)-1]
+	delete(bp.prefetchSet, id)
+	return id, true
+}
+
+// Prefetch loads one page into the pool without pinning it, reading
+// through the volume's prefetch class when it has one (PrefetchVolume)
+// so the flash read never outranks foreground traffic. The page lands
+// probationary with its ref bit clear: if no query touches it before
+// the clock comes around, it is the first thing evicted.
+func (bp *BufferPool) Prefetch(ctx *IOCtx, id PageID) error {
+	if id < 0 || int64(id) >= bp.vol.Pages() {
+		return nil
+	}
+	if _, ok := bp.table[id]; ok {
+		return nil
+	}
+	// The placeholder is stealable from the start: a foreground miss
+	// arriving while we are still hunting a victim must not wait behind
+	// this low-priority load either.
+	placeholder := &Frame{ID: id, loading: true, stealing: true}
+	bp.table[id] = placeholder
+	f, err := bp.grabVictim(ctx)
+	if err != nil {
+		if bp.table[id] == placeholder {
+			delete(bp.table, id)
+		}
+		return err
+	}
+	if bp.table[id] != placeholder {
+		// Stolen (or re-reserved) during the victim grab: the winner
+		// loads the page at foreground priority; release our claim.
+		f.ID = InvalidPageID
+		f.pin = 0
+		return nil
+	}
+	f.ID = id
+	f.loading = true
+	f.stealing = true
+	f.hasBase = false
+	f.bulk = false
+	f.tracker.Reset()
+	bp.table[id] = f
+	if bp.prefVol != nil {
+		err = bp.prefVol.PrefetchPage(ctx, id, f.Data)
+	} else {
+		err = bp.vol.ReadPage(ctx, id, f.Data)
+	}
+	f.loading = false
+	f.stealing = false
+	if err != nil || bp.table[id] != f {
+		// Read failed, or a foreground miss stole the id while the
+		// low-priority read was in flight (the winner re-reads at
+		// foreground class): discard this frame's content.
+		if bp.table[id] == f {
+			delete(bp.table, id)
+		}
+		f.ID = InvalidPageID
+		f.pin = 0
+		return err
+	}
+	if f.base != nil {
+		copy(f.base, f.Data)
+		f.hasBase = true
+	}
+	f.prefet = true
+	f.pin-- // release the victim claim: prefetched pages sit unpinned
+	bp.stats.Prefetches++
+	return nil
 }
 
 // WriteBack flushes one dirty unpinned page of the region; db-writers

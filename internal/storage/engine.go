@@ -23,6 +23,22 @@ type EngineConfig struct {
 	// page size) above which a flush falls back to a full-page write.
 	// 0 selects the default of 0.25.
 	DeltaMaxFraction float64
+	// ScanResistant segments the buffer-pool clock 2Q/CAR-style so
+	// single-touch scan traffic cannot evict the re-referenced OLTP
+	// working set (see BufferPool.EnableScanResist).
+	ScanResistant bool
+	// ProbationFraction is the share of frames the scan-resistant clock
+	// reserves for probationary (single-touch) pages. 0 selects the
+	// default of 0.25.
+	ProbationFraction float64
+	// GhostFrames bounds the scan-resistant ghost list. 0 selects one
+	// pool's worth.
+	GhostFrames int
+	// PrefetchWindow is the number of pages of sequential read-ahead
+	// Engine.Scan requests once it detects a chain-sequential heap scan.
+	// The requests are served by prefetcher processes
+	// (StartPrefetchers); without them they are dropped. 0 disables.
+	PrefetchWindow int
 }
 
 // Engine is the storage engine: buffer pool, WAL, catalog, heap files,
@@ -37,6 +53,9 @@ type Engine struct {
 	alloc  *allocator
 	nextTx uint64
 	active map[uint64]*Tx
+
+	// prefetchWindow is the Scan read-ahead depth (EngineConfig).
+	prefetchWindow int
 
 	// Commits and Aborts count finished transactions.
 	Commits int64
@@ -103,6 +122,10 @@ func openEngine(ctx *IOCtx, e *Engine, cfg EngineConfig) (*Engine, error) {
 	if cfg.DeltaWrites {
 		e.bp.EnableDeltaWrites(cfg.DeltaMaxFraction)
 	}
+	if cfg.ScanResistant {
+		e.bp.EnableScanResist(cfg.ProbationFraction, cfg.GhostFrames)
+	}
+	e.prefetchWindow = cfg.PrefetchWindow
 	if err := e.recover(ctx); err != nil {
 		return nil, err
 	}
@@ -114,6 +137,11 @@ func openEngine(ctx *IOCtx, e *Engine, cfg EngineConfig) (*Engine, error) {
 
 // Buffer exposes the buffer pool (db-writers, experiments).
 func (e *Engine) Buffer() *BufferPool { return e.bp }
+
+// PrefetchWindow returns the configured Scan read-ahead depth (0: off).
+// Drivers use it to decide whether prefetcher processes are worth
+// starting.
+func (e *Engine) PrefetchWindow() int { return e.prefetchWindow }
 
 // Log exposes the WAL (statistics).
 func (e *Engine) Log() *WAL { return e.wal }

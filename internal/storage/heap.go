@@ -423,14 +423,54 @@ func (e *Engine) Delete(ctx *IOCtx, tx *Tx, table uint32, rid RID) error {
 	return nil
 }
 
+// scanSeqThreshold is the number of consecutive forward chain steps
+// before Scan trusts the chain to be physically sequential and starts
+// read-ahead; scanSeqMaxGap is the largest forward step still counted
+// as sequential (heap chains grown under load skip the occasional page
+// an index split grabbed in between). scanSeqSkip is how far ahead of
+// the scan position read-ahead starts: the scan reaches the nearest
+// pages before a low-priority read could complete, and waiting on one's
+// in-flight prefetch would invert the command classes.
+const (
+	scanSeqThreshold = 2
+	scanSeqMaxGap    = 4
+	scanSeqSkip      = 2
+)
+
 // Scan iterates the table's records in chain order. fn returns false to
 // stop. Scans read without locks (the analytical path).
+//
+// Heap chains grown by the allocator are usually physically sequential
+// (each extension takes the next free page). Scan watches the chain:
+// once scanSeqThreshold consecutive next pointers equal id+1 it assumes
+// sequentiality and requests PrefetchWindow pages of read-ahead beyond
+// the current position. The requests are speculative — a wrong guess
+// caches a foreign page briefly — and are served by prefetcher
+// processes through the scheduler's low-priority prefetch class, so the
+// scan's reads pipeline across dies while foreground OLTP traffic keeps
+// strict priority. A chain break (next != id+1) stops read-ahead until
+// sequentiality is re-established.
 func (e *Engine) Scan(ctx *IOCtx, table uint32, fn func(rid RID, rec []byte) bool) error {
 	o, ok := e.cat.byID[table]
 	if !ok || o.kind != ObjHeap {
 		return fmt.Errorf("%w: id %d", ErrNoTable, table)
 	}
+	seq := 0
+	ahead := InvalidPageID // first page not yet requested for read-ahead
 	for id := o.first; id != InvalidPageID; {
+		if e.prefetchWindow > 0 && seq >= scanSeqThreshold {
+			start := id + scanSeqSkip
+			if ahead > start {
+				start = ahead
+			}
+			end := id + scanSeqSkip + PageID(e.prefetchWindow)
+			for p := start; p < end; p++ {
+				e.bp.RequestPrefetch(p)
+			}
+			if end > ahead {
+				ahead = end
+			}
+		}
 		f, err := e.bp.Pin(ctx, id, false)
 		if err != nil {
 			return err
@@ -448,6 +488,16 @@ func (e *Engine) Scan(ctx *IOCtx, table uint32, fn func(rid RID, rec []byte) boo
 		}
 		next := nextInChain(f.P)
 		e.bp.Unpin(f, false, 0)
+		if next > id && next-id <= scanSeqMaxGap {
+			seq++
+		} else {
+			// Chain break — possibly a backward jump into reused page ids:
+			// restart detection AND the read-ahead high-water mark, or a
+			// stale `ahead` above the new position would suppress requests
+			// for the rest of the scan.
+			seq = 0
+			ahead = InvalidPageID
+		}
 		id = next
 	}
 	return nil

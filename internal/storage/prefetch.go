@@ -1,0 +1,54 @@
+package storage
+
+import (
+	"noftl/internal/sim"
+)
+
+// PrefetcherConfig configures the background read-ahead pool.
+type PrefetcherConfig struct {
+	// N is the number of prefetcher processes. More processes mean more
+	// read-ahead reads in flight at once — the source of the cross-die
+	// pipelining a sequential scan wants. Default 4.
+	N int
+	// Interval is the idle poll period. Default 100µs simulated.
+	Interval sim.Time
+	// OnError receives a prefetcher's fatal error; the process then
+	// stops. Nil ignores errors (read-ahead is best-effort).
+	OnError func(error)
+}
+
+// StartPrefetchers launches background read-ahead processes on the
+// kernel. They drain the buffer pool's prefetch queue (filled by
+// Engine.Scan when it detects a sequential heap scan) and load each
+// requested page through the volume's low-priority prefetch class.
+// Several processes keep several reads in flight, which is what
+// pipelines a sequential scan across the dies. The returned stop
+// function halts them at their next poll.
+func (e *Engine) StartPrefetchers(k *sim.Kernel, cfg PrefetcherConfig) (stop func()) {
+	if cfg.N <= 0 {
+		cfg.N = 4
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 100 * sim.Microsecond
+	}
+	stopped := false
+	for i := 0; i < cfg.N; i++ {
+		k.Go("prefetcher", func(p *sim.Proc) {
+			ctx := NewIOCtx(sim.ProcWaiter{P: p})
+			for !stopped {
+				id, ok := e.bp.PopPrefetch()
+				if !ok {
+					p.Sleep(cfg.Interval)
+					continue
+				}
+				if err := e.bp.Prefetch(ctx, id); err != nil {
+					if cfg.OnError != nil {
+						cfg.OnError(err)
+					}
+					return
+				}
+			}
+		})
+	}
+	return func() { stopped = true }
+}

@@ -75,6 +75,17 @@ type DeltaVolume interface {
 	WriteDeltaPage(ctx *IOCtx, id PageID, payload []byte) error
 }
 
+// PrefetchVolume is the optional capability of volumes that can serve a
+// read at background priority: PrefetchPage is semantically identical
+// to ReadPage but the flash command is issued in a low-priority
+// scheduler class, so speculative read-ahead never overtakes foreground
+// reads or WAL appends. Volumes without a scheduler implement it as a
+// plain read.
+type PrefetchVolume interface {
+	Volume
+	PrefetchPage(ctx *IOCtx, id PageID, buf []byte) error
+}
+
 // MemVolume is an in-memory volume, used for unit tests and for the
 // paper's trace-recording methodology ("traces were recorded on an
 // in-memory database").
@@ -141,6 +152,12 @@ func (v *MemVolume) WriteDeltaPage(ctx *IOCtx, id PageID, payload []byte) error 
 	return delta.Apply(v.pages[id], payload)
 }
 
+// PrefetchPage implements PrefetchVolume: memory has no command queue
+// to prioritize, so a prefetch is a plain read.
+func (v *MemVolume) PrefetchPage(ctx *IOCtx, id PageID, buf []byte) error {
+	return v.ReadPage(ctx, id, buf)
+}
+
 // Deallocate implements Volume.
 func (v *MemVolume) Deallocate(id PageID) {
 	v.mu.Lock()
@@ -197,6 +214,18 @@ func (s *SubVolume) check(id PageID) error {
 func (s *SubVolume) ReadPage(ctx *IOCtx, id PageID, buf []byte) error {
 	if err := s.check(id); err != nil {
 		return err
+	}
+	return s.inner.ReadPage(ctx, id+PageID(s.off), buf)
+}
+
+// PrefetchPage implements PrefetchVolume, forwarding to the backing
+// volume's prefetch class when it has one.
+func (s *SubVolume) PrefetchPage(ctx *IOCtx, id PageID, buf []byte) error {
+	if err := s.check(id); err != nil {
+		return err
+	}
+	if pv, ok := s.inner.(PrefetchVolume); ok {
+		return pv.PrefetchPage(ctx, id+PageID(s.off), buf)
 	}
 	return s.inner.ReadPage(ctx, id+PageID(s.off), buf)
 }

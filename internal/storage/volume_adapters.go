@@ -47,6 +47,13 @@ func (n *NoFTLVolume) WritePage(ctx *IOCtx, id PageID, data []byte, hint WriteHi
 	return n.V.WriteHint(ctx.waiter(), int64(id), data, h)
 }
 
+// PrefetchPage implements PrefetchVolume: the read is issued through
+// the volume's prefetch command class, which an attached scheduler
+// serves below foreground reads, WAL appends and data programs.
+func (n *NoFTLVolume) PrefetchPage(ctx *IOCtx, id PageID, buf []byte) error {
+	return n.V.ReadPrefetch(ctx.waiter(), int64(id), buf)
+}
+
 // WriteDeltaPage implements DeltaVolume: the differential is appended
 // in place on native flash (partial-page program into a shared delta
 // page), the contribution-iv path — flash traffic proportional to the

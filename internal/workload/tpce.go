@@ -22,6 +22,10 @@ type TPCEConfig struct {
 	InitialTradesPerAccount int
 	// Filler pads rows. Default 80.
 	Filler int
+	// Seed drives the load-time population RNG (initial trade history),
+	// keeping the workload deterministic per configured seed instead of
+	// per compiled-in constant. 0 selects the historical default of 17.
+	Seed int64
 }
 
 func (c TPCEConfig) withDefaults() TPCEConfig {
@@ -39,6 +43,9 @@ func (c TPCEConfig) withDefaults() TPCEConfig {
 	}
 	if c.Filler <= 0 {
 		c.Filler = 80
+	}
+	if c.Seed == 0 {
+		c.Seed = 17
 	}
 	return c
 }
@@ -112,7 +119,7 @@ func (t *TPCE) Load(ctx *storage.IOCtx, e *storage.Engine) error {
 	}
 	// Initial trade history: completed trades spread over accounts.
 	nTrades := t.accounts() * int64(c.InitialTradesPerAccount)
-	rng := rand.New(rand.NewSource(17))
+	rng := rand.New(rand.NewSource(c.Seed))
 	for start := int64(0); start < nTrades; start += 500 {
 		end := start + 500
 		if end > nTrades {
@@ -138,6 +145,9 @@ func (t *TPCE) Load(ctx *storage.IOCtx, e *storage.Engine) error {
 		})
 		if err != nil {
 			return fmt.Errorf("tpce: trades: %w", err)
+		}
+		if err := maybeCheckpointForLog(ctx, e); err != nil {
+			return err
 		}
 	}
 	t.nextTrade = nTrades

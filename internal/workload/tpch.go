@@ -17,6 +17,11 @@ type TPCHConfig struct {
 	LinesPerOrderMax int
 	// Filler pads rows. Default 96.
 	Filler int
+	// Seed drives the load-time population RNG (lineitem cardinalities),
+	// so "deterministic per seed" holds for the analytical workloads the
+	// same way it does for TPC-B/TPC-C query streams. 0 selects the
+	// historical default of 7.
+	Seed int64
 }
 
 func (c TPCHConfig) withDefaults() TPCHConfig {
@@ -28,6 +33,9 @@ func (c TPCHConfig) withDefaults() TPCHConfig {
 	}
 	if c.Filler <= 0 {
 		c.Filler = 96
+	}
+	if c.Seed == 0 {
+		c.Seed = 7
 	}
 	return c
 }
@@ -42,7 +50,13 @@ type TPCH struct {
 	orderPK, linePK  uint32
 	nOrders          int64
 	next             int
+	rows             int64
 }
+
+// RowsScanned counts the rows every query callback has visited since
+// load — the analytical-throughput numerator HTAP runs report next to
+// the OLTP TPS.
+func (t *TPCH) RowsScanned() int64 { return t.rows }
 
 // NewTPCH creates the workload.
 func NewTPCH(cfg TPCHConfig) *TPCH { return &TPCH{cfg: cfg.withDefaults()} }
@@ -76,7 +90,7 @@ func (t *TPCH) Load(ctx *storage.IOCtx, e *storage.Engine) error {
 		return err
 	}
 	t.nOrders = int64(t.cfg.ScaleFactor) * 1500
-	rng := rand.New(rand.NewSource(7))
+	rng := rand.New(rand.NewSource(t.cfg.Seed))
 	// Order row: {oid, custkey, totalprice, orderdate}.
 	if err := loadRows(ctx, e, t.orders, t.orderPK, t.nOrders,
 		func(i int64) (int64, []byte) {
@@ -112,6 +126,9 @@ func (t *TPCH) Load(ctx *storage.IOCtx, e *storage.Engine) error {
 		if err != nil {
 			return fmt.Errorf("tpch: lineitem: %w", err)
 		}
+		if err := maybeCheckpointForLog(ctx, e); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -138,6 +155,7 @@ func (t *TPCH) q1(ctx *storage.IOCtx, e *storage.Engine) error {
 		sumQty += field(row, 2)
 		sumPrice += field(row, 3)
 		count++
+		t.rows++
 		return true
 	})
 	if err != nil {
@@ -159,6 +177,7 @@ func (t *TPCH) q6(ctx *storage.IOCtx, e *storage.Engine, rng *rand.Rand) error {
 		if ship >= lo && ship < hi && field(row, 2) < 24 {
 			revenue += field(row, 3)
 		}
+		t.rows++
 		return true
 	})
 }
@@ -177,9 +196,11 @@ func (t *TPCH) q3(ctx *storage.IOCtx, e *storage.Engine, rng *rand.Rand) error {
 				return false
 			}
 			oid := field(orow, 0)
+			t.rows++
 			_ = e.IdxRange(ctx, t.linePK, oid*16, oid*16+15,
 				func(lk int64, lrid storage.RID) bool {
 					_, _ = e.FetchDirty(ctx, lrid)
+					t.rows++
 					return true
 				})
 			return true
