@@ -1,0 +1,67 @@
+package noftl
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestPublicAPIDocumented enforces the facade contract: every exported
+// identifier of the public package carries a doc comment (its own, or
+// its enclosing declaration group's). CI runs it in the public-api job
+// so an undocumented re-export fails fast.
+func TestPublicAPIDocumented(t *testing.T) {
+	fset := token.NewFileSet()
+	files, err := filepath.Glob("*.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var missing []string
+	report := func(pos token.Pos, name string) {
+		missing = append(missing, fset.Position(pos).String()+": "+name)
+	}
+	for _, path := range files {
+		if strings.HasSuffix(path, "_test.go") {
+			continue
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := parser.ParseFile(fset, path, src, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Name.IsExported() && d.Recv == nil && d.Doc == nil {
+					report(d.Pos(), "func "+d.Name.Name)
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if s.Name.IsExported() && s.Doc == nil && s.Comment == nil && d.Doc == nil {
+							report(s.Pos(), "type "+s.Name.Name)
+						}
+					case *ast.ValueSpec:
+						for _, n := range s.Names {
+							if n.IsExported() && s.Doc == nil && s.Comment == nil && d.Doc == nil {
+								report(s.Pos(), n.Name)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	if len(missing) > 0 {
+		t.Fatalf("exported identifiers missing doc comments:\n  %s",
+			strings.Join(missing, "\n  "))
+	}
+}

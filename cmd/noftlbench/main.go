@@ -10,8 +10,10 @@
 //	noftlbench -exp validate  # Demo 1: emulator validation
 //	noftlbench -exp delta     # A5: in-place appends (delta writes) vs full pages
 //	noftlbench -exp regions   # A6: configurable regions (WAL on a native log region)
-//	noftlbench -exp sched     # A7: command scheduling (background GC, priority queues)
+//	noftlbench -exp sched     # A7: command scheduling (background GC, priority queues,
+//	                          #     and the per-request-tagging ablation column)
 //	noftlbench -exp htap      # A8: HTAP — OLTP terminals vs analytical scans, pool policies
+//	noftlbench -exp qos       # per-request QoS demo: two tagged tenants, split p99
 //	noftlbench -exp ablations # design-choice sweeps (A1-A4)
 //	noftlbench -exp all
 //
@@ -27,14 +29,12 @@ import (
 	"fmt"
 	"os"
 
-	"noftl/internal/bench"
-	"noftl/internal/sim"
-	"noftl/internal/workload"
+	"noftl"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: fig3|fig4a|fig4b|headline|latency|validate|delta|regions|sched|htap|ablations|all")
+		exp     = flag.String("exp", "all", "experiment: fig3|fig4a|fig4b|headline|latency|validate|delta|regions|sched|htap|qos|ablations|all")
 		jsonOut = flag.String("json", "", "write machine-readable results (TPS, WA, erases, bytes/tx) to this path")
 		seed    = flag.Int64("seed", 42, "deterministic seed")
 		txs     = flag.Int("txs", 4000, "transactions per workload (fig3)")
@@ -49,6 +49,7 @@ func main() {
 		schedDies  = flag.Int("sched-dies", 0, "dies for the sched ablation (0: default 8)")
 		schedMB    = flag.Int("sched-mb", 0, "drive MB for the sched ablation (0: default 64)")
 		schedTrace = flag.Bool("sched-trace", false, "collect a command log and print per-class waits")
+		tagged     = flag.Bool("tagged", true, "include the per-request-tagging column in the sched ablation")
 
 		htapDies    = flag.Int("htap-dies", 0, "dies for the htap ablation (0: default 8)")
 		htapMB      = flag.Int("htap-mb", 0, "drive MB for the htap ablation (0: default 64)")
@@ -59,7 +60,7 @@ func main() {
 	)
 	flag.Parse()
 
-	report := &bench.JSONReport{Seed: *seed}
+	report := &noftl.JSONReport{Seed: *seed}
 
 	run := func(name string, fn func() error) {
 		if *exp != "all" && *exp != name {
@@ -74,10 +75,10 @@ func main() {
 	}
 
 	run("fig3", func() error {
-		res, err := bench.Figure3(bench.Fig3Config{
-			TPCC:         workload.TPCCConfig{Warehouses: *tpccWH},
-			TPCB:         workload.TPCBConfig{Branches: *tpcbSF},
-			TPCE:         workload.TPCEConfig{Customers: *tpceCu},
+		res, err := noftl.Figure3(noftl.Fig3Config{
+			TPCC:         noftl.TPCCConfig{Warehouses: *tpccWH},
+			TPCB:         noftl.TPCBConfig{Branches: *tpcbSF},
+			TPCE:         noftl.TPCEConfig{Customers: *tpceCu},
 			Transactions: *txs,
 			Seed:         *seed,
 		})
@@ -95,17 +96,17 @@ func main() {
 
 	fig4 := func(wl string) func() error {
 		return func() error {
-			cfg := bench.Fig4Config{
+			cfg := noftl.Fig4Config{
 				Workload: wl,
 				Workers:  *workers,
 				DriveMB:  *driveMB,
-				Measure:  sim.Time(*measure) * sim.Second,
+				Measure:  noftl.SimTime(*measure) * noftl.Second,
 				Seed:     *seed,
 			}
 			if *dies != "" {
 				cfg.Dies = parseInts(*dies)
 			}
-			res, err := bench.Figure4(cfg)
+			res, err := noftl.Figure4(cfg)
 			if err != nil {
 				return err
 			}
@@ -120,14 +121,14 @@ func main() {
 
 	run("headline", func() error {
 		for _, wl := range []string{"tpcc", "tpcb"} {
-			res, err := bench.Headline(bench.HeadlineConfig{
+			res, err := noftl.Headline(noftl.HeadlineConfig{
 				Workload: wl,
 				Workers:  *workers,
 				DriveMB:  *driveMB,
-				Measure:  sim.Time(*measure) * sim.Second,
+				Measure:  noftl.SimTime(*measure) * noftl.Second,
 				Seed:     *seed,
-				TPCC:     workload.TPCCConfig{Warehouses: *tpccWH},
-				TPCB:     workload.TPCBConfig{Branches: *tpcbSF},
+				TPCC:     noftl.TPCCConfig{Warehouses: *tpccWH},
+				TPCB:     noftl.TPCBConfig{Branches: *tpcbSF},
 			})
 			if err != nil {
 				return err
@@ -144,7 +145,7 @@ func main() {
 	})
 
 	run("latency", func() error {
-		res, err := bench.Latency(bench.LatencyConfig{Seed: *seed})
+		res, err := noftl.Latency(noftl.LatencyConfig{Seed: *seed})
 		if err != nil {
 			return err
 		}
@@ -154,7 +155,7 @@ func main() {
 	})
 
 	run("validate", func() error {
-		res, err := bench.Validate(bench.ValidateConfig{Seed: *seed})
+		res, err := noftl.Validate(noftl.ValidateConfig{Seed: *seed})
 		if err != nil {
 			return err
 		}
@@ -170,14 +171,14 @@ func main() {
 
 	run("delta", func() error {
 		for _, wl := range []string{"tpcb", "tpcc"} {
-			res, err := bench.DeltaAblation(bench.DeltaConfig{
+			res, err := noftl.DeltaAblation(noftl.DeltaConfig{
 				Workload: wl,
 				Workers:  *workers,
 				DriveMB:  *driveMB,
-				Measure:  sim.Time(*measure) * sim.Second,
+				Measure:  noftl.SimTime(*measure) * noftl.Second,
 				Seed:     *seed,
-				TPCC:     workload.TPCCConfig{Warehouses: *tpccWH},
-				TPCB:     workload.TPCBConfig{Branches: *tpcbSF},
+				TPCC:     noftl.TPCCConfig{Warehouses: *tpccWH},
+				TPCB:     noftl.TPCBConfig{Branches: *tpcbSF},
 			})
 			if err != nil {
 				return err
@@ -198,10 +199,10 @@ func main() {
 			// Drive size and scale factors default to the ablation's
 			// own utilization-tuned values (placement policy only
 			// matters under GC pressure).
-			res, err := bench.RegionsAblation(bench.RegionsConfig{
+			res, err := noftl.RegionsAblation(noftl.RegionsConfig{
 				Workload: wl,
 				Workers:  *workers,
-				Measure:  sim.Time(*measure) * sim.Second,
+				Measure:  noftl.SimTime(*measure) * noftl.Second,
 				Seed:     *seed,
 			})
 			if err != nil {
@@ -223,19 +224,28 @@ func main() {
 	})
 
 	run("sched", func() error {
-		res, err := bench.SchedAblation(bench.SchedConfig{
+		cfg := noftl.SchedConfig{
 			Workload:  "tpcb",
 			Dies:      *schedDies,
 			DriveMB:   *schedMB,
 			Workers:   *workers,
-			Measure:   sim.Time(*measure) * sim.Second,
+			Measure:   noftl.SimTime(*measure) * noftl.Second,
 			Seed:      *seed,
 			TraceCmds: *schedTrace,
-		})
+		}
+		if !*tagged {
+			cfg.Modes = []noftl.SchedMode{noftl.SchedInline, noftl.SchedBackground,
+				noftl.SchedPriorityMode}
+		}
+		res, err := noftl.SchedAblation(cfg)
 		if err != nil {
 			return err
 		}
-		fmt.Println("Ablation A7 (tpcb): inline GC vs background GC vs background GC + priority scheduling")
+		header := "Ablation A7 (tpcb): inline GC vs background GC vs priority scheduling"
+		if *tagged {
+			header += " vs per-request tags"
+		}
+		fmt.Println(header)
 		fmt.Print(res.Table())
 		fmt.Println("\nper-class queue waits:")
 		fmt.Print(res.WaitTable())
@@ -246,8 +256,12 @@ func main() {
 				}
 			}
 		}
-		fmt.Printf("bg-gc+prio vs inline-gc: %.2fx TPS, %.2fx p99 commit, %.2fx p99 read\n\n",
+		fmt.Printf("bg-gc+prio vs inline-gc: %.2fx TPS, %.2fx p99 commit, %.2fx p99 read\n",
 			res.TPSRatio(), res.CommitP99Ratio(), res.ReadP99Ratio())
+		if *tagged {
+			fmt.Printf("per-request tags vs static routing: %.2fx p99 commit\n", res.TaggedCommitP99Ratio())
+		}
+		fmt.Println()
 		for i := range res.Rows {
 			report.AddSched(res.Workload, &res.Rows[i])
 		}
@@ -255,14 +269,14 @@ func main() {
 	})
 
 	run("htap", func() error {
-		res, err := bench.HTAPAblation(bench.HTAPConfig{
+		res, err := noftl.HTAPAblation(noftl.HTAPConfig{
 			Dies:      *htapDies,
 			DriveMB:   *htapMB,
 			Terminals: *htapTerms,
 			Readers:   *htapReaders,
 			Frames:    *htapFrames,
 			Window:    *htapWindow,
-			Measure:   sim.Time(*measure) * sim.Second,
+			Measure:   noftl.SimTime(*measure) * noftl.Second,
 			Seed:      *seed,
 		})
 		if err != nil {
@@ -278,10 +292,27 @@ func main() {
 		return nil
 	})
 
+	run("qos", func() error {
+		res, err := noftl.QoS(noftl.QoSConfig{
+			Workers: *workers,
+			Measure: noftl.SimTime(*measure) * noftl.Second,
+			Seed:    *seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println("Per-request QoS: two TPC-B tenants, one declared low-priority")
+		fmt.Print(res.Table())
+		fmt.Printf("p99 commit split low/high: %.2fx (%d class-overriding dispatches)\n\n",
+			res.P99Ratio(), res.Sched.Retagged)
+		report.AddQoS(res)
+		return nil
+	})
+
 	run("ablations", func() error {
-		for _, f := range []func(int64) (*bench.AblationResult, error){
-			bench.AblationGCPolicy, bench.AblationDFTLCMT,
-			bench.AblationFasterLog, bench.AblationOverProvision,
+		for _, f := range []func(int64) (*noftl.AblationResult, error){
+			noftl.AblationGCPolicy, noftl.AblationDFTLCMT,
+			noftl.AblationFasterLog, noftl.AblationOverProvision,
 		} {
 			res, err := f(*seed)
 			if err != nil {

@@ -11,23 +11,21 @@ import (
 	"fmt"
 	"log"
 
-	"noftl/internal/bench"
-	"noftl/internal/sim"
-	"noftl/internal/workload"
+	"noftl"
 )
 
 func main() {
-	res, err := bench.HTAPAblation(bench.HTAPConfig{
+	res, err := noftl.HTAPAblation(noftl.HTAPConfig{
 		Dies:      8,
 		DriveMB:   48,
 		Terminals: 8,
 		Readers:   2,
 		Frames:    192,
-		Warm:      time(1),
-		Measure:   time(4),
+		Warm:      1 * noftl.Second,
+		Measure:   4 * noftl.Second,
 		Seed:      42,
-		TPCB:      workload.TPCBConfig{Branches: 8, AccountsPerBranch: 3000},
-		TPCH:      workload.TPCHConfig{ScaleFactor: 2},
+		TPCB:      noftl.TPCBConfig{Branches: 8, AccountsPerBranch: 3000},
+		TPCH:      noftl.TPCHConfig{ScaleFactor: 2},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -39,5 +37,3 @@ func main() {
 	fmt.Printf("  commit p99 %.2fx\n", res.CommitP99Ratio())
 	fmt.Printf("  scan rows  %.2fx (read-ahead pipelines the scan across dies)\n", res.ScanRatio())
 }
-
-func time(s int) sim.Time { return sim.Time(s) * sim.Second }

@@ -1,19 +1,15 @@
 // Flash-aware db-writer association (§3.2 of the paper, Figure 4 at
 // example scale): the same TPC-B run with db-writers assigned globally
 // versus die-wise. Die-wise association removes chip contention and
-// raises throughput as parallelism grows.
+// raises throughput as parallelism grows. Stacks come from the public
+// noftl.NewSystem facade.
 package main
 
 import (
 	"fmt"
 	"log"
 
-	"noftl/internal/bench"
-	"noftl/internal/flash"
-	"noftl/internal/nand"
-	"noftl/internal/sim"
-	"noftl/internal/storage"
-	"noftl/internal/workload"
+	"noftl"
 )
 
 func main() {
@@ -21,20 +17,24 @@ func main() {
 	fmt.Printf("%6s  %12s  %12s  %8s\n", "dies", "global", "die-wise", "speedup")
 	for _, dies := range []int{1, 4, 8} {
 		var tps [2]float64
-		for i, assoc := range []storage.WriterAssociation{storage.AssocGlobal, storage.AssocDieWise} {
-			devCfg := flash.EmulatorConfig(dies, 96, nand.SLC)
-			sys, err := bench.BuildSystem(bench.StackNoFTL, devCfg, 256)
+		for i, assoc := range []noftl.WriterAssociation{noftl.AssocGlobal, noftl.AssocDieWise} {
+			sys, err := noftl.NewSystem(noftl.SystemConfig{
+				Stack:      noftl.StackNoFTL,
+				Dies:       dies,
+				CapacityMB: 96,
+				Frames:     256,
+			})
 			if err != nil {
 				log.Fatal(err)
 			}
-			res, err := bench.RunTPS(sys,
-				workload.NewTPCB(workload.TPCBConfig{Branches: 16}),
-				bench.TPSConfig{
+			res, err := noftl.RunTPS(sys,
+				noftl.NewTPCB(noftl.TPCBConfig{Branches: 16}),
+				noftl.TPSConfig{
 					Workers:     8,
 					Writers:     dies,
 					Association: assoc,
-					Warm:        sim.Second,
-					Measure:     4 * sim.Second,
+					Warm:        noftl.Second,
+					Measure:     4 * noftl.Second,
 					Seed:        11,
 				})
 			if err != nil {

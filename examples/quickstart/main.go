@@ -1,6 +1,7 @@
-// Quickstart: build a native flash device, put a NoFTL volume on it,
-// run the storage engine over the volume, and look at what the flash
-// did. This is Figure 1.c of the paper end to end.
+// Quickstart: one noftl.NewSystem call builds the whole stack — an
+// emulated native flash device, a host-managed NoFTL volume and the
+// storage engine on top (no file system, no block-device layer, no
+// on-device FTL). This is Figure 1.c of the paper end to end.
 package main
 
 import (
@@ -11,34 +12,25 @@ import (
 )
 
 func main() {
-	// 1. An emulated native flash device: 4 dies, ~64 MB, SLC.
-	dev := noftl.NewDevice(noftl.EmulatorConfig(4, 64, noftl.SLC))
-	id := dev.Identify()
+	// 1. The stack: 4 dies, ~64 MB SLC, NoFTL volume, engine. The facade
+	// wires device → flash management → volume adapter → engine and
+	// formats a fresh database.
+	sys, err := noftl.NewSystem(noftl.SystemConfig{
+		Stack:      noftl.StackNoFTL,
+		Dies:       4,
+		CapacityMB: 64,
+		Frames:     128,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	id := sys.Dev.Identify()
 	fmt.Printf("device: %v (%v)\n", id.Geometry, id.Cell)
-
-	// 2. DBMS-managed flash: page mapping, GC, wear leveling and bad
-	// block management run in the host, not in the device.
-	vol, err := noftl.NewVolume(dev, noftl.VolumeConfig{})
-	if err != nil {
-		log.Fatal(err)
-	}
 	fmt.Printf("volume: %d logical pages in %d regions\n",
-		vol.LogicalPages(), vol.Regions())
+		sys.NoFTL.LogicalPages(), sys.NoFTL.Regions())
 
-	// 3. The storage engine mounts the volume directly — no file system,
-	// no block-device layer, no on-device FTL.
-	data := noftl.NewNoFTLEngineVolume(vol)
-	logv := noftl.NewMemEngineVolume(id.Geometry.PageSize, 1<<14)
-	ctx := noftl.NewIOCtx(&noftl.ClockWaiter{})
-	if err := noftl.Format(ctx, data, logv); err != nil {
-		log.Fatal(err)
-	}
-	e, err := noftl.Open(ctx, data, logv, noftl.EngineConfig{BufferFrames: 128})
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	// 4. A table with an index, some transactions.
+	// 2. A table with an index, some transactions.
+	e, ctx := sys.Engine, sys.Ctx
 	tbl, err := e.CreateTable(ctx, "users")
 	if err != nil {
 		log.Fatal(err)
@@ -61,7 +53,7 @@ func main() {
 		}
 	}
 
-	// 5. Read one back through the index.
+	// 3. Read one back through the index.
 	rid, found, err := e.IdxLookup(ctx, nil, idx, 42)
 	if err != nil || !found {
 		log.Fatalf("lookup: found=%v err=%v", found, err)
@@ -73,15 +65,16 @@ func main() {
 	}
 	_ = e.Commit(ctx, tx)
 	fmt.Printf("user 42 -> %q at %v\n", row, rid)
-	if err := e.Close(ctx); err != nil {
+
+	// 4. Clean shutdown (checkpoints, flushing dirty pages to flash),
+	// then one cross-layer snapshot of what the stack did.
+	if err := sys.Close(); err != nil {
 		log.Fatal(err)
 	}
-
-	// 6. What the flash saw, and what the host-side management did.
-	ds := dev.Stats()
-	vs := vol.Stats()
+	snap := sys.Snapshot()
 	fmt.Printf("flash: %d reads, %d programs, %d erases, %d copybacks\n",
-		ds.Reads, ds.Programs, ds.Erases, ds.Copybacks)
+		snap.Device.Reads, snap.Device.Programs, snap.Device.Erases, snap.Device.Copybacks)
 	fmt.Printf("noftl: write amplification %.2f, wear %d..%d erases/block\n",
-		vs.WriteAmplification(), dev.Array().Wear().Min, dev.Array().Wear().Max)
+		snap.FTL.WriteAmplification(), sys.Dev.Array().Wear().Min, sys.Dev.Array().Wear().Max)
+	fmt.Printf("wal: %d records, %d bytes logged\n", snap.WALAppends, snap.WALBytes)
 }

@@ -1,8 +1,10 @@
 // Configurable flash regions: declare regions with per-region
 // management policies, place database objects through the catalog (WAL
 // on a native append-only log region, data on a page-mapped region),
-// run a mixed workload and read the per-region statistics — the
-// region layer's whole API surface against the public package.
+// run a mixed workload and read the per-region statistics. The stack —
+// device, regions, engine with the WAL mounted natively on the log
+// region — comes from one noftl.NewSystem call with a custom layout;
+// the restart path then rebuilds every region's mapping from flash.
 package main
 
 import (
@@ -11,12 +13,9 @@ import (
 	"math/rand"
 
 	"noftl"
-	"noftl/internal/workload"
 )
 
 func main() {
-	dev := noftl.NewDevice(noftl.EmulatorConfig(8, 64, noftl.SLC))
-
 	// Carve the die array: one die becomes the sequential log region
 	// (block-granular mapping, truncation instead of GC), the rest the
 	// page-mapped data region. The placement catalog routes the WAL to
@@ -33,35 +32,25 @@ func main() {
 			noftl.ClassDelta: "data",
 		},
 	}
-	mgr, err := noftl.NewRegionManager(dev, layout)
+	sys, err := noftl.NewSystem(noftl.SystemConfig{
+		Stack:      noftl.StackNoFTLRegions,
+		Dies:       8,
+		CapacityMB: 64,
+		Frames:     256,
+		Layout:     &layout,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	mgr, ctx, e := sys.Regions, sys.Ctx, sys.Engine
 	for _, r := range mgr.Regions() {
 		fmt.Printf("region %-5s %s-mapped, dies %v\n", r.Name, r.Mapping(), r.Dies)
-	}
-
-	// Mount the engine on the regions: data pages through the usual
-	// volume adapter, the WAL natively on the log region.
-	dataRegion, walRegion, err := mgr.Mount()
-	if err != nil {
-		log.Fatal(err)
-	}
-	dataVol := noftl.NewNoFTLEngineVolume(dataRegion.Vol)
-	walLog := noftl.NewFlashLog(walRegion.Log)
-	ctx := noftl.NewIOCtx(nil)
-	if err := noftl.FormatFlashLog(ctx, dataVol, walLog); err != nil {
-		log.Fatal(err)
-	}
-	e, err := noftl.OpenFlashLog(ctx, dataVol, walLog, noftl.EngineConfig{BufferFrames: 256})
-	if err != nil {
-		log.Fatal(err)
 	}
 
 	// A mixed workload: TPC-B load plus a few thousand transactions
 	// with periodic checkpoints (each checkpoint truncates the log
 	// region — watch its erases rise with zero GC copies).
-	wl := workload.NewTPCB(workload.TPCBConfig{Branches: 8})
+	wl := noftl.NewTPCB(noftl.TPCBConfig{Branches: 8})
 	if err := wl.Load(ctx, e); err != nil {
 		log.Fatal(err)
 	}
@@ -92,7 +81,7 @@ func main() {
 
 	// Restart: both regions rebuild their mapping from flash OOBs, the
 	// engine replays the WAL from the log region.
-	mgr2, err := noftl.RebuildRegionManager(dev, layout, &noftl.ClockWaiter{})
+	mgr2, err := noftl.RebuildRegionManager(sys.Dev, layout, noftl.NewReq(&noftl.ClockWaiter{}))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,40 +1,40 @@
 // TPC-C on two storage stacks: the same engine and workload on (a) a
 // conventional black-box SSD (FASTer FTL behind a block interface) and
 // (b) NoFTL. Prints throughput and the GC work behind the difference —
-// the paper's headline comparison at example scale.
+// the paper's headline comparison at example scale, built entirely
+// through the public noftl.NewSystem facade.
 package main
 
 import (
 	"fmt"
 	"log"
 
-	"noftl/internal/bench"
-	"noftl/internal/flash"
-	"noftl/internal/nand"
-	"noftl/internal/sim"
-	"noftl/internal/storage"
-	"noftl/internal/workload"
+	"noftl"
 )
 
 func main() {
-	for _, stack := range []bench.Stack{bench.StackFaster, bench.StackNoFTL} {
-		devCfg := flash.EmulatorConfig(4, 96, nand.SLC)
-		sys, err := bench.BuildSystem(stack, devCfg, 256)
+	for _, stack := range []noftl.Stack{noftl.StackFaster, noftl.StackNoFTL} {
+		sys, err := noftl.NewSystem(noftl.SystemConfig{
+			Stack:      stack,
+			Dies:       4,
+			CapacityMB: 96,
+			Frames:     256,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		assoc := storage.AssocGlobal
-		if stack == bench.StackNoFTL {
-			assoc = storage.AssocDieWise // the DBMS can see the dies
+		assoc := noftl.AssocGlobal
+		if stack == noftl.StackNoFTL {
+			assoc = noftl.AssocDieWise // the DBMS can see the dies
 		}
-		res, err := bench.RunTPS(sys,
-			workload.NewTPCC(workload.TPCCConfig{Warehouses: 1}),
-			bench.TPSConfig{
+		res, err := noftl.RunTPS(sys,
+			noftl.NewTPCC(noftl.TPCCConfig{Warehouses: 1}),
+			noftl.TPSConfig{
 				Workers:     8,
 				Writers:     4,
 				Association: assoc,
-				Warm:        sim.Second,
-				Measure:     4 * sim.Second,
+				Warm:        noftl.Second,
+				Measure:     4 * noftl.Second,
 				Seed:        7,
 			})
 		if err != nil {

@@ -23,21 +23,21 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	w := &noftl.ClockWaiter{}
+	rq := noftl.NewReq(&noftl.ClockWaiter{})
 	n := vol.LogicalPages()
 	page := make([]byte, cfg.Geometry.PageSize)
 
 	// Cold data once, then a hot working set hammered hard — the
 	// classic wear-leveling stress.
 	for lpn := int64(0); lpn < n; lpn++ {
-		if err := vol.WriteHint(w, lpn, page, noftl.HintCold); err != nil {
+		if err := vol.WriteHint(rq, lpn, page, noftl.HintCold); err != nil {
 			log.Fatal(err)
 		}
 	}
 	rng := rand.New(rand.NewSource(1))
 	for i := 0; i < int(n)*8; i++ {
 		lpn := rng.Int63n(n / 10)
-		if err := vol.WriteHint(w, lpn, page, noftl.HintHot); err != nil {
+		if err := vol.WriteHint(rq, lpn, page, noftl.HintHot); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -55,12 +55,12 @@ func main() {
 
 	// The host keeps the mapping — after a restart it is rebuilt by
 	// scanning the out-of-band metadata on flash.
-	vol2, err := noftl.RebuildVolume(dev, noftl.VolumeConfig{}, &noftl.ClockWaiter{})
+	vol2, err := noftl.RebuildVolume(dev, noftl.VolumeConfig{}, noftl.NewReq(&noftl.ClockWaiter{}))
 	if err != nil {
 		log.Fatal(err)
 	}
 	buf := make([]byte, cfg.Geometry.PageSize)
-	if err := vol2.Read(&noftl.ClockWaiter{}, 0, buf); err != nil {
+	if err := vol2.Read(noftl.NewReq(&noftl.ClockWaiter{}), 0, buf); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("  mapping rebuilt from OOB after restart: %d pages addressable\n",

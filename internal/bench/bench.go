@@ -3,262 +3,65 @@
 // (Figure 3 GC overhead, Figures 4a/4b writer association, the headline
 // stack comparison, the latency study, emulator validation) plus the
 // ablations DESIGN.md calls out.
+//
+// Stack assembly lives in package system (the same builder behind the
+// public noftl.NewSystem facade); the aliases below keep the historical
+// bench.BuildSystem names working for the experiment drivers.
 package bench
 
 import (
 	"fmt"
 
-	"noftl/internal/blockdev"
 	"noftl/internal/flash"
 	"noftl/internal/ftl"
-	"noftl/internal/noftl"
-	"noftl/internal/region"
+	"noftl/internal/ioreq"
 	"noftl/internal/sched"
 	"noftl/internal/sim"
 	"noftl/internal/stats"
 	"noftl/internal/storage"
+	"noftl/internal/system"
 	"noftl/internal/workload"
 )
 
-// Stack names a storage architecture under comparison.
-type Stack string
+// Stack names a storage architecture under comparison (see package
+// system for the catalog).
+type Stack = system.Stack
 
-// The storage stacks of Figure 6: the NoFTL architecture versus the
-// conventional architecture with an on-device FTL behind a block
-// interface.
+// The storage stacks of Figure 6, re-exported from package system.
 const (
-	StackNoFTL   Stack = "noftl"
-	StackFaster  Stack = "faster"
-	StackDFTL    Stack = "dftl"
-	StackPagemap Stack = "pagemap"
-	// StackNoFTLDelta is the NoFTL architecture with the in-place-append
-	// flush path on: small buffer-pool flushes go out as page
-	// differentials instead of full page programs.
-	StackNoFTLDelta Stack = "noftl-delta"
-	// StackNoFTLSingle hosts WAL and data on ONE single-policy NoFTL
-	// volume (the WAL gets a page window carved from the same page-mapped
-	// space): every write stream shares one mapping scheme, one GC and
-	// one set of frontiers. The regions ablation's baseline.
-	StackNoFTLSingle Stack = "noftl-single"
-	// StackNoFTLRegions carves the die array with the region manager:
-	// the WAL lives on a native append-only log region (block-granular
-	// mapping, truncation-on-checkpoint GC) and the data pages on a
-	// page-mapped region — per-region policies plus object placement.
-	StackNoFTLRegions Stack = "noftl-regions"
+	StackNoFTL        = system.StackNoFTL
+	StackFaster       = system.StackFaster
+	StackDFTL         = system.StackDFTL
+	StackPagemap      = system.StackPagemap
+	StackNoFTLDelta   = system.StackNoFTLDelta
+	StackNoFTLSingle  = system.StackNoFTLSingle
+	StackNoFTLRegions = system.StackNoFTLRegions
 )
 
 // System is an engine mounted on one storage stack.
-type System struct {
-	Stack    Stack
-	Engine   *storage.Engine
-	Dev      *flash.Device
-	Vol      storage.Volume
-	NoFTL    *noftl.Volume    // nil for block-device stacks
-	Regions  *region.Manager  // set for the region-managed stack
-	Sched    *sched.Scheduler // set when BuildOpts attached a scheduler
-	FTLStats func() ftl.Stats
-	Ctx      *storage.IOCtx
-	K        *sim.Kernel // DES kernel; block-device queueing binds to it
+type System = system.System
 
-	// BackgroundGC records that the NoFTL volume was built for
-	// worker-driven GC; RunTPS then starts maintenance workers instead
-	// of piggybacking GC on the db-writers.
-	BackgroundGC bool
-
-	// Log backing chosen by the stack: exactly one of logVol (page
-	// volume; nil selects the default zero-latency memory volume) and
-	// flashLog (native append-only region) is non-nil after BuildSystem.
-	logVol   storage.Volume
-	flashLog storage.AppendLog
-}
-
-// BuildOpts tunes the optional subsystems of a System. The zero value
-// reproduces the classic build: no command scheduler, GC at the
-// volume's low-water mark (inline plus db-writer-driven).
-type BuildOpts struct {
-	// Sched attaches a native command scheduler to the device and routes
-	// the NoFTL volume's (and log region's) commands through per-class
-	// views. Block-device stacks ignore it — an on-device FTL behind the
-	// legacy interface is exactly the thing the host cannot schedule.
-	Sched *sched.Config
-	// BackgroundGC configures NoFTL volumes for worker-driven GC
-	// (noftl.Config.BackgroundGC) and makes RunTPS start the background
-	// maintenance workers.
-	BackgroundGC bool
-	// ScanResistant segments the engine's buffer-pool clock so scan
-	// traffic cannot evict the OLTP working set (HTAP experiment).
-	ScanResistant bool
-	// PrefetchWindow sets the engine's Scan read-ahead depth in pages
-	// (0: off). Read-ahead also needs prefetcher processes at run time
-	// (RunHTAP starts them when the window is set).
-	PrefetchWindow int
-}
+// BuildOpts tunes the optional subsystems of a System.
+type BuildOpts = system.BuildOpts
 
 // BuildSystem assembles a full system: NAND device, flash management
-// (host- or device-side), volume adapter, formatted engine. The log
-// lives on a zero-latency memory volume for every stack, so measured
-// differences come from the data path.
+// (host- or device-side), volume adapter, formatted engine.
 func BuildSystem(stack Stack, devCfg flash.Config, frames int) (*System, error) {
-	return BuildSystemOpts(stack, devCfg, frames, BuildOpts{})
+	return system.Build(stack, devCfg, frames)
 }
 
 // BuildSystemOpts is BuildSystem with scheduler/background-GC options.
 func BuildSystemOpts(stack Stack, devCfg flash.Config, frames int, opts BuildOpts) (*System, error) {
-	devCfg.Nand.StoreData = true
-	dev := flash.New(devCfg)
-	k := sim.New()
-	s := &System{Stack: stack, Dev: dev, Ctx: storage.NewIOCtx(&sim.ClockWaiter{}), K: k,
-		BackgroundGC: opts.BackgroundGC}
-	pageSize := devCfg.Geometry.PageSize
-
-	var devs noftl.ClassDevs
-	if opts.Sched != nil {
-		s.Sched = sched.New(k, dev, *opts.Sched)
-		devs = noftl.ClassDevs{
-			Read:     s.Sched.Bind(sched.ClassRead),
-			WAL:      s.Sched.Bind(sched.ClassWAL),
-			Data:     s.Sched.Bind(sched.ClassProgram),
-			Prefetch: s.Sched.Bind(sched.ClassPrefetch),
-			GC:       s.Sched.Bind(sched.ClassGC),
-		}
-	}
-
-	switch stack {
-	case StackNoFTL, StackNoFTLDelta:
-		v, err := noftl.New(dev, noftl.Config{Devs: devs, BackgroundGC: opts.BackgroundGC})
-		if err != nil {
-			return nil, err
-		}
-		s.NoFTL = v
-		s.Vol = storage.NewNoFTLVolume(v)
-		s.FTLStats = v.Stats
-	case StackFaster:
-		f, err := ftl.NewFasterFTL(dev, ftl.FasterConfig{SecondChance: true})
-		if err != nil {
-			return nil, err
-		}
-		s.Vol = storage.NewBlockVolume(blockdev.New(f, blockdev.Config{Kernel: k}), pageSize)
-		s.FTLStats = f.Stats
-	case StackDFTL:
-		// CMT sized to ~2% of the device's pages: the device-RAM-to-
-		// capacity ratio of SATA-era controllers, which is what makes
-		// DFTL's translation traffic visible (§3.1).
-		cmt := int(devCfg.Geometry.TotalPages() / 50)
-		f, err := ftl.NewDFTL(dev, ftl.DFTLConfig{CMTEntries: cmt})
-		if err != nil {
-			return nil, err
-		}
-		s.Vol = storage.NewBlockVolume(blockdev.New(f, blockdev.Config{Kernel: k}), pageSize)
-		s.FTLStats = f.Stats
-	case StackPagemap:
-		f, err := ftl.NewPageFTL(dev, ftl.PageFTLConfig{})
-		if err != nil {
-			return nil, err
-		}
-		s.Vol = storage.NewBlockVolume(blockdev.New(f, blockdev.Config{Kernel: k}), pageSize)
-		s.FTLStats = f.Stats
-	case StackNoFTLSingle:
-		// Single-policy baseline with the WAL on flash: one volume, one
-		// mapping scheme, one write frontier for every stream (hints
-		// ignored); the log is just a window of the page space.
-		v, err := noftl.New(dev, noftl.Config{DisableHints: true, Devs: devs,
-			BackgroundGC: opts.BackgroundGC})
-		if err != nil {
-			return nil, err
-		}
-		s.NoFTL = v
-		s.FTLStats = v.Stats
-		full := storage.NewNoFTLVolume(v)
-		logPages := logWindowPages(v.LogicalPages(), devCfg.Geometry.Dies())
-		logVol, err := storage.NewSubVolume(full, 0, logPages)
-		if err != nil {
-			return nil, err
-		}
-		dataVol, err := storage.NewSubVolume(full, logPages, v.LogicalPages()-logPages)
-		if err != nil {
-			return nil, err
-		}
-		s.Vol = dataVol
-		s.logVol = logVol
-	case StackNoFTLRegions:
-		// Region-managed placement: the engine declares WAL → log region
-		// and heaps/B+-trees → data region through the catalog.
-		lay := region.DefaultDBLayout(regionLogDies(devCfg.Geometry.Dies()))
-		lay.Scheduler = s.Sched
-		for i := range lay.Regions {
-			if lay.Regions[i].Mapping == region.PageMapped {
-				lay.Regions[i].BackgroundGC = opts.BackgroundGC
-			}
-		}
-		m, err := region.New(dev, lay)
-		if err != nil {
-			return nil, err
-		}
-		dataRegion, walRegion, err := m.Mount()
-		if err != nil {
-			return nil, err
-		}
-		s.Regions = m
-		s.NoFTL = dataRegion.Vol
-		s.FTLStats = m.Stats
-		s.Vol = storage.NewNoFTLVolume(dataRegion.Vol)
-		s.flashLog = storage.NewFlashLog(walRegion.Log)
-	default:
-		return nil, fmt.Errorf("bench: unknown stack %q", stack)
-	}
-
-	engCfg := storage.EngineConfig{
-		BufferFrames:   frames,
-		DeltaWrites:    stack == StackNoFTLDelta,
-		ScanResistant:  opts.ScanResistant,
-		PrefetchWindow: opts.PrefetchWindow,
-	}
-	if s.flashLog != nil {
-		if err := storage.FormatFlashLog(s.Ctx, s.Vol, s.flashLog); err != nil {
-			return nil, err
-		}
-		e, err := storage.OpenFlashLog(s.Ctx, s.Vol, s.flashLog, engCfg)
-		if err != nil {
-			return nil, err
-		}
-		s.Engine = e
-		return s, nil
-	}
-	if s.logVol == nil {
-		s.logVol = storage.NewMemVolume(pageSize, 1<<14)
-	}
-	if err := storage.Format(s.Ctx, s.Vol, s.logVol); err != nil {
-		return nil, err
-	}
-	e, err := storage.Open(s.Ctx, s.Vol, s.logVol, engCfg)
-	if err != nil {
-		return nil, err
-	}
-	s.Engine = e
-	return s, nil
+	return system.BuildWithOpts(stack, devCfg, frames, opts)
 }
 
-// regionLogDies sizes the log region: one die, or two on wide arrays.
-// logWindowPages derives the single-volume baseline's WAL share from
-// the same rule, so the A6 comparison can never measure a log-capacity
-// asymmetry by accident.
-func regionLogDies(dies int) int {
-	if dies >= 16 {
-		return 2
-	}
-	return 1
-}
-
-// logWindowPages sizes the single-volume stack's WAL window to the
-// same die share the region-managed stack gives its log region, with a
-// small floor so checkpoints fit.
-func logWindowPages(total int64, dies int) int64 {
-	n := total * int64(regionLogDies(dies)) / int64(dies)
-	if n < 256 {
-		n = 256
-	}
-	return n
-}
+// Well-known stream tags for background machinery (per-tag attribution
+// in command logs; terminal tags are caller-chosen and should avoid
+// them).
+const (
+	tagWriters      = 0xDB0001 // db-writer pool
+	tagCheckpointer = 0xDB0002
+)
 
 // TPSConfig drives a throughput measurement.
 type TPSConfig struct {
@@ -275,6 +78,23 @@ type TPSConfig struct {
 	// TrackLatency records per-transaction commit latency and buffer
 	// read-miss latency histograms in the result (measure window only).
 	TrackLatency bool
+	// Tagged turns on per-request descriptors for the background
+	// machinery: db-writers declare the program class and the
+	// checkpointer declares itself background, so their WAL flushes stop
+	// outranking commit appends just because they share the log device
+	// view. False reproduces static ClassDevs routing exactly — the
+	// ablation baseline.
+	Tagged bool
+	// ClassOf, when non-nil, assigns terminal i's requests a scheduler
+	// class (per-request QoS tiers).
+	ClassOf func(id int) ioreq.Class
+	// TagOf, when non-nil, assigns terminal i's requests a stream tag;
+	// per-tag commit histograms land in TPSResult.TagCommit.
+	TagOf func(id int) uint32
+	// DeadlineAfter, when non-nil, stamps each of terminal i's
+	// transactions with a completion deadline that far ahead (scheduler
+	// promotion past it).
+	DeadlineAfter func(id int) sim.Time
 }
 
 // TPSResult is one throughput measurement.
@@ -289,11 +109,41 @@ type TPSResult struct {
 	// and buffer-pool read-miss latency over the measure window.
 	CommitHist stats.Histogram
 	ReadHist   stats.Histogram
+	// TagCommit holds per-tag commit-latency histograms (TPSConfig.TagOf
+	// runs; nil otherwise) and TagCommitted the per-tag commit counts.
+	TagCommit    map[uint32]*stats.Histogram
+	TagCommitted map[uint32]int64
 	// Scheduler accounting (zero without an attached scheduler).
 	Sched sched.Stats
 	// Background maintenance counters (zero without BackgroundGC).
 	GCSteps   int64
 	WearMoves int64
+}
+
+// startCheckpointer launches the periodic checkpoint process every
+// TPS-style runner shares: checkpoint on schedule, or earlier when the
+// log is halfway to wrapping into the anchored checkpoint.
+func startCheckpointer(k *sim.Kernel, e *storage.Engine, mkCtx func(*sim.Proc) *storage.IOCtx,
+	every sim.Time, stopped *bool, fail func(error)) {
+	k.Go("checkpointer", func(p *sim.Proc) {
+		ctx := mkCtx(p)
+		wal := e.Log()
+		last := p.Now()
+		for !*stopped {
+			p.Sleep(100 * sim.Millisecond)
+			if *stopped {
+				return
+			}
+			if p.Now()-last < every && wal.SinceAnchor()*2 < wal.Capacity() {
+				continue
+			}
+			if err := e.Checkpoint(ctx); err != nil {
+				fail(err)
+				return
+			}
+			last = p.Now()
+		}
+	})
 }
 
 // RunTPS loads wl on the system (serial phase), then measures
@@ -331,6 +181,12 @@ func RunTPS(sys *System, wl workload.Workload, cfg TPSConfig) (*TPSResult, error
 		N:           cfg.Writers,
 		Association: cfg.Association,
 	}
+	if cfg.Tagged {
+		// Per-request tagging: flush traffic declares its intent at the
+		// origin instead of inheriting the WAL device view's priority.
+		writerCfg.Class = ioreq.ClassProgram
+		writerCfg.Tag = tagWriters
+	}
 	var maint *sched.Maintenance
 	if sys.NoFTL != nil {
 		if sys.BackgroundGC {
@@ -346,33 +202,24 @@ func RunTPS(sys *System, wl workload.Workload, cfg TPSConfig) (*TPSResult, error
 	stopWriters := sys.Engine.StartWriters(k, writerCfg)
 
 	terms := workload.StartTerminals(k, sys.Engine, wl, workload.TerminalConfig{
-		N:        cfg.Workers,
-		Seed:     cfg.Seed,
-		Think:    cfg.Think,
-		Counting: &counting,
-		OnFatal:  fail,
+		N:             cfg.Workers,
+		Seed:          cfg.Seed,
+		Think:         cfg.Think,
+		Counting:      &counting,
+		OnFatal:       fail,
+		ClassOf:       cfg.ClassOf,
+		TagOf:         cfg.TagOf,
+		DeadlineAfter: cfg.DeadlineAfter,
 	})
-	k.Go("checkpointer", func(p *sim.Proc) {
+	startCheckpointer(k, sys.Engine, func(p *sim.Proc) *storage.IOCtx {
 		ctx := storage.NewIOCtx(sim.ProcWaiter{P: p})
-		wal := sys.Engine.Log()
-		last := p.Now()
-		for !stopped {
-			p.Sleep(100 * sim.Millisecond)
-			if stopped {
-				return
-			}
-			// Checkpoint on schedule, or earlier when the log is halfway
-			// to wrapping into the anchored checkpoint.
-			if p.Now()-last < cfg.CkptEvery && wal.SinceAnchor()*2 < wal.Capacity() {
-				continue
-			}
-			if err := sys.Engine.Checkpoint(ctx); err != nil {
-				fail(err)
-				return
-			}
-			last = p.Now()
+		if cfg.Tagged {
+			// The checkpointer is background work: its page flushes AND
+			// its log writes yield to commit-path appends.
+			ctx = ctx.WithClass(ioreq.ClassProgram).WithTag(tagCheckpointer)
 		}
-	})
+		return ctx
+	}, cfg.CkptEvery, &stopped, fail)
 
 	k.RunFor(cfg.Warm)
 	counting = true
@@ -397,6 +244,15 @@ func RunTPS(sys *System, wl workload.Workload, cfg TPSConfig) (*TPSResult, error
 	res.Retries = terms.Retries()
 	if cfg.TrackLatency {
 		res.CommitHist = terms.CommitHist()
+	}
+	if cfg.TagOf != nil {
+		res.TagCommit = map[uint32]*stats.Histogram{}
+		res.TagCommitted = map[uint32]int64{}
+		for _, tag := range terms.Tags() {
+			h := terms.TagCommitHist(tag)
+			res.TagCommit[tag] = &h
+			res.TagCommitted[tag] = terms.TagCommitted(tag)
+		}
 	}
 	res.TPS = float64(res.Committed) / cfg.Measure.Seconds()
 	res.Buffer = sys.Engine.Buffer().Stats()

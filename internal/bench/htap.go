@@ -335,25 +335,9 @@ func RunHTAP(sys *System, oltp, analytical workload.Workload, cfg HTAPRunConfig)
 		Counting: &counting,
 		OnFatal:  fail,
 	})
-	k.Go("checkpointer", func(p *sim.Proc) {
-		ctx := storage.NewIOCtx(sim.ProcWaiter{P: p})
-		wal := sys.Engine.Log()
-		last := p.Now()
-		for !stopped {
-			p.Sleep(100 * sim.Millisecond)
-			if stopped {
-				return
-			}
-			if p.Now()-last < cfg.CkptEvery && wal.SinceAnchor()*2 < wal.Capacity() {
-				continue
-			}
-			if err := sys.Engine.Checkpoint(ctx); err != nil {
-				fail(err)
-				return
-			}
-			last = p.Now()
-		}
-	})
+	startCheckpointer(k, sys.Engine, func(p *sim.Proc) *storage.IOCtx {
+		return storage.NewIOCtx(sim.ProcWaiter{P: p})
+	}, cfg.CkptEvery, &stopped, fail)
 
 	k.RunFor(cfg.Warm)
 	counting = true

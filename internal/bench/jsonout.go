@@ -149,6 +149,28 @@ func (r *JSONReport) AddHTAP(row *HTAPRow) {
 	})
 }
 
+// AddQoS appends the QoS demo's per-tenant rows: one row per group
+// with its tag, throughput and commit tails.
+func (r *JSONReport) AddQoS(res *QoSResult) {
+	for _, row := range []*QoSRow{&res.High, &res.Low} {
+		mode := "high"
+		if row.Tag == TagLowPriority {
+			mode = "low"
+		}
+		r.Results = append(r.Results, JSONResult{
+			Experiment:  "qos",
+			Workload:    "tpcb-2tenant",
+			Stack:       string(StackNoFTLRegions),
+			Mode:        mode,
+			TPS:         row.TPS,
+			Committed:   row.Committed,
+			CommitP50us: us(row.Commit.Percentile(50)),
+			CommitP95us: us(row.Commit.Percentile(95)),
+			CommitP99us: us(row.Commit.Percentile(99)),
+		})
+	}
+}
+
 // Write serializes the report to path (indented, trailing newline).
 func (r *JSONReport) Write(path string) error {
 	out, err := json.MarshalIndent(r, "", "  ")

@@ -6,6 +6,7 @@ import (
 	"noftl/internal/blockdev"
 	"noftl/internal/flash"
 	"noftl/internal/ftl"
+	"noftl/internal/ioreq"
 	"noftl/internal/nand"
 	"noftl/internal/noftl"
 	"noftl/internal/sim"
@@ -101,7 +102,7 @@ func Latency(cfg LatencyConfig) (*LatencyResult, error) {
 		return nil, err
 	}
 	nh, err := latencyRun(cfg, func(w sim.Waiter, lpn int64, buf []byte) error {
-		return nv.Write(w, lpn, buf)
+		return nv.Write(ioreq.Plain(w), lpn, buf)
 	}, nv.LogicalPages(), nv)
 	if err != nil {
 		return nil, fmt.Errorf("latency noftl: %w", err)
@@ -136,9 +137,9 @@ func latencyRun(cfg LatencyConfig, write func(sim.Waiter, int64, []byte) error,
 		for r := 0; r < vol.Regions(); r++ {
 			region := r
 			k.Go("gc", func(p *sim.Proc) {
-				w := sim.ProcWaiter{P: p}
+				rq := ioreq.Req{W: sim.ProcWaiter{P: p}, Class: ioreq.ClassGC}
 				for !stopped {
-					did, err := vol.GCStep(w, region)
+					did, err := vol.GCStep(rq, region)
 					if err != nil {
 						fatal = err
 						return

@@ -1,0 +1,222 @@
+package bench
+
+import (
+	"fmt"
+
+	"noftl/internal/flash"
+	"noftl/internal/ioreq"
+	"noftl/internal/nand"
+	"noftl/internal/sched"
+	"noftl/internal/sim"
+	"noftl/internal/stats"
+	"noftl/internal/storage"
+	"noftl/internal/workload"
+)
+
+// QoS (quality-of-service demo): two tenants — each a TPC-B instance
+// with its own tables and terminal group — share one region-managed,
+// priority-scheduled NoFTL stack. The high tenant runs with the default
+// request descriptor (foreground priorities) plus a per-transaction
+// deadline; the low tenant declares itself low-priority (ClassPrefetch)
+// on every request, so its reads and write-backs queue below the high
+// tenant's at every die (commit-path WAL flushes stay in the WAL class
+// for both — the shared log must not invert priorities). Each tenant
+// carries its own stream tag, so the per-tag commit-latency split the
+// scheduler produces is measured exactly — the end-to-end demonstration
+// that a request's intent, declared at the workload layer, survives to
+// the flash command queues.
+
+// Stream tags of the two terminal groups.
+const (
+	TagHighPriority uint32 = 1
+	TagLowPriority  uint32 = 2
+)
+
+// QoSConfig parameterizes the QoS demo.
+type QoSConfig struct {
+	Dies    int // default 8
+	DriveMB int // default 64
+	Workers int // total terminals, split evenly; default 16
+	Writers int // default 8
+	Frames  int // default 384
+	Warm    sim.Time
+	Measure sim.Time
+	Seed    int64
+	// Deadline stamps each high-priority transaction with a completion
+	// deadline this far ahead; past it, the scheduler promotes its
+	// still-queued commands ahead of every class. Default 4ms; negative
+	// disables.
+	Deadline sim.Time
+
+	TPCB workload.TPCBConfig
+}
+
+func (c QoSConfig) withDefaults() QoSConfig {
+	if c.Dies <= 0 {
+		c.Dies = 8
+	}
+	if c.DriveMB <= 0 {
+		c.DriveMB = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = 16
+	}
+	if c.Writers <= 0 {
+		c.Writers = 8
+	}
+	if c.Frames <= 0 {
+		c.Frames = 384
+	}
+	if c.Warm <= 0 {
+		c.Warm = 2 * sim.Second
+	}
+	if c.Measure <= 0 {
+		c.Measure = 8 * sim.Second
+	}
+	if c.Deadline == 0 {
+		c.Deadline = 4 * sim.Millisecond
+	}
+	return c
+}
+
+// QoSRow is one terminal group's measurement.
+type QoSRow struct {
+	Tag       uint32
+	Terminals int
+	Committed int64
+	TPS       float64
+	Commit    stats.Histogram
+}
+
+// QoSResult is the QoS demo outcome.
+type QoSResult struct {
+	High QoSRow
+	Low  QoSRow
+	// Sched is the scheduler accounting of the run (Retagged counts the
+	// low group's descriptor overrides reaching the die queues).
+	Sched sched.Stats
+}
+
+// P99Ratio is the low-priority group's p99 commit latency over the
+// high-priority group's (> 1 means the declared priorities split the
+// tails — the point of the demo).
+func (r *QoSResult) P99Ratio() float64 {
+	hp := r.High.Commit.Percentile(99)
+	if hp == 0 {
+		return 0
+	}
+	return float64(r.Low.Commit.Percentile(99)) / float64(hp)
+}
+
+// Table renders the per-group comparison.
+func (r *QoSResult) Table() string {
+	t := stats.NewTable("group", "terminals", "TPS", "commit p50", "p95", "p99")
+	for _, row := range []*QoSRow{&r.High, &r.Low} {
+		name := "high"
+		if row.Tag == TagLowPriority {
+			name = "low"
+		}
+		t.Row(name, row.Terminals, row.TPS,
+			row.Commit.Percentile(50).String(),
+			row.Commit.Percentile(95).String(),
+			row.Commit.Percentile(99).String())
+	}
+	return t.String()
+}
+
+// QoS runs the demo: one freshly built region-managed system, priority
+// scheduling, background GC, two tagged tenants with disjoint TPC-B
+// table sets (a lock conflict between tenants would smear the split
+// with priority inversion the I/O scheduler cannot see).
+func QoS(cfg QoSConfig) (*QoSResult, error) {
+	cfg = cfg.withDefaults()
+	opts := BuildOpts{
+		Sched:        &sched.Config{Policy: sched.Priority},
+		BackgroundGC: true,
+	}
+	devCfg := flash.EmulatorConfig(cfg.Dies, cfg.DriveMB, nand.SLC)
+	sys, err := BuildSystemOpts(StackNoFTLRegions, devCfg, cfg.Frames, opts)
+	if err != nil {
+		return nil, fmt.Errorf("qos: %w", err)
+	}
+	tpcb := cfg.TPCB
+	if tpcb.Branches == 0 {
+		tpcb = deriveTPCB(sys.NoFTL.LogicalPages() / 2)
+	}
+	wlHigh := workload.NewTPCB(tpcb)
+	wlLow := workload.NewTPCBNamed("tpcb2", tpcb)
+	for _, wl := range []workload.Workload{wlHigh, wlLow} {
+		if err := wl.Load(sys.Ctx, sys.Engine); err != nil {
+			return nil, fmt.Errorf("qos: load %s: %w", wl.Name(), err)
+		}
+	}
+	if err := sys.Engine.Checkpoint(sys.Ctx); err != nil {
+		return nil, err
+	}
+	sys.Dev.ResetTime()
+	sys.Dev.ResetStats()
+
+	k := sys.K
+	counting := false
+	stopped := false
+	var fatal error
+	fail := func(err error) {
+		if fatal == nil {
+			fatal = err
+		}
+	}
+	maint := sched.StartMaintenance(k, sys.NoFTL, sched.MaintConfig{OnError: fail})
+	stopWriters := sys.Engine.StartWriters(k, storage.WriterConfig{
+		N:           cfg.Writers,
+		Association: storage.AssocDieWise,
+		Class:       ioreq.ClassProgram,
+		Tag:         tagWriters,
+	})
+	highN := cfg.Workers / 2
+	high := workload.StartTerminals(k, sys.Engine, wlHigh, workload.TerminalConfig{
+		N: highN, Seed: cfg.Seed, Counting: &counting, OnFatal: fail,
+		TagOf: func(int) uint32 { return TagHighPriority },
+		DeadlineAfter: func(int) sim.Time {
+			if cfg.Deadline > 0 {
+				return cfg.Deadline
+			}
+			return 0
+		},
+	})
+	low := workload.StartTerminals(k, sys.Engine, wlLow, workload.TerminalConfig{
+		N: cfg.Workers - highN, Seed: cfg.Seed + 1_000_003, Counting: &counting, OnFatal: fail,
+		TagOf:   func(int) uint32 { return TagLowPriority },
+		ClassOf: func(int) ioreq.Class { return ioreq.ClassPrefetch },
+	})
+	startCheckpointer(k, sys.Engine, func(p *sim.Proc) *storage.IOCtx {
+		return (&storage.IOCtx{W: sim.ProcWaiter{P: p}}).
+			WithClass(ioreq.ClassProgram).WithTag(tagCheckpointer)
+	}, 2*sim.Second, &stopped, fail)
+
+	k.RunFor(cfg.Warm)
+	counting = true
+	k.RunFor(cfg.Measure)
+	counting = false
+	stopped = true
+	high.Stop()
+	low.Stop()
+	stopWriters()
+	maint.Stop()
+	k.RunFor(10 * sim.Millisecond)
+	k.Shutdown()
+	if fatal != nil {
+		return nil, fmt.Errorf("qos: %w", fatal)
+	}
+
+	out := &QoSResult{Sched: sys.Sched.Stats()}
+	fill := func(row *QoSRow, ts *workload.Terminals, tag uint32, n int) {
+		row.Tag = tag
+		row.Terminals = n
+		row.Committed = ts.Committed()
+		row.TPS = float64(row.Committed) / cfg.Measure.Seconds()
+		row.Commit = ts.CommitHist()
+	}
+	fill(&out.High, high, TagHighPriority, highN)
+	fill(&out.Low, low, TagLowPriority, cfg.Workers-highN)
+	return out, nil
+}

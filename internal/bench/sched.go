@@ -26,6 +26,12 @@ import (
 //   - bg-gc+prio: background maintenance plus the priority scheduler —
 //     foreground reads > WAL appends > data programs > GC, with erase
 //     suspension so a read never waits out a full tBERS.
+//   - bg-gc+prio+tagged: the priority scheduler dispatching on
+//     per-request descriptors (package ioreq) instead of static
+//     per-volume class routing: db-writers and the checkpointer declare
+//     themselves background at the origin, so the log traffic they
+//     induce stops outranking commit-path appends just because it
+//     shares the WAL device view.
 //
 // The ablation reports TPS and the commit/read latency distributions
 // (p50/p95/p99), which is where scheduling shows up: means barely move,
@@ -34,11 +40,14 @@ import (
 // SchedMode names one regime of the ablation.
 type SchedMode string
 
-// The three regimes.
+// The four regimes.
 const (
 	SchedInline     SchedMode = "inline-gc"
 	SchedBackground SchedMode = "bg-gc"
 	SchedPriority   SchedMode = "bg-gc+prio"
+	// SchedTagged is SchedPriority with per-request descriptors: the
+	// static-ClassDevs-vs-per-request-tags ablation column.
+	SchedTagged SchedMode = "bg-gc+prio+tagged"
 )
 
 // SchedConfig parameterizes the scheduling ablation.
@@ -67,7 +76,7 @@ func (c SchedConfig) withDefaults() SchedConfig {
 		c.Workload = "tpcb"
 	}
 	if len(c.Modes) == 0 {
-		c.Modes = []SchedMode{SchedInline, SchedBackground, SchedPriority}
+		c.Modes = []SchedMode{SchedInline, SchedBackground, SchedPriority, SchedTagged}
 	}
 	if c.Dies <= 0 {
 		c.Dies = 8
@@ -166,6 +175,18 @@ func (r *SchedResult) TPSRatio() float64 {
 	return r.ratio(func(row *SchedRow) float64 { return row.Result.TPS })
 }
 
+// TaggedCommitP99Ratio is bg-gc+prio+tagged p99 commit latency over
+// plain bg-gc+prio's — what dispatching on per-request descriptors buys
+// over static per-volume class routing (< 1: shorter commit tail).
+func (r *SchedResult) TaggedCommitP99Ratio() float64 {
+	base, tagged := r.row(SchedPriority), r.row(SchedTagged)
+	if base == nil || tagged == nil || base.Result.CommitHist.Percentile(99) == 0 {
+		return 0
+	}
+	return float64(tagged.Result.CommitHist.Percentile(99)) /
+		float64(base.Result.CommitHist.Percentile(99))
+}
+
 // Table renders the regime comparison.
 func (r *SchedResult) Table() string {
 	t := stats.NewTable("mode", "TPS", "commit p50", "p95", "p99",
@@ -207,7 +228,7 @@ func SchedAblation(cfg SchedConfig) (*SchedResult, error) {
 		switch mode {
 		case SchedBackground:
 			opts.BackgroundGC = true
-		case SchedPriority:
+		case SchedPriority, SchedTagged:
 			opts.BackgroundGC = true
 			opts.Sched.Policy = sched.Priority
 		}
@@ -239,6 +260,7 @@ func SchedAblation(cfg SchedConfig) (*SchedResult, error) {
 			Measure:      cfg.Measure,
 			Seed:         cfg.Seed,
 			TrackLatency: true,
+			Tagged:       mode == SchedTagged,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("sched ablation %s: %w", mode, err)

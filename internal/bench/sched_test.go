@@ -19,17 +19,18 @@ func tinySchedConfig(seed int64) SchedConfig {
 	}
 }
 
-// TestSchedAblationSmoke runs the three regimes at tiny geometry and
+// TestSchedAblationSmoke runs the four regimes at tiny geometry and
 // checks the result structure: work happened in every mode, latency
 // histograms are populated, background modes report GC-worker progress,
-// and the priority mode actually scheduled and suspended.
+// the priority mode actually scheduled and suspended, and the tagged
+// mode's per-request descriptors reached the die queues.
 func TestSchedAblationSmoke(t *testing.T) {
 	res, err := SchedAblation(tinySchedConfig(42))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Rows) != 3 {
-		t.Fatalf("rows = %d, want 3", len(res.Rows))
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(res.Rows))
 	}
 	for _, row := range res.Rows {
 		if row.Result.Committed == 0 {
@@ -45,10 +46,20 @@ func TestSchedAblationSmoke(t *testing.T) {
 			t.Fatalf("%s occupancy = %.2f, want GC-pressure regime", row.Mode, row.Occupancy)
 		}
 	}
-	for _, mode := range []SchedMode{SchedBackground, SchedPriority} {
+	for _, mode := range []SchedMode{SchedBackground, SchedPriority, SchedTagged} {
 		if res.row(mode).Result.GCSteps == 0 {
 			t.Fatalf("%s background workers made no GC progress", mode)
 		}
+	}
+	// Per-request descriptors only flow in the tagged regime.
+	if res.row(SchedTagged).Result.Sched.Retagged == 0 {
+		t.Fatal("tagged mode: no descriptor reached the die queues")
+	}
+	if res.row(SchedPriority).Result.Sched.Retagged != 0 {
+		t.Fatal("static mode dispatched on request descriptors")
+	}
+	if res.TaggedCommitP99Ratio() <= 0 {
+		t.Fatal("tagged-vs-static ratio missing")
 	}
 	if res.row(SchedInline).Result.GCSteps != 0 {
 		t.Fatal("inline mode ran background GC workers")
@@ -68,11 +79,13 @@ func TestSchedAblationSmoke(t *testing.T) {
 	}
 }
 
-// TestSchedAblationDeterministic repeats one regime with a fixed seed
-// and expects identical throughput and device counters.
+// TestSchedAblationDeterministic repeats the priority and tagged
+// regimes with a fixed seed and expects identical throughput and
+// device counters — per-request descriptors must not introduce
+// scheduling nondeterminism.
 func TestSchedAblationDeterministic(t *testing.T) {
 	cfg := tinySchedConfig(7)
-	cfg.Modes = []SchedMode{SchedPriority}
+	cfg.Modes = []SchedMode{SchedPriority, SchedTagged}
 	a, err := SchedAblation(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -81,14 +94,17 @@ func TestSchedAblationDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ra, rb := a.Rows[0].Result, b.Rows[0].Result
-	if ra.Committed != rb.Committed || ra.Device.Erases != rb.Device.Erases ||
-		ra.Device.EraseSuspends != rb.Device.EraseSuspends ||
-		ra.Sched != rb.Sched {
-		t.Fatalf("nondeterministic ablation:\n%+v\n%+v", ra.Device, rb.Device)
-	}
-	if ra.CommitHist.Percentile(99) != rb.CommitHist.Percentile(99) {
-		t.Fatal("commit p99 diverged between identical runs")
+	for i := range a.Rows {
+		ra, rb := a.Rows[i].Result, b.Rows[i].Result
+		if ra.Committed != rb.Committed || ra.Device.Erases != rb.Device.Erases ||
+			ra.Device.EraseSuspends != rb.Device.EraseSuspends ||
+			ra.Sched != rb.Sched {
+			t.Fatalf("nondeterministic %s ablation:\n%+v\n%+v",
+				a.Rows[i].Mode, ra.Device, rb.Device)
+		}
+		if ra.CommitHist.Percentile(99) != rb.CommitHist.Percentile(99) {
+			t.Fatalf("%s commit p99 diverged between identical runs", a.Rows[i].Mode)
+		}
 	}
 }
 

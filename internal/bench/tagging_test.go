@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"testing"
+
+	"noftl/internal/flash"
+	"noftl/internal/ioreq"
+	"noftl/internal/nand"
+	"noftl/internal/sched"
+	"noftl/internal/sim"
+	"noftl/internal/storage"
+	"noftl/internal/trace"
+)
+
+// TestClassInheritanceEndToEnd checks the tentpole invariant on both
+// the single-volume and region-managed stacks: a request whose context
+// declares ClassGC at the engine layer must reach the die queue as a GC
+// command, be recorded as GC (with its stream tag) in the command log,
+// and show up in the scheduler's and device's per-class queue-wait
+// accounting — even though the volume routed it through its foreground
+// device views.
+func TestClassInheritanceEndToEnd(t *testing.T) {
+	for _, stack := range []Stack{StackNoFTL, StackNoFTLRegions} {
+		t.Run(string(stack), func(t *testing.T) {
+			log := &trace.CmdLog{}
+			opts := BuildOpts{Sched: &sched.Config{Policy: sched.Priority, Trace: log.Record}}
+			devCfg := flash.EmulatorConfig(2, 16, nand.SLC)
+			sys, err := BuildSystemOpts(stack, devCfg, 64, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const tag = 7
+			var runErr error
+			sys.K.Go("client", func(p *sim.Proc) {
+				ctx := storage.NewIOCtx(sim.ProcWaiter{P: p}).
+					WithClass(ioreq.ClassGC).WithTag(tag)
+				buf := make([]byte, sys.Vol.PageSize())
+				if err := sys.Vol.WritePage(ctx, 3, buf, storage.HintHotData); err != nil {
+					runErr = err
+					return
+				}
+				if err := sys.Vol.ReadPage(ctx, 3, buf); err != nil {
+					runErr = err
+				}
+			})
+			sys.K.RunFor(sim.Second)
+			sys.K.Shutdown()
+			if runErr != nil {
+				t.Fatal(runErr)
+			}
+
+			st := sys.Sched.Stats()
+			if st.Scheduled[sched.ClassGC] < 2 {
+				t.Fatalf("declared-GC write+read must dispatch as GC: scheduled=%v", st.Scheduled)
+			}
+			if st.Retagged < 2 {
+				t.Fatalf("descriptor overrides not counted: retagged=%d", st.Retagged)
+			}
+			var gotProgram, gotRead bool
+			for _, ev := range log.Events {
+				if ev.Tag != tag {
+					t.Fatalf("command lost its stream tag: %+v", ev)
+				}
+				if ev.Class != sched.ClassGC {
+					t.Fatalf("command lost its declared class: %+v", ev)
+				}
+				switch ev.Op {
+				case "program":
+					gotProgram = true
+				case "read":
+					gotRead = true
+				}
+			}
+			if !gotProgram || !gotRead {
+				t.Fatalf("command log incomplete: program=%v read=%v (%d events)",
+					gotProgram, gotRead, len(log.Events))
+			}
+			// Queue-wait attribution: only the GC class row may be
+			// populated, in scheduler stats and in the device's per-class
+			// mirror.
+			for c := sched.Class(0); c < sched.NumClasses; c++ {
+				if c != sched.ClassGC && st.Scheduled[c] != 0 {
+					t.Fatalf("class %v dispatched %d commands; all traffic declared GC",
+						c, st.Scheduled[c])
+				}
+			}
+			dst := sys.Dev.Stats()
+			if dst.ClassQueuedCmds[int(sched.ClassGC)] != st.Scheduled[sched.ClassGC] {
+				t.Fatalf("device per-class accounting mismatch: dev=%v sched=%v",
+					dst.ClassQueuedCmds, st.Scheduled)
+			}
+		})
+	}
+}
+
+// TestTagWaitHistogram checks per-tag attribution in the command log.
+func TestTagWaitHistogram(t *testing.T) {
+	log := &trace.CmdLog{}
+	log.Record(sched.Event{Tag: 1, Class: sched.ClassRead, Arrival: 0, Start: 10, End: 20})
+	log.Record(sched.Event{Tag: 2, Class: sched.ClassRead, Arrival: 0, Start: 30, End: 40})
+	log.Record(sched.Event{Tag: 1, Class: sched.ClassGC, Arrival: 5, Start: 25, End: 45})
+	h := log.TagWait(1)
+	if h.Count() != 2 || h.Max() != 20 {
+		t.Fatalf("tag-1 wait histogram: count=%d max=%v", h.Count(), h.Max())
+	}
+	if log.TagWait(2).Count() != 1 {
+		t.Fatal("tag-2 wait histogram wrong")
+	}
+	if log.TagWait(9).Count() != 0 {
+		t.Fatal("unknown tag must be empty")
+	}
+}

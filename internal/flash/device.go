@@ -104,7 +104,18 @@ type Stats struct {
 	QueueWait     sim.Time
 	QueuedCmds    int64
 	EraseSuspends int64
+	// Per-class queue accounting (indices follow the scheduler's class
+	// order: read, wal, program, prefetch, gc). With per-request
+	// descriptors (package ioreq) the class here is the one the request
+	// declared, so the attribution is exact per stream class.
+	ClassQueueWait  [NumSchedClasses]sim.Time
+	ClassQueuedCmds [NumSchedClasses]int64
 }
+
+// NumSchedClasses sizes the per-class queue accounting in Stats. It
+// mirrors the command scheduler's class count (package sched) without
+// importing it.
+const NumSchedClasses = 5
 
 // Device is the emulated native-flash device.
 type Device struct {
@@ -209,12 +220,17 @@ func (d *Device) ResetStats() {
 }
 
 // NoteQueueWait records time a command spent queued in a host-side
-// scheduler before reaching its die. Package sched calls it at dispatch;
-// the wait surfaces in Stats alongside device service times.
-func (d *Device) NoteQueueWait(wait sim.Time) {
+// scheduler before reaching its die, attributed to the class the command
+// dispatched at. Package sched calls it at dispatch; the wait surfaces
+// in Stats alongside device service times.
+func (d *Device) NoteQueueWait(class int, wait sim.Time) {
 	d.mu.Lock()
 	d.stats.QueueWait += wait
 	d.stats.QueuedCmds++
+	if class >= 0 && class < NumSchedClasses {
+		d.stats.ClassQueueWait[class] += wait
+		d.stats.ClassQueuedCmds[class]++
+	}
 	d.mu.Unlock()
 }
 

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"noftl/internal/flash"
+	"noftl/internal/ioreq"
 	"noftl/internal/nand"
 	"noftl/internal/sim"
 )
@@ -194,8 +195,11 @@ func (l *SeqLog) ppnAt(pos int64) nand.PPN {
 
 // Append programs data as the next stream page and returns its position.
 // The only failure modes are device errors and ErrLogSpace: appends
-// never trigger garbage collection.
-func (l *SeqLog) Append(w sim.Waiter, data []byte) (int64, error) {
+// never trigger garbage collection. The request descriptor's declared
+// class (if any) overrides the region's WAL-class routing at an attached
+// scheduler.
+func (l *SeqLog) Append(rq ioreq.Req, data []byte) (int64, error) {
+	w := rq.Waiter()
 	for attempt := 0; ; attempt++ {
 		if attempt > len(l.sps)*l.sps[0].Blocks() {
 			return 0, fmt.Errorf("%w: seqlog cannot place an append", ErrLogSpace)
@@ -243,6 +247,9 @@ func (l *SeqLog) Append(w sim.Waiter, data []byte) (int64, error) {
 // sequential scheme's only relocation path and runs only on grown bad
 // blocks, never for space reclamation.
 func (l *SeqLog) salvageTail(w sim.Waiter) error {
+	// Salvage copies are maintenance: they dispatch in the GC class no
+	// matter which class the failing append declared.
+	w = ioreq.WithClass(w, ioreq.ClassGC)
 	bad := l.exts[len(l.exts)-1]
 	extStart := l.base + int64(len(l.exts)-1)*int64(l.ppb())
 	nLive := int(l.next - extStart)
@@ -285,12 +292,12 @@ retry:
 }
 
 // ReadAt reads the stream page at pos into buf.
-func (l *SeqLog) ReadAt(w sim.Waiter, pos int64, buf []byte) error {
+func (l *SeqLog) ReadAt(rq ioreq.Req, pos int64, buf []byte) error {
 	if pos < l.base || pos >= l.next {
 		return fmt.Errorf("%w: %d not in [%d,%d)", ErrLogRange, pos, l.base, l.next)
 	}
 	l.stats.HostReads++
-	_, err := l.io.ReadPage(w, l.ppnAt(pos), buf)
+	_, err := l.io.ReadPage(rq.Waiter(), l.ppnAt(pos), buf)
 	if errors.Is(err, nand.ErrPageErased) {
 		return nil
 	}
@@ -300,7 +307,10 @@ func (l *SeqLog) ReadAt(w sim.Waiter, pos int64, buf []byte) error {
 // Truncate declares every stream position below keepFrom dead and
 // erases the extents that became fully dead. This is the region's
 // entire GC: block-granular, copy-free, driven by the DBMS checkpoint.
-func (l *SeqLog) Truncate(w sim.Waiter, keepFrom int64) error {
+func (l *SeqLog) Truncate(rq ioreq.Req, keepFrom int64) error {
+	// Truncation erases are the region's GC: dispatch them in the GC
+	// class regardless of the caller's declared class, but keep its tag.
+	w := ioreq.WithClass(rq.Waiter(), ioreq.ClassGC)
 	if keepFrom > l.next {
 		keepFrom = l.next
 	}
@@ -341,11 +351,12 @@ type seqScan struct {
 // the last extent recovers the write frontier. This is the restart path
 // the host runs before WAL recovery — the mapping is so small (one entry
 // per block) that the scan cost is the whole cost.
-func RebuildSeqLog(dev *flash.Device, cfg SeqLogConfig, w sim.Waiter) (*SeqLog, error) {
+func RebuildSeqLog(dev *flash.Device, cfg SeqLogConfig, rq ioreq.Req) (*SeqLog, error) {
 	l, err := NewSeqLog(dev, cfg)
 	if err != nil {
 		return nil, err
 	}
+	w := rq.Waiter()
 	geo := dev.Geometry()
 	arr := dev.Array()
 	var scan []seqScan

@@ -3,6 +3,7 @@ package ftl
 import (
 	"encoding/binary"
 	"errors"
+	"noftl/internal/ioreq"
 	"testing"
 
 	"noftl/internal/flash"
@@ -40,7 +41,7 @@ func TestSeqLogAppendReadRoundTrip(t *testing.T) {
 	w := &sim.ClockWaiter{}
 	const n = 40
 	for i := int64(0); i < n; i++ {
-		pos, err := l.Append(w, seqPage(t, l, i))
+		pos, err := l.Append(ioreq.Plain(w), seqPage(t, l, i))
 		if err != nil {
 			t.Fatalf("append %d: %v", i, err)
 		}
@@ -50,7 +51,7 @@ func TestSeqLogAppendReadRoundTrip(t *testing.T) {
 	}
 	buf := make([]byte, l.PageSize())
 	for i := int64(0); i < n; i++ {
-		if err := l.ReadAt(w, i, buf); err != nil {
+		if err := l.ReadAt(ioreq.Plain(w), i, buf); err != nil {
 			t.Fatalf("read %d: %v", i, err)
 		}
 		if got := int64(binary.LittleEndian.Uint64(buf)); got != i {
@@ -74,12 +75,12 @@ func TestSeqLogTruncateErasesWholeBlocksOnly(t *testing.T) {
 	w := &sim.ClockWaiter{}
 	ppb := int64(l.ppb())
 	for i := int64(0); i < 3*ppb; i++ {
-		if _, err := l.Append(w, seqPage(t, l, i)); err != nil {
+		if _, err := l.Append(ioreq.Plain(w), seqPage(t, l, i)); err != nil {
 			t.Fatal(err)
 		}
 	}
 	// keepFrom mid-block: only the first (fully dead) extent goes.
-	if err := l.Truncate(w, ppb+1); err != nil {
+	if err := l.Truncate(ioreq.Plain(w), ppb+1); err != nil {
 		t.Fatal(err)
 	}
 	if head, _ := l.Bounds(); head != ppb {
@@ -90,14 +91,14 @@ func TestSeqLogTruncateErasesWholeBlocksOnly(t *testing.T) {
 	}
 	// Reads below head must fail; at head must work.
 	buf := make([]byte, l.PageSize())
-	if err := l.ReadAt(w, ppb-1, buf); !errors.Is(err, ErrLogRange) {
+	if err := l.ReadAt(ioreq.Plain(w), ppb-1, buf); !errors.Is(err, ErrLogRange) {
 		t.Fatalf("read below head: %v", err)
 	}
-	if err := l.ReadAt(w, ppb, buf); err != nil {
+	if err := l.ReadAt(ioreq.Plain(w), ppb, buf); err != nil {
 		t.Fatal(err)
 	}
 	// Truncating everything keeps the tail extent alive for the frontier.
-	if err := l.Truncate(w, 3*ppb); err != nil {
+	if err := l.Truncate(ioreq.Plain(w), 3*ppb); err != nil {
 		t.Fatal(err)
 	}
 	if head, next := l.Bounds(); next-head > ppb {
@@ -116,11 +117,11 @@ func TestSeqLogWrapsThroughTruncation(t *testing.T) {
 	// Append several times the capacity, truncating as a checkpointer
 	// would: the log must never run out of space.
 	for i := int64(0); i < 4*cap; i++ {
-		if _, err := l.Append(w, seqPage(t, l, i)); err != nil {
+		if _, err := l.Append(ioreq.Plain(w), seqPage(t, l, i)); err != nil {
 			t.Fatalf("append %d (cap %d): %v", i, cap, err)
 		}
 		if l.LivePages() > cap/2 {
-			if err := l.Truncate(w, i-int64(l.ppb())); err != nil {
+			if err := l.Truncate(ioreq.Plain(w), i-int64(l.ppb())); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -139,7 +140,7 @@ func TestSeqLogFullWithoutTruncate(t *testing.T) {
 	w := &sim.ClockWaiter{}
 	var appendErr error
 	for i := int64(0); i < l.CapacityPages()+16*int64(l.ppb()); i++ {
-		if _, appendErr = l.Append(w, seqPage(t, l, i)); appendErr != nil {
+		if _, appendErr = l.Append(ioreq.Plain(w), seqPage(t, l, i)); appendErr != nil {
 			break
 		}
 	}
@@ -158,16 +159,16 @@ func TestSeqLogRebuildRestoresWindow(t *testing.T) {
 	ppb := int64(l.ppb())
 	total := 5*ppb + 3 // partial tail extent
 	for i := int64(0); i < total; i++ {
-		if _, err := l.Append(w, seqPage(t, l, i)); err != nil {
+		if _, err := l.Append(ioreq.Plain(w), seqPage(t, l, i)); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := l.Truncate(w, 2*ppb); err != nil {
+	if err := l.Truncate(ioreq.Plain(w), 2*ppb); err != nil {
 		t.Fatal(err)
 	}
 
 	// Restart: rebuild from flash alone.
-	r, err := RebuildSeqLog(dev, SeqLogConfig{Dies: []int{1, 2}}, w)
+	r, err := RebuildSeqLog(dev, SeqLogConfig{Dies: []int{1, 2}}, ioreq.Plain(w))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +178,7 @@ func TestSeqLogRebuildRestoresWindow(t *testing.T) {
 	}
 	buf := make([]byte, r.PageSize())
 	for i := head; i < next; i++ {
-		if err := r.ReadAt(w, i, buf); err != nil {
+		if err := r.ReadAt(ioreq.Plain(w), i, buf); err != nil {
 			t.Fatalf("rebuilt read %d: %v", i, err)
 		}
 		if got := int64(binary.LittleEndian.Uint64(buf)); got != i {
@@ -185,7 +186,7 @@ func TestSeqLogRebuildRestoresWindow(t *testing.T) {
 		}
 	}
 	// The rebuilt log keeps appending where the old one stopped.
-	pos, err := r.Append(w, seqPage(t, r, next))
+	pos, err := r.Append(ioreq.Plain(w), seqPage(t, r, next))
 	if err != nil || pos != next {
 		t.Fatalf("append after rebuild: pos %d err %v", pos, err)
 	}
@@ -201,12 +202,12 @@ func TestSeqLogSurvivesBadBlocks(t *testing.T) {
 	ppb := int64(l.ppb())
 	var appended int64
 	for i := int64(0); i < 600; i++ {
-		if _, err := l.Append(w, seqPage(t, l, i)); err != nil {
+		if _, err := l.Append(ioreq.Plain(w), seqPage(t, l, i)); err != nil {
 			t.Fatalf("append %d: %v", i, err)
 		}
 		appended++
 		if l.LivePages() > 6*ppb {
-			if err := l.Truncate(w, appended-4*ppb); err != nil {
+			if err := l.Truncate(ioreq.Plain(w), appended-4*ppb); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -215,7 +216,7 @@ func TestSeqLogSurvivesBadBlocks(t *testing.T) {
 	head, next := l.Bounds()
 	buf := make([]byte, l.PageSize())
 	for i := head; i < next; i++ {
-		if err := l.ReadAt(w, i, buf); err != nil {
+		if err := l.ReadAt(ioreq.Plain(w), i, buf); err != nil {
 			t.Fatalf("read %d after salvage: %v", i, err)
 		}
 		if got := int64(binary.LittleEndian.Uint64(buf)); got != i {

@@ -1,0 +1,164 @@
+// Package ioreq defines the cross-layer I/O request descriptor: the one
+// piece of state that travels with a request from the workload layer,
+// through the storage engine and host-side flash management, down to the
+// per-die command scheduler.
+//
+// The NoFTL thesis is that layered storage stacks lose request semantics
+// on the way down — the device sees a read, not "a commit-path log
+// append with a 5 ms budget". The descriptor keeps that knowledge
+// attached to the request itself:
+//
+//   - Class declares the scheduler priority class the request should
+//     dispatch at. ClassDefault means "whatever the volume's per-class
+//     device routing (noftl.ClassDevs) would have picked" — the
+//     pre-descriptor behavior, kept as the fallback.
+//   - Tag names the request's stream (a terminal group, the
+//     checkpointer, a GC worker), so per-stream latency attribution in
+//     the command log is exact even when two streams share a class.
+//   - Deadline is an optional promotion point: a Priority scheduler
+//     serves a past-deadline command ahead of its class.
+//
+// Layers that speak plain sim.Waiter (flash.Dev and below) receive the
+// descriptor riding on a Tagged waiter; the scheduler unwraps it at the
+// die queue. Layers above speak Req (noftl.Volume, ftl.SeqLog) or
+// storage.IOCtx, which embeds the same fields.
+package ioreq
+
+import "noftl/internal/sim"
+
+// Class is a request's declared scheduler class. The values mirror the
+// command scheduler's priority order (sched.Class) shifted by one:
+// ClassDefault is the zero value and means "no declaration".
+type Class uint8
+
+// Request classes, highest priority first after the default.
+const (
+	// ClassDefault declares nothing: the volume's per-class device
+	// routing decides (the static-ClassDevs fallback).
+	ClassDefault Class = iota
+	// ClassRead is foreground page reads (query latency).
+	ClassRead
+	// ClassWAL is commit-path log appends.
+	ClassWAL
+	// ClassProgram is data-page programs and delta appends.
+	ClassProgram
+	// ClassPrefetch is speculative read-ahead.
+	ClassPrefetch
+	// ClassGC is garbage collection, folds, erases and wear moves.
+	ClassGC
+	// NumClasses bounds the class space (ClassDefault included).
+	NumClasses
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case ClassDefault:
+		return "default"
+	case ClassRead:
+		return "read"
+	case ClassWAL:
+		return "wal"
+	case ClassProgram:
+		return "program"
+	case ClassPrefetch:
+		return "prefetch"
+	case ClassGC:
+		return "gc"
+	default:
+		return "Class(?)"
+	}
+}
+
+// Req is the request descriptor handed to host-side flash management
+// (noftl.Volume, ftl.SeqLog, region rebuilds): the waiter that
+// experiences the request's latency plus the intent that should travel
+// with it.
+type Req struct {
+	// W experiences the request's latency. Nil gets a private serial
+	// clock (unit-test convenience, mirrored by storage.IOCtx).
+	W sim.Waiter
+	// Class is the declared scheduler class (ClassDefault: volume
+	// routing decides).
+	Class Class
+	// Tag is the request's stream/transaction tag (0: untagged).
+	Tag uint32
+	// Deadline promotes the request's commands ahead of their class once
+	// the simulated clock passes it (0: none).
+	Deadline sim.Time
+}
+
+// Plain wraps a bare waiter into an intent-free descriptor.
+func Plain(w sim.Waiter) Req { return Req{W: w} }
+
+// Intent reports whether the descriptor declares anything beyond the
+// waiter.
+func (r Req) Intent() bool {
+	return r.Class != ClassDefault || r.Tag != 0 || r.Deadline != 0
+}
+
+// WithClass returns the descriptor with its class replaced.
+func (r Req) WithClass(c Class) Req {
+	r.Class = c
+	return r
+}
+
+// WithTag returns the descriptor with its stream tag replaced.
+func (r Req) WithTag(tag uint32) Req {
+	r.Tag = tag
+	return r
+}
+
+// Waiter returns the waiter lower layers should be handed: the bare
+// waiter when the descriptor carries no intent, a Tagged wrapper
+// otherwise (never nil — a nil W becomes a private serial clock).
+func (r Req) Waiter() sim.Waiter {
+	w := r.W
+	if w == nil {
+		w = &sim.ClockWaiter{}
+	}
+	if !r.Intent() {
+		return w
+	}
+	return &Tagged{Inner: w, Class: r.Class, Tag: r.Tag, Deadline: r.Deadline}
+}
+
+// Tagged is a sim.Waiter carrying the request descriptor across layers
+// that speak plain waiters (flash.Dev and below). The command scheduler
+// unwraps it at the die queue; an unscheduled device just experiences it
+// as the inner waiter.
+type Tagged struct {
+	Inner    sim.Waiter
+	Class    Class
+	Tag      uint32
+	Deadline sim.Time
+}
+
+// Now implements sim.Waiter.
+func (t *Tagged) Now() sim.Time { return t.Inner.Now() }
+
+// WaitUntil implements sim.Waiter.
+func (t *Tagged) WaitUntil(ts sim.Time) { t.Inner.WaitUntil(ts) }
+
+// From recovers the descriptor riding on a waiter: the Tagged wrapper's
+// fields, or an intent-free descriptor around w itself.
+func From(w sim.Waiter) Req {
+	if t, ok := w.(*Tagged); ok {
+		return Req{W: t.Inner, Class: t.Class, Tag: t.Tag, Deadline: t.Deadline}
+	}
+	return Req{W: w}
+}
+
+// WithClass returns w re-tagged to class c, preserving any tag and
+// deadline already riding on it. Host-side maintenance uses it to keep
+// induced traffic (GC copies, truncation erases, salvage) in the GC
+// class while still attributing it to the stream that caused it.
+func WithClass(w sim.Waiter, c Class) sim.Waiter {
+	if t, ok := w.(*Tagged); ok {
+		if t.Class == c {
+			return w
+		}
+		return &Tagged{Inner: t.Inner, Class: c, Tag: t.Tag, Deadline: t.Deadline}
+	}
+	return &Tagged{Inner: w, Class: c}
+}

@@ -1,0 +1,78 @@
+package ioreq
+
+import (
+	"testing"
+
+	"noftl/internal/sim"
+)
+
+func TestPlainWaiterPassesThrough(t *testing.T) {
+	cw := &sim.ClockWaiter{T: 5}
+	if got := Plain(cw).Waiter(); got != sim.Waiter(cw) {
+		t.Fatalf("intent-free Req must hand back the bare waiter, got %T", got)
+	}
+}
+
+func TestNilWaiterGetsPrivateClock(t *testing.T) {
+	w := Req{}.Waiter()
+	if w == nil {
+		t.Fatal("nil W must yield a usable waiter")
+	}
+	w.WaitUntil(100)
+	if w.Now() != 100 {
+		t.Fatalf("private clock did not advance: %v", w.Now())
+	}
+}
+
+func TestTaggedRoundTrip(t *testing.T) {
+	cw := &sim.ClockWaiter{}
+	rq := Req{W: cw, Class: ClassGC, Tag: 7, Deadline: 42}
+	w := rq.Waiter()
+	tagged, ok := w.(*Tagged)
+	if !ok {
+		t.Fatalf("descriptor with intent must wrap: %T", w)
+	}
+	if tagged.Inner != sim.Waiter(cw) {
+		t.Fatal("inner waiter lost")
+	}
+	back := From(w)
+	if back.Class != ClassGC || back.Tag != 7 || back.Deadline != 42 || back.W != sim.Waiter(cw) {
+		t.Fatalf("From lost fields: %+v", back)
+	}
+	// Delegation: time flows through to the inner waiter.
+	w.WaitUntil(9)
+	if cw.T != 9 || w.Now() != 9 {
+		t.Fatalf("tagged waiter must delegate: cw=%v now=%v", cw.T, w.Now())
+	}
+}
+
+func TestWithClassPreservesTagAndDeadline(t *testing.T) {
+	cw := &sim.ClockWaiter{}
+	w := (Req{W: cw, Class: ClassWAL, Tag: 3, Deadline: 10}).Waiter()
+	gw := WithClass(w, ClassGC)
+	got := From(gw)
+	if got.Class != ClassGC || got.Tag != 3 || got.Deadline != 10 {
+		t.Fatalf("WithClass lost fields: %+v", got)
+	}
+	// Same class: no new wrapper.
+	if WithClass(gw, ClassGC) != gw {
+		t.Fatal("re-tagging to the same class should be a no-op")
+	}
+	// Untagged waiter: wraps with just the class.
+	got = From(WithClass(cw, ClassGC))
+	if got.Class != ClassGC || got.Tag != 0 || got.Deadline != 0 {
+		t.Fatalf("WithClass on bare waiter: %+v", got)
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	want := map[Class]string{
+		ClassDefault: "default", ClassRead: "read", ClassWAL: "wal",
+		ClassProgram: "program", ClassPrefetch: "prefetch", ClassGC: "gc",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Fatalf("%d: %q != %q", c, c.String(), s)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package noftl
 
 import (
+	"noftl/internal/ioreq"
 	"reflect"
 	"testing"
 
@@ -52,7 +53,7 @@ func runBackgroundStress(t *testing.T, seed int64) (ftl.Stats, int64, int64) {
 	span := v.LogicalPages() * 85 / 100
 	cw := &sim.ClockWaiter{}
 	for lpn := int64(0); lpn < span; lpn++ {
-		if err := v.Write(cw, lpn, buf); err != nil {
+		if err := v.Write(ioreq.Plain(cw), lpn, buf); err != nil {
 			t.Fatalf("fill lpn %d: %v", lpn, err)
 		}
 	}
@@ -80,7 +81,7 @@ func runBackgroundStress(t *testing.T, seed int64) (ftl.Stats, int64, int64) {
 				x ^= x >> 7
 				x ^= x << 17
 				lpn := int64(x % uint64(span))
-				if err := v.Write(w, lpn, buf); err != nil {
+				if err := v.Write(ioreq.Plain(w), lpn, buf); err != nil {
 					fatal = err
 					return
 				}

@@ -7,6 +7,7 @@ import (
 
 	"noftl/internal/delta"
 	"noftl/internal/ftl"
+	"noftl/internal/ioreq"
 	"noftl/internal/nand"
 	"noftl/internal/sim"
 )
@@ -106,11 +107,11 @@ type openDeltaPage struct {
 // change relative to the page's current logical contents. When the
 // page's chain reaches Config.MaxDeltaChain the volume folds chain and
 // payload into a fresh full-page write instead.
-func (v *Volume) WriteDelta(w sim.Waiter, lpn int64, payload []byte) error {
+func (v *Volume) WriteDelta(rq ioreq.Req, lpn int64, payload []byte) error {
 	if err := v.check(lpn); err != nil {
 		return err
 	}
-	return v.dies[v.st.DieOf(lpn)].writeDelta(w, v.st.DieLPN(lpn), lpn, payload)
+	return v.dies[v.st.DieOf(lpn)].writeDelta(rq.Waiter(), v.st.DieLPN(lpn), lpn, payload)
 }
 
 // ChainLen reports the page's current delta-chain length (0 when the

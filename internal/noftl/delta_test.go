@@ -3,6 +3,7 @@ package noftl
 import (
 	"bytes"
 	"math/rand"
+	"noftl/internal/ioreq"
 	"testing"
 
 	"noftl/internal/delta"
@@ -43,12 +44,12 @@ func TestWriteDeltaFoldOnRead(t *testing.T) {
 
 	want := make([]byte, ps)
 	rng.Read(want)
-	if err := v.Write(w, 3, want); err != nil {
+	if err := v.Write(ioreq.Plain(w), 3, want); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 3; i++ {
 		enc := mutate(rng, want, 2)
-		if err := v.WriteDelta(w, 3, enc); err != nil {
+		if err := v.WriteDelta(ioreq.Plain(w), 3, enc); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -56,7 +57,7 @@ func TestWriteDeltaFoldOnRead(t *testing.T) {
 		t.Fatalf("chain length = %d, want 3", got)
 	}
 	buf := make([]byte, ps)
-	if err := v.Read(w, 3, buf); err != nil {
+	if err := v.Read(ioreq.Plain(w), 3, buf); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(buf, want) {
@@ -78,11 +79,11 @@ func TestWriteDeltaForcedFoldAtMaxChain(t *testing.T) {
 
 	want := make([]byte, ps)
 	rng.Read(want)
-	if err := v.Write(w, 0, want); err != nil {
+	if err := v.Write(ioreq.Plain(w), 0, want); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 5; i++ {
-		if err := v.WriteDelta(w, 0, mutate(rng, want, 1)); err != nil {
+		if err := v.WriteDelta(ioreq.Plain(w), 0, mutate(rng, want, 1)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -96,7 +97,7 @@ func TestWriteDeltaForcedFoldAtMaxChain(t *testing.T) {
 		t.Fatalf("chain length %d exceeds MaxDeltaChain", got)
 	}
 	buf := make([]byte, ps)
-	if err := v.Read(w, 0, buf); err != nil {
+	if err := v.Read(ioreq.Plain(w), 0, buf); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(buf, want) {
@@ -113,11 +114,11 @@ func TestWriteDeltaAgainstUnwrittenPage(t *testing.T) {
 	want := make([]byte, ps)
 	want[100] = 0xAB
 	enc := delta.Encode([]delta.Run{{Off: 100, Len: 1}}, want)
-	if err := v.WriteDelta(w, 9, enc); err != nil {
+	if err := v.WriteDelta(ioreq.Plain(w), 9, enc); err != nil {
 		t.Fatal(err)
 	}
 	buf := make([]byte, ps)
-	if err := v.Read(w, 9, buf); err != nil {
+	if err := v.Read(ioreq.Plain(w), 9, buf); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(buf, want) {
@@ -131,22 +132,22 @@ func TestFullWriteSupersedesChain(t *testing.T) {
 	ps := v.Identify().Geometry.PageSize
 	page := make([]byte, ps)
 	rng.Read(page)
-	if err := v.Write(w, 1, page); err != nil {
+	if err := v.Write(ioreq.Plain(w), 1, page); err != nil {
 		t.Fatal(err)
 	}
-	if err := v.WriteDelta(w, 1, mutate(rng, page, 1)); err != nil {
+	if err := v.WriteDelta(ioreq.Plain(w), 1, mutate(rng, page, 1)); err != nil {
 		t.Fatal(err)
 	}
 	fresh := make([]byte, ps)
 	rng.Read(fresh)
-	if err := v.Write(w, 1, fresh); err != nil {
+	if err := v.Write(ioreq.Plain(w), 1, fresh); err != nil {
 		t.Fatal(err)
 	}
 	if got := v.ChainLen(1); got != 0 {
 		t.Fatalf("chain survived a full write: %d", got)
 	}
 	buf := make([]byte, ps)
-	if err := v.Read(w, 1, buf); err != nil {
+	if err := v.Read(ioreq.Plain(w), 1, buf); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(buf, fresh) {
@@ -163,10 +164,10 @@ func TestInvalidateDropsChain(t *testing.T) {
 	ps := v.Identify().Geometry.PageSize
 	page := make([]byte, ps)
 	rng.Read(page)
-	if err := v.Write(w, 2, page); err != nil {
+	if err := v.Write(ioreq.Plain(w), 2, page); err != nil {
 		t.Fatal(err)
 	}
-	if err := v.WriteDelta(w, 2, mutate(rng, page, 1)); err != nil {
+	if err := v.WriteDelta(ioreq.Plain(w), 2, mutate(rng, page, 1)); err != nil {
 		t.Fatal(err)
 	}
 	if err := v.Invalidate(2); err != nil {
@@ -176,7 +177,7 @@ func TestInvalidateDropsChain(t *testing.T) {
 		t.Fatalf("chain survived invalidate: %d", got)
 	}
 	buf := make([]byte, ps)
-	if err := v.Read(w, 2, buf); err != nil {
+	if err := v.Read(ioreq.Plain(w), 2, buf); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(buf, make([]byte, ps)) {
@@ -202,7 +203,7 @@ func TestDeltaChurnWithGC(t *testing.T) {
 	for lpn := int64(0); lpn < n; lpn++ {
 		shadow[lpn] = make([]byte, ps)
 		rng.Read(shadow[lpn])
-		if err := v.Write(w, lpn, shadow[lpn]); err != nil {
+		if err := v.Write(ioreq.Plain(w), lpn, shadow[lpn]); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -211,7 +212,7 @@ func TestDeltaChurnWithGC(t *testing.T) {
 		switch rng.Intn(10) {
 		case 0, 1: // full rewrite
 			rng.Read(shadow[lpn])
-			if err := v.Write(w, lpn, shadow[lpn]); err != nil {
+			if err := v.Write(ioreq.Plain(w), lpn, shadow[lpn]); err != nil {
 				t.Fatalf("op %d write: %v", i, err)
 			}
 		case 2: // invalidate
@@ -223,7 +224,7 @@ func TestDeltaChurnWithGC(t *testing.T) {
 			}
 		default: // delta append
 			enc := mutate(rng, shadow[lpn], 1+rng.Intn(2))
-			if err := v.WriteDelta(w, lpn, enc); err != nil {
+			if err := v.WriteDelta(ioreq.Plain(w), lpn, enc); err != nil {
 				t.Fatalf("op %d delta: %v", i, err)
 			}
 		}
@@ -237,7 +238,7 @@ func TestDeltaChurnWithGC(t *testing.T) {
 	}
 	buf := make([]byte, ps)
 	for lpn := int64(0); lpn < n; lpn++ {
-		if err := v.Read(w, lpn, buf); err != nil {
+		if err := v.Read(ioreq.Plain(w), lpn, buf); err != nil {
 			t.Fatalf("read %d: %v", lpn, err)
 		}
 		if !bytes.Equal(buf, shadow[lpn]) {
@@ -270,7 +271,7 @@ func TestDeltaSurvivesBadBlocks(t *testing.T) {
 	for lpn := int64(0); lpn < n; lpn++ {
 		shadow[lpn] = make([]byte, ps)
 		rng.Read(shadow[lpn])
-		if err := v.Write(w, lpn, shadow[lpn]); err != nil {
+		if err := v.Write(ioreq.Plain(w), lpn, shadow[lpn]); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -278,13 +279,13 @@ func TestDeltaSurvivesBadBlocks(t *testing.T) {
 		lpn := rng.Int63n(n)
 		if rng.Intn(4) == 0 {
 			rng.Read(shadow[lpn])
-			if err := v.Write(w, lpn, shadow[lpn]); err != nil {
+			if err := v.Write(ioreq.Plain(w), lpn, shadow[lpn]); err != nil {
 				t.Fatalf("op %d write: %v", i, err)
 			}
 			continue
 		}
 		enc := mutate(rng, shadow[lpn], 1)
-		if err := v.WriteDelta(w, lpn, enc); err != nil {
+		if err := v.WriteDelta(ioreq.Plain(w), lpn, enc); err != nil {
 			t.Fatalf("op %d delta: %v", i, err)
 		}
 	}
@@ -293,7 +294,7 @@ func TestDeltaSurvivesBadBlocks(t *testing.T) {
 	}
 	buf := make([]byte, ps)
 	for lpn := int64(0); lpn < n; lpn++ {
-		if err := v.Read(w, lpn, buf); err != nil {
+		if err := v.Read(ioreq.Plain(w), lpn, buf); err != nil {
 			t.Fatalf("read %d: %v", lpn, err)
 		}
 		if !bytes.Equal(buf, shadow[lpn]) {
@@ -318,7 +319,7 @@ func TestRebuildRestoresDeltaChains(t *testing.T) {
 	for lpn := int64(0); lpn < n; lpn++ {
 		shadow[lpn] = make([]byte, ps)
 		rng.Read(shadow[lpn])
-		if err := v.Write(w, lpn, shadow[lpn]); err != nil {
+		if err := v.Write(ioreq.Plain(w), lpn, shadow[lpn]); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -327,12 +328,12 @@ func TestRebuildRestoresDeltaChains(t *testing.T) {
 		lpn := rng.Int63n(n)
 		if rng.Intn(5) == 0 {
 			rng.Read(shadow[lpn])
-			if err := v.Write(w, lpn, shadow[lpn]); err != nil {
+			if err := v.Write(ioreq.Plain(w), lpn, shadow[lpn]); err != nil {
 				t.Fatal(err)
 			}
 			continue
 		}
-		if err := v.WriteDelta(w, lpn, mutate(rng, shadow[lpn], 1)); err != nil {
+		if err := v.WriteDelta(ioreq.Plain(w), lpn, mutate(rng, shadow[lpn], 1)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -348,7 +349,7 @@ func TestRebuildRestoresDeltaChains(t *testing.T) {
 
 	// Host restart: the volume object (l2p, chains) is dropped; only
 	// flash contents survive.
-	v2, err := Rebuild(dev, Config{MaxDeltaChain: 6}, w)
+	v2, err := Rebuild(dev, Config{MaxDeltaChain: 6}, ioreq.Plain(w))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -357,7 +358,7 @@ func TestRebuildRestoresDeltaChains(t *testing.T) {
 	}
 	buf := make([]byte, ps)
 	for lpn := int64(0); lpn < n; lpn++ {
-		if err := v2.Read(w, lpn, buf); err != nil {
+		if err := v2.Read(ioreq.Plain(w), lpn, buf); err != nil {
 			t.Fatalf("read %d: %v", lpn, err)
 		}
 		if !bytes.Equal(buf, shadow[lpn]) {
@@ -367,7 +368,7 @@ func TestRebuildRestoresDeltaChains(t *testing.T) {
 	// And the rebuilt volume keeps working on the delta path.
 	for i := 0; i < 100; i++ {
 		lpn := rng.Int63n(n)
-		if err := v2.WriteDelta(w, lpn, mutate(rng, shadow[lpn], 1)); err != nil {
+		if err := v2.WriteDelta(ioreq.Plain(w), lpn, mutate(rng, shadow[lpn], 1)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -375,7 +376,7 @@ func TestRebuildRestoresDeltaChains(t *testing.T) {
 		t.Fatal(err)
 	}
 	for lpn := int64(0); lpn < n; lpn++ {
-		if err := v2.Read(w, lpn, buf); err != nil {
+		if err := v2.Read(ioreq.Plain(w), lpn, buf); err != nil {
 			t.Fatal(err)
 		}
 		if !bytes.Equal(buf, shadow[lpn]) {
@@ -405,7 +406,7 @@ func TestDeltaBytesBeatFullPages(t *testing.T) {
 		for lpn := int64(0); lpn < n; lpn++ {
 			pages[lpn] = make([]byte, ps)
 			rng.Read(pages[lpn])
-			if err := v.Write(w, lpn, pages[lpn]); err != nil {
+			if err := v.Write(ioreq.Plain(w), lpn, pages[lpn]); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -413,9 +414,9 @@ func TestDeltaBytesBeatFullPages(t *testing.T) {
 			lpn := rng.Int63n(n)
 			enc := mutate(rng, pages[lpn], 1)
 			if useDelta {
-				err = v.WriteDelta(w, lpn, enc)
+				err = v.WriteDelta(ioreq.Plain(w), lpn, enc)
 			} else {
-				err = v.Write(w, lpn, pages[lpn])
+				err = v.Write(ioreq.Plain(w), lpn, pages[lpn])
 			}
 			if err != nil {
 				t.Fatal(err)

@@ -7,8 +7,8 @@ import (
 
 	"noftl/internal/flash"
 	"noftl/internal/ftl"
+	"noftl/internal/ioreq"
 	"noftl/internal/nand"
-	"noftl/internal/sim"
 )
 
 // Rebuild reconstructs a Volume's mapping state from the out-of-band
@@ -27,11 +27,12 @@ import (
 // DBMS had invalidated before the restart reappear as valid until the
 // storage engine's recovery re-applies its free-space knowledge (the
 // engine, not the volume, is the authority on dead pages).
-func Rebuild(dev *flash.Device, cfg Config, w sim.Waiter) (*Volume, error) {
+func Rebuild(dev *flash.Device, cfg Config, rq ioreq.Req) (*Volume, error) {
 	v, err := New(dev, cfg)
 	if err != nil {
 		return nil, err
 	}
+	w := rq.Waiter()
 	geo := dev.Geometry()
 	arr := dev.Array()
 	type best struct {

@@ -2,6 +2,7 @@ package noftl
 
 import (
 	"fmt"
+	"noftl/internal/ioreq"
 	"strings"
 	"testing"
 
@@ -58,14 +59,14 @@ func TestVolumeColdFillHotChurn(t *testing.T) {
 	n := v.LogicalPages()
 	page := make([]byte, cfg.Geometry.PageSize)
 	for lpn := int64(0); lpn < n; lpn++ {
-		if err := v.WriteHint(w, lpn, page, HintCold); err != nil {
+		if err := v.WriteHint(ioreq.Plain(w), lpn, page, HintCold); err != nil {
 			t.Fatalf("cold %d: %v\n%s", lpn, err, v.debugString())
 		}
 	}
 	rng := rand.New(rand.NewSource(1))
 	for i := 0; i < int(n)*12; i++ {
 		lpn := rng.Int63n(n / 10)
-		if err := v.WriteHint(w, lpn, page, HintHot); err != nil {
+		if err := v.WriteHint(ioreq.Plain(w), lpn, page, HintHot); err != nil {
 			t.Fatalf("hot %d: %v\n%s", i, err, v.debugString())
 		}
 	}

@@ -23,6 +23,7 @@ import (
 
 	"noftl/internal/flash"
 	"noftl/internal/ftl"
+	"noftl/internal/ioreq"
 	"noftl/internal/nand"
 	"noftl/internal/sim"
 )
@@ -337,12 +338,14 @@ func (v *Volume) Stats() ftl.Stats {
 func (v *Volume) RegionStats(region int) ftl.Stats { return v.dies[region].stats }
 
 // Read reads a logical page. Unwritten or invalidated pages read as
-// zeros without touching flash.
-func (v *Volume) Read(w sim.Waiter, lpn int64, buf []byte) error {
+// zeros without touching flash. The request descriptor's declared class
+// (if any) overrides the volume's foreground-read routing at an attached
+// scheduler.
+func (v *Volume) Read(rq ioreq.Req, lpn int64, buf []byte) error {
 	if err := v.check(lpn); err != nil {
 		return err
 	}
-	return v.dies[v.st.DieOf(lpn)].read(w, v.st.DieLPN(lpn), buf)
+	return v.dies[v.st.DieOf(lpn)].read(rq.Waiter(), v.st.DieLPN(lpn), buf)
 }
 
 // ReadPrefetch reads a logical page through the prefetch command class:
@@ -350,25 +353,27 @@ func (v *Volume) Read(w sim.Waiter, lpn int64, buf []byte) error {
 // appends and data programs, so speculative read-ahead can pipeline
 // across dies without ever delaying OLTP traffic. Without a scheduler it
 // is identical to Read.
-func (v *Volume) ReadPrefetch(w sim.Waiter, lpn int64, buf []byte) error {
+func (v *Volume) ReadPrefetch(rq ioreq.Req, lpn int64, buf []byte) error {
 	if err := v.check(lpn); err != nil {
 		return err
 	}
 	d := v.dies[v.st.DieOf(lpn)]
-	return d.readVia(w, v.st.DieLPN(lpn), buf, d.devPrefetch)
+	return d.readVia(rq.Waiter(), v.st.DieLPN(lpn), buf, d.devPrefetch)
 }
 
 // Write writes a logical page out-of-place with default placement.
-func (v *Volume) Write(w sim.Waiter, lpn int64, data []byte) error {
-	return v.WriteHint(w, lpn, data, HintDefault)
+func (v *Volume) Write(rq ioreq.Req, lpn int64, data []byte) error {
+	return v.WriteHint(rq, lpn, data, HintDefault)
 }
 
-// WriteHint writes a logical page with a placement hint.
-func (v *Volume) WriteHint(w sim.Waiter, lpn int64, data []byte, h Hint) error {
+// WriteHint writes a logical page with a placement hint. The request
+// descriptor's declared class (if any) overrides the hint-derived
+// command routing at an attached scheduler.
+func (v *Volume) WriteHint(rq ioreq.Req, lpn int64, data []byte, h Hint) error {
 	if err := v.check(lpn); err != nil {
 		return err
 	}
-	return v.dies[v.st.DieOf(lpn)].write(w, v.st.DieLPN(lpn), lpn, data, h)
+	return v.dies[v.st.DieOf(lpn)].write(rq.Waiter(), v.st.DieLPN(lpn), lpn, data, h)
 }
 
 // Invalidate declares a logical page dead. This is the free-space-manager
@@ -396,7 +401,8 @@ func (v *Volume) NeedsGC(region int) bool {
 
 // GCStep performs at most one victim collection in the region, returning
 // whether it did work. Background callers drive it while NeedsGC.
-func (v *Volume) GCStep(w sim.Waiter, region int) (bool, error) {
+func (v *Volume) GCStep(rq ioreq.Req, region int) (bool, error) {
+	w := rq.Waiter()
 	d := v.dies[region]
 	for plane := 0; plane < d.sp.Planes(); plane++ {
 		if d.bt.FreeCount(plane) < d.cfg.LowWater+2 && !d.gcActive[plane] {
@@ -431,7 +437,8 @@ func (v *Volume) WearSpread(region int) int {
 // plane's erase-count spread exceeds WearDelta, reporting whether it
 // moved one. Background sweeps (sched.StartMaintenance) drive it; it
 // skips planes with GC in flight.
-func (v *Volume) WearLevelStep(w sim.Waiter, region int) (bool, error) {
+func (v *Volume) WearLevelStep(rq ioreq.Req, region int) (bool, error) {
+	w := rq.Waiter()
 	d := v.dies[region]
 	if d.cfg.DisableWearLevel {
 		return false, nil
@@ -654,6 +661,9 @@ func (d *dieMgr) ensureSpace(w sim.Waiter, plane int) error {
 }
 
 func (d *dieMgr) gcOnce(w sim.Waiter, plane int) error {
+	// Maintenance traffic always dispatches in the GC class, but keeps
+	// the tag of the request that triggered it (inline collections).
+	w = ioreq.WithClass(w, ioreq.ClassGC)
 	victim, ok := d.bt.PickVictim(plane, ftl.AnyKind, d.cfg.Policy)
 	if !ok {
 		return fmt.Errorf("%w: noftl no victim in plane %d of die %d", ftl.ErrGCStuck, plane, d.sp.Die)
@@ -808,6 +818,7 @@ func (d *dieMgr) eraseAndRelease(w sim.Waiter, local int) error {
 }
 
 func (d *dieMgr) retireAndSalvage(w sim.Waiter, local int) error {
+	w = ioreq.WithClass(w, ioreq.ClassGC)
 	d.bt.Retire(local)
 	plane := d.sp.PlaneOf(local)
 	for _, fr := range []*ftl.Frontier{&d.hot[plane], &d.cold[plane], &d.gc[plane], &d.deltaFr[plane], &d.logFr[plane]} {
@@ -923,6 +934,7 @@ func (d *dieMgr) wearScan(plane int) (minWear, maxWear, coldest int) {
 // wearMove migrates the plane's coldest block if the erase-count spread
 // exceeds WearDelta, reporting whether it moved one.
 func (d *dieMgr) wearMove(w sim.Waiter, plane int) (bool, error) {
+	w = ioreq.WithClass(w, ioreq.ClassGC)
 	minWear, maxWear, coldest := d.wearScan(plane)
 	if coldest < 0 || maxWear-minWear <= d.cfg.WearDelta {
 		return false, nil

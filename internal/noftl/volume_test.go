@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"math/rand"
+	"noftl/internal/ioreq"
 	"testing"
 	"testing/quick"
 
@@ -50,11 +51,11 @@ func newTestVolume(t *testing.T, cfg Config) (*Volume, *sim.ClockWaiter) {
 func TestVolumeRoundTrip(t *testing.T) {
 	v, w := newTestVolume(t, Config{})
 	data := fillPage(256, 11, 3)
-	if err := v.Write(w, 11, data); err != nil {
+	if err := v.Write(ioreq.Plain(w), 11, data); err != nil {
 		t.Fatal(err)
 	}
 	buf := make([]byte, 256)
-	if err := v.Read(w, 11, buf); err != nil {
+	if err := v.Read(ioreq.Plain(w), 11, buf); err != nil {
 		t.Fatal(err)
 	}
 	if string(buf) != string(data) {
@@ -77,10 +78,10 @@ func TestVolumeRegions(t *testing.T) {
 
 func TestVolumeOutOfRange(t *testing.T) {
 	v, w := newTestVolume(t, Config{})
-	if err := v.Read(w, v.LogicalPages(), nil); !errors.Is(err, ftl.ErrOutOfRange) {
+	if err := v.Read(ioreq.Plain(w), v.LogicalPages(), nil); !errors.Is(err, ftl.ErrOutOfRange) {
 		t.Errorf("read: %v", err)
 	}
-	if err := v.Write(w, -1, nil); !errors.Is(err, ftl.ErrOutOfRange) {
+	if err := v.Write(ioreq.Plain(w), -1, nil); !errors.Is(err, ftl.ErrOutOfRange) {
 		t.Errorf("write: %v", err)
 	}
 	if err := v.Invalidate(v.LogicalPages()); !errors.Is(err, ftl.ErrOutOfRange) {
@@ -125,13 +126,13 @@ func TestVolumeReadYourWritesProperty(t *testing.T) {
 			if o.Kind%3 == 1 {
 				hint = HintCold
 			}
-			if v.WriteHint(w, lpn, fillPage(256, lpn, i+1), hint) != nil {
+			if v.WriteHint(ioreq.Plain(w), lpn, fillPage(256, lpn, i+1), hint) != nil {
 				return false
 			}
 		}
 		buf := make([]byte, 256)
 		for lpn := int64(0); lpn < n; lpn++ {
-			if v.Read(w, lpn, buf) != nil {
+			if v.Read(ioreq.Plain(w), lpn, buf) != nil {
 				return false
 			}
 			if binary.LittleEndian.Uint64(buf[8:]) != uint64(model[lpn]) {
@@ -164,12 +165,12 @@ func TestVolumeInvalidateSkipsGCCopies(t *testing.T) {
 			// versions) that die right after being written.
 			if rng.Float64() < 0.5 {
 				lpn := rng.Int63n(live)
-				if err := v.Write(w, lpn, fillPage(256, lpn, i)); err != nil {
+				if err := v.Write(ioreq.Plain(w), lpn, fillPage(256, lpn, i)); err != nil {
 					t.Fatal(err)
 				}
 			} else {
 				lpn := live + rng.Int63n(n-live)
-				if err := v.Write(w, lpn, fillPage(256, lpn, i)); err != nil {
+				if err := v.Write(ioreq.Plain(w), lpn, fillPage(256, lpn, i)); err != nil {
 					t.Fatal(err)
 				}
 				if invalidate {
@@ -199,7 +200,7 @@ func TestVolumeBackgroundGCStep(t *testing.T) {
 	// Fill until at least one region wants cleaning.
 	for i := 0; i < int(n)*2; i++ {
 		lpn := rng.Int63n(n)
-		if err := v.Write(w, lpn, fillPage(256, lpn, i)); err != nil {
+		if err := v.Write(ioreq.Plain(w), lpn, fillPage(256, lpn, i)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -207,7 +208,7 @@ func TestVolumeBackgroundGCStep(t *testing.T) {
 	for r := 0; r < v.Regions(); r++ {
 		for v.NeedsGC(r) {
 			needed = true
-			did, err := v.GCStep(w, r)
+			did, err := v.GCStep(ioreq.Plain(w), r)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -225,7 +226,7 @@ func TestVolumeBackgroundGCStep(t *testing.T) {
 	// Data still intact.
 	buf := make([]byte, 256)
 	for lpn := int64(0); lpn < n; lpn += 11 {
-		if err := v.Read(w, lpn, buf); err != nil {
+		if err := v.Read(ioreq.Plain(w), lpn, buf); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -251,12 +252,12 @@ func TestVolumeHotColdSeparationReducesCopies(t *testing.T) {
 				if coldNext == n {
 					coldNext = n / 2
 				}
-				if err := v.WriteHint(w, lpn, fillPage(256, lpn, i), HintCold); err != nil {
+				if err := v.WriteHint(ioreq.Plain(w), lpn, fillPage(256, lpn, i), HintCold); err != nil {
 					t.Fatal(err)
 				}
 			} else {
 				lpn := rng.Int63n(n / 8)
-				if err := v.WriteHint(w, lpn, fillPage(256, lpn, i), HintHot); err != nil {
+				if err := v.WriteHint(ioreq.Plain(w), lpn, fillPage(256, lpn, i), HintHot); err != nil {
 					t.Fatal(err)
 				}
 			}
@@ -284,7 +285,7 @@ func TestVolumeSurvivesBadBlocks(t *testing.T) {
 	for i := 0; i < int(n)*4; i++ {
 		lpn := rng.Int63n(n)
 		version[lpn] = i
-		if err := v.Write(w, lpn, fillPage(256, lpn, i)); err != nil {
+		if err := v.Write(ioreq.Plain(w), lpn, fillPage(256, lpn, i)); err != nil {
 			t.Fatalf("write %d: %v", i, err)
 		}
 	}
@@ -293,7 +294,7 @@ func TestVolumeSurvivesBadBlocks(t *testing.T) {
 	}
 	buf := make([]byte, 256)
 	for lpn, ver := range version {
-		if err := v.Read(w, lpn, buf); err != nil {
+		if err := v.Read(ioreq.Plain(w), lpn, buf); err != nil {
 			t.Fatal(err)
 		}
 		if got := binary.LittleEndian.Uint64(buf[8:]); got != uint64(ver) {
@@ -311,14 +312,14 @@ func TestVolumeWearLeveling(t *testing.T) {
 	w := &sim.ClockWaiter{}
 	n := v.LogicalPages()
 	for lpn := int64(0); lpn < n; lpn++ {
-		if err := v.Write(w, lpn, fillPage(256, lpn, 0)); err != nil {
+		if err := v.Write(ioreq.Plain(w), lpn, fillPage(256, lpn, 0)); err != nil {
 			t.Fatal(err)
 		}
 	}
 	rng := rand.New(rand.NewSource(4))
 	for i := 0; i < int(n)*10; i++ {
 		lpn := rng.Int63n(n / 8)
-		if err := v.Write(w, lpn, fillPage(256, lpn, i)); err != nil {
+		if err := v.Write(ioreq.Plain(w), lpn, fillPage(256, lpn, i)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -344,18 +345,18 @@ func TestRebuildRestoresMapping(t *testing.T) {
 	for i := 0; i < int(n)*3; i++ {
 		lpn := rng.Int63n(n)
 		version[lpn] = i
-		if err := v.Write(w, lpn, fillPage(256, lpn, i)); err != nil {
+		if err := v.Write(ioreq.Plain(w), lpn, fillPage(256, lpn, i)); err != nil {
 			t.Fatal(err)
 		}
 	}
 	// "Restart": throw the volume away, rebuild from the same device.
-	v2, err := Rebuild(dev, Config{}, w)
+	v2, err := Rebuild(dev, Config{}, ioreq.Plain(w))
 	if err != nil {
 		t.Fatal(err)
 	}
 	buf := make([]byte, 256)
 	for lpn, ver := range version {
-		if err := v2.Read(w, lpn, buf); err != nil {
+		if err := v2.Read(ioreq.Plain(w), lpn, buf); err != nil {
 			t.Fatalf("read %d after rebuild: %v", lpn, err)
 		}
 		if got := binary.LittleEndian.Uint64(buf[8:]); got != uint64(ver) {
@@ -365,7 +366,7 @@ func TestRebuildRestoresMapping(t *testing.T) {
 	// The rebuilt volume must be fully operational (writes + GC).
 	for i := 0; i < int(n)*2; i++ {
 		lpn := rng.Int63n(n)
-		if err := v2.Write(w, lpn, fillPage(256, lpn, i)); err != nil {
+		if err := v2.Write(ioreq.Plain(w), lpn, fillPage(256, lpn, i)); err != nil {
 			t.Fatalf("write after rebuild: %v", err)
 		}
 	}
@@ -379,12 +380,12 @@ func TestRebuildChargesScanReads(t *testing.T) {
 	}
 	w := &sim.ClockWaiter{}
 	for lpn := int64(0); lpn < 64; lpn++ {
-		if err := v.Write(w, lpn, fillPage(256, lpn, 1)); err != nil {
+		if err := v.Write(ioreq.Plain(w), lpn, fillPage(256, lpn, 1)); err != nil {
 			t.Fatal(err)
 		}
 	}
 	before := dev.Stats().Reads
-	if _, err := Rebuild(dev, Config{}, w); err != nil {
+	if _, err := Rebuild(dev, Config{}, ioreq.Plain(w)); err != nil {
 		t.Fatal(err)
 	}
 	if dev.Stats().Reads-before < 64 {
@@ -411,7 +412,7 @@ func TestVolumeAccountingInvariantProperty(t *testing.T) {
 			lpn := int64(o.LPN) % n
 			switch o.Kind % 4 {
 			case 0, 1:
-				if v.Write(w, lpn, fillPage(256, lpn, i)) != nil {
+				if v.Write(ioreq.Plain(w), lpn, fillPage(256, lpn, i)) != nil {
 					return false
 				}
 			case 2:
@@ -419,7 +420,7 @@ func TestVolumeAccountingInvariantProperty(t *testing.T) {
 					return false
 				}
 			case 3:
-				if _, err := v.GCStep(w, v.RegionOf(lpn)); err != nil {
+				if _, err := v.GCStep(ioreq.Plain(w), v.RegionOf(lpn)); err != nil {
 					return false
 				}
 			}

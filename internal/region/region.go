@@ -23,9 +23,9 @@ import (
 
 	"noftl/internal/flash"
 	"noftl/internal/ftl"
+	"noftl/internal/ioreq"
 	"noftl/internal/noftl"
 	"noftl/internal/sched"
-	"noftl/internal/sim"
 )
 
 // Mapping selects a region's translation granularity.
@@ -183,15 +183,13 @@ func New(dev *flash.Device, layout Layout) (*Manager, error) {
 // Rebuild reconstructs every region's mapping state from flash after a
 // restart: page-mapped regions rescan their dies' OOBs (noftl.Rebuild),
 // sequential regions recover their extent list and frontier
-// (ftl.RebuildSeqLog). The scans are charged to w as real page reads.
-func Rebuild(dev *flash.Device, layout Layout, w sim.Waiter) (*Manager, error) {
-	if w == nil {
-		w = &sim.ClockWaiter{}
-	}
-	return build(dev, layout, w)
+// (ftl.RebuildSeqLog). The scans are charged to the request descriptor
+// as real page reads.
+func Rebuild(dev *flash.Device, layout Layout, rq ioreq.Req) (*Manager, error) {
+	return build(dev, layout, &rq)
 }
 
-func build(dev *flash.Device, layout Layout, rebuild sim.Waiter) (*Manager, error) {
+func build(dev *flash.Device, layout Layout, rebuild *ioreq.Req) (*Manager, error) {
 	assign, err := assignDies(dev, layout)
 	if err != nil {
 		return nil, err
@@ -226,7 +224,7 @@ func build(dev *flash.Device, layout Layout, rebuild sim.Waiter) (*Manager, erro
 				BackgroundGC:     spec.BackgroundGC,
 			}
 			if rebuild != nil {
-				r.Vol, err = noftl.Rebuild(dev, cfg, rebuild)
+				r.Vol, err = noftl.Rebuild(dev, cfg, *rebuild)
 			} else {
 				r.Vol, err = noftl.New(dev, cfg)
 			}
@@ -238,7 +236,7 @@ func build(dev *flash.Device, layout Layout, rebuild sim.Waiter) (*Manager, erro
 				GCDev:         gcDev,
 			}
 			if rebuild != nil {
-				r.Log, err = ftl.RebuildSeqLog(dev, cfg, rebuild)
+				r.Log, err = ftl.RebuildSeqLog(dev, cfg, *rebuild)
 			} else {
 				r.Log, err = ftl.NewSeqLog(dev, cfg)
 			}

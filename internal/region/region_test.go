@@ -2,6 +2,7 @@ package region
 
 import (
 	"encoding/binary"
+	"noftl/internal/ioreq"
 	"testing"
 
 	"noftl/internal/flash"
@@ -139,28 +140,28 @@ func TestRegionIsolationAndRebuild(t *testing.T) {
 	page := make([]byte, 1024)
 	for lpn := int64(0); lpn < 50; lpn++ {
 		binary.LittleEndian.PutUint64(page, uint64(lpn)^0xD0D0)
-		if err := data.Write(w, lpn, page); err != nil {
+		if err := data.Write(ioreq.Plain(w), lpn, page); err != nil {
 			t.Fatal(err)
 		}
 	}
 	for i := int64(0); i < 40; i++ {
 		binary.LittleEndian.PutUint64(page, uint64(i)^0x7070)
-		if _, err := log.Append(w, page); err != nil {
+		if _, err := log.Append(ioreq.Plain(w), page); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := log.Truncate(w, 16); err != nil {
+	if err := log.Truncate(ioreq.Plain(w), 16); err != nil {
 		t.Fatal(err)
 	}
 
-	m2, err := Rebuild(dev, layout, w)
+	m2, err := Rebuild(dev, layout, ioreq.Plain(w))
 	if err != nil {
 		t.Fatal(err)
 	}
 	data2, log2 := m2.Volume("data"), m2.Log("log")
 	buf := make([]byte, 1024)
 	for lpn := int64(0); lpn < 50; lpn++ {
-		if err := data2.Read(w, lpn, buf); err != nil {
+		if err := data2.Read(ioreq.Plain(w), lpn, buf); err != nil {
 			t.Fatal(err)
 		}
 		if got := binary.LittleEndian.Uint64(buf); got != uint64(lpn)^0xD0D0 {
@@ -172,7 +173,7 @@ func TestRegionIsolationAndRebuild(t *testing.T) {
 		t.Fatalf("log window [%d,%d) after rebuild, want [16,40)", head, next)
 	}
 	for i := head; i < next; i++ {
-		if err := log2.ReadAt(w, i, buf); err != nil {
+		if err := log2.ReadAt(ioreq.Plain(w), i, buf); err != nil {
 			t.Fatal(err)
 		}
 		if got := binary.LittleEndian.Uint64(buf); got != uint64(i)^0x7070 {

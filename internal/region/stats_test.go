@@ -2,6 +2,7 @@ package region
 
 import (
 	"math/rand"
+	"noftl/internal/ioreq"
 	"testing"
 
 	"noftl/internal/delta"
@@ -37,12 +38,12 @@ func driveMixedLoad(t *testing.T, m *Manager, seed int64, rounds int) {
 		switch rng.Intn(10) {
 		case 0, 1, 2, 3, 4: // full page write
 			rng.Read(page[:16])
-			if err := data.Write(w, lpn, page); err != nil {
+			if err := data.Write(ioreq.Plain(w), lpn, page); err != nil {
 				t.Fatalf("round %d write: %v", i, err)
 			}
 		case 5, 6, 7: // small delta append
 			payload := delta.Encode([]delta.Run{{Off: int(rng.Intn(ps - 64)), Len: 16}}, page)
-			if err := data.WriteDelta(w, lpn, payload); err != nil {
+			if err := data.WriteDelta(ioreq.Plain(w), lpn, payload); err != nil {
 				t.Fatalf("round %d delta: %v", i, err)
 			}
 		case 8: // DBMS invalidation
@@ -50,12 +51,12 @@ func driveMixedLoad(t *testing.T, m *Manager, seed int64, rounds int) {
 				t.Fatal(err)
 			}
 		default: // log append
-			if _, err := log.Append(w, page); err != nil {
+			if _, err := log.Append(ioreq.Plain(w), page); err != nil {
 				t.Fatalf("round %d append: %v", i, err)
 			}
 			logPos++
 			if logPos%64 == 0 {
-				if err := log.Truncate(w, logPos-16); err != nil {
+				if err := log.Truncate(ioreq.Plain(w), logPos-16); err != nil {
 					t.Fatal(err)
 				}
 			}

@@ -1,6 +1,7 @@
 package region
 
 import (
+	"noftl/internal/ioreq"
 	"testing"
 
 	"noftl/internal/flash"
@@ -76,7 +77,7 @@ func TestRegionSchedulerWiring(t *testing.T) {
 	buf := make([]byte, dev.Geometry().PageSize)
 
 	// Serial write: must bypass the queues.
-	if err := data.Vol.Write(&sim.ClockWaiter{}, 0, buf); err != nil {
+	if err := data.Vol.Write(ioreq.Plain(&sim.ClockWaiter{}), 0, buf); err != nil {
 		t.Fatal(err)
 	}
 	if st := s.Stats(); st.TotalScheduled() != 0 {
@@ -86,13 +87,13 @@ func TestRegionSchedulerWiring(t *testing.T) {
 	// DES writes: volume programs and WAL appends must be classed.
 	k.Go("client", func(p *sim.Proc) {
 		w := sim.ProcWaiter{P: p}
-		if err := data.Vol.Write(w, 1, buf); err != nil {
+		if err := data.Vol.Write(ioreq.Plain(w), 1, buf); err != nil {
 			t.Error(err)
 		}
-		if err := data.Vol.Read(w, 1, buf); err != nil {
+		if err := data.Vol.Read(ioreq.Plain(w), 1, buf); err != nil {
 			t.Error(err)
 		}
-		if _, err := wal.Log.Append(w, buf); err != nil {
+		if _, err := wal.Log.Append(ioreq.Plain(w), buf); err != nil {
 			t.Error(err)
 		}
 	})

@@ -33,6 +33,7 @@ import (
 	"fmt"
 
 	"noftl/internal/flash"
+	"noftl/internal/ioreq"
 	"noftl/internal/nand"
 	"noftl/internal/sim"
 )
@@ -50,6 +51,17 @@ const (
 	ClassGC                    // GC copies, folds, erases, wear moves
 	NumClasses
 )
+
+// FromRequest maps a request descriptor's declared class (ioreq.Class)
+// onto a scheduler class. It reports false for ClassDefault (or an
+// out-of-range value): the caller falls back to its static per-view
+// class — the pre-descriptor routing.
+func FromRequest(c ioreq.Class) (Class, bool) {
+	if c == ioreq.ClassDefault || c > ioreq.ClassGC {
+		return 0, false
+	}
+	return Class(c - 1), true
+}
 
 // String names the class.
 func (c Class) String() string {
@@ -117,7 +129,11 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Stats is scheduler-level accounting.
+// Stats is scheduler-level accounting. The per-class rows count the
+// class each command actually dispatched at: a request-declared class
+// (ioreq) when the descriptor carried one, the issuing view's static
+// class otherwise — so attribution is exact even when e.g. GC traffic
+// was issued through a foreground device view.
 type Stats struct {
 	Scheduled     [NumClasses]int64    // commands dispatched per class
 	QueueWait     [NumClasses]sim.Time // accumulated queue wait per class
@@ -125,6 +141,12 @@ type Stats struct {
 	Bypassed      int64                // serial commands that skipped the queues
 	EraseSuspends int64
 	Promotions    int64 // aged GC commands served ahead of their class
+	// Retagged counts commands whose dispatch class came from the
+	// request descriptor rather than the issuing view.
+	Retagged int64
+	// DeadlinePromotions counts commands served ahead of their class
+	// because their request deadline had passed.
+	DeadlinePromotions int64
 }
 
 // MeanWait returns the average queue wait of a class.
@@ -148,6 +170,7 @@ func (s *Stats) TotalScheduled() int64 {
 type Event struct {
 	Die      int
 	Class    Class
+	Tag      uint32 // request stream tag (0: untagged)
 	Op       string // "read","program","partial","erase","copyback"
 	Arrival  sim.Time
 	Start    sim.Time // dispatch time (Start-Arrival is the queue wait)
@@ -182,9 +205,11 @@ func opName(op uint8) string {
 // request is one queued command. Queue position (the reqs slice) is the
 // arrival order; there is no separate sequence number.
 type request struct {
-	op      uint8
-	class   Class
-	arrival sim.Time
+	op       uint8
+	class    Class
+	tag      uint32   // request stream tag (trace attribution)
+	deadline sim.Time // past it, the command outranks its class (0: none)
+	arrival  sim.Time
 
 	ppn    nand.PPN // read/program/partial target, copyback source
 	dst    nand.PPN // copyback destination
@@ -195,10 +220,11 @@ type request struct {
 	oobPtr *nand.OOB
 	buf    []byte
 
-	oobOut   nand.OOB
-	err      error
-	promoted bool
-	done     sim.Signal
+	oobOut     nand.OOB
+	err        error
+	promoted   bool
+	dlPromoted bool
+	done       sim.Signal
 }
 
 // touches returns the pages a non-erase command reads or programs.
@@ -213,10 +239,32 @@ func (r *request) touches() (a, b nand.PPN, n int) {
 	}
 }
 
+// programTarget returns the block a command programs into, if any
+// (programs and partials target their page's block, copybacks their
+// destination's).
+func (r *request) programTarget(geo nand.Geometry) (nand.PBN, bool) {
+	switch r.op {
+	case opProgram, opPartial:
+		return geo.BlockOf(r.ppn), true
+	case opCopyback:
+		return geo.BlockOf(r.dst), true
+	default:
+		return 0, false
+	}
+}
+
 // conflict reports whether two commands on the same die must not be
-// reordered: they touch the same page, or one erases the block the
-// other touches. Serving them in arrival order is always safe.
+// reordered: they touch the same page, they program into the same block
+// (NAND requires pages of a block to be programmed in order, so two
+// programs to one block must keep their arrival order even across
+// priority classes), or one erases the block the other touches.
+// Serving them in arrival order is always safe.
 func conflict(geo nand.Geometry, a, b *request) bool {
+	if pa, ok := a.programTarget(geo); ok {
+		if pb, ok := b.programTarget(geo); ok && pa == pb {
+			return true
+		}
+	}
 	if a.op == opErase || b.op == opErase {
 		if a.op == opErase && b.op == opErase {
 			return a.pbn == b.pbn
@@ -346,8 +394,12 @@ func (ds *dieSched) blocked(i int) bool {
 
 // effClass is the class used for ordering: GC commands past the age
 // limit are promoted to the front so sustained foreground traffic cannot
-// starve free-block reclamation.
+// starve free-block reclamation, and a command whose request deadline
+// has passed outranks its class (the descriptor's QoS escape hatch).
 func (ds *dieSched) effClass(r *request, now sim.Time) Class {
+	if r.deadline > 0 && now >= r.deadline && r.class > ClassRead {
+		return ClassRead
+	}
 	if r.class == ClassGC && ds.s.cfg.GCAgeLimit > 0 && now-r.arrival > ds.s.cfg.GCAgeLimit {
 		return ClassRead
 	}
@@ -387,8 +439,12 @@ func (ds *dieSched) pop(urgentOnly bool) *request {
 		return nil
 	}
 	r := ds.reqs[best]
-	if prio && r.class == ClassGC && ds.effClass(r, now) != r.class {
-		r.promoted = true
+	if prio && ds.effClass(r, now) != r.class {
+		if r.deadline > 0 && now >= r.deadline {
+			r.dlPromoted = true
+		} else if r.class == ClassGC {
+			r.promoted = true
+		}
 	}
 	ds.reqs = append(ds.reqs[:best], ds.reqs[best+1:]...)
 	return r
@@ -424,7 +480,10 @@ func (ds *dieSched) account(r *request, now sim.Time) {
 	if r.promoted {
 		st.Promotions++
 	}
-	ds.s.dev.NoteQueueWait(wait)
+	if r.dlPromoted {
+		st.DeadlinePromotions++
+	}
+	ds.s.dev.NoteQueueWait(int(r.class), wait)
 }
 
 // issue submits the command to the device on w. With a ClockWaiter the
@@ -518,6 +577,7 @@ func (ds *dieSched) finish(r *request, start sim.Time, suspends int) {
 		tr(Event{
 			Die:      ds.die,
 			Class:    r.class,
+			Tag:      r.tag,
 			Op:       opName(r.op),
 			Arrival:  r.arrival,
 			Start:    start,

@@ -2,6 +2,7 @@ package sched
 
 import (
 	"noftl/internal/flash"
+	"noftl/internal/ioreq"
 	"noftl/internal/nand"
 	"noftl/internal/sim"
 )
@@ -9,6 +10,12 @@ import (
 // view is a flash.Dev that issues every command through the scheduler at
 // a fixed priority class. Host-side managers hold one view per command
 // class (noftl.ClassDevs) and stay oblivious to the scheduling.
+//
+// The view's class is only the fallback: a request descriptor riding on
+// the waiter (ioreq.Tagged) overrides it, so the die queue dispatches on
+// the class the request declared at its origin — the engine, a workload
+// terminal, a background worker — rather than on whichever device view
+// the volume happened to route the command through.
 type view struct {
 	s *Scheduler
 	c Class
@@ -28,14 +35,29 @@ func (v view) Array() *nand.Array { return v.s.dev.Array() }
 
 // submit queues r on the die and parks the caller until the dispatcher
 // completes it. It reports false for serial callers (no DES process on
-// this kernel), who must bypass the queues.
+// this kernel), who must bypass the queues. A request descriptor riding
+// on the waiter overrides the view's class and attaches its stream tag
+// and deadline to the queued command.
 func (v view) submit(w sim.Waiter, r *request, die int) bool {
+	cls, retagged := v.c, false
+	if t, ok := w.(*ioreq.Tagged); ok {
+		if c, declared := FromRequest(t.Class); declared {
+			retagged = c != cls
+			cls = c
+		}
+		r.tag = t.Tag
+		r.deadline = t.Deadline
+		w = t.Inner
+	}
 	pw, ok := w.(sim.ProcWaiter)
 	if !ok || pw.P.Kernel() != v.s.k {
 		v.s.stats.Bypassed++
 		return false
 	}
-	r.class = v.c
+	if retagged {
+		v.s.stats.Retagged++
+	}
+	r.class = cls
 	r.arrival = pw.P.Now()
 	v.s.dies[die].enqueue(r)
 	r.done.Wait(pw.P)

@@ -3,17 +3,19 @@ package sched
 import (
 	"fmt"
 
+	"noftl/internal/ioreq"
 	"noftl/internal/sim"
 )
 
 // GCDriver is the volume-side contract for background garbage
 // collection: the NeedsGC/GCStep hooks a noftl.Volume exposes per region
 // (die). Background workers drive it so space reclamation never runs on
-// the commit path.
+// the commit path. The request descriptor carries the workers' declared
+// class (GC) so maintenance traffic is tagged at its origin.
 type GCDriver interface {
 	Regions() int
 	NeedsGC(region int) bool
-	GCStep(w sim.Waiter, region int) (bool, error)
+	GCStep(rq ioreq.Req, region int) (bool, error)
 }
 
 // WearLeveler extends GCDriver with the background wear-leveling sweep
@@ -21,7 +23,7 @@ type GCDriver interface {
 // step. noftl.Volume implements it.
 type WearLeveler interface {
 	WearSpread(region int) int
-	WearLevelStep(w sim.Waiter, region int) (bool, error)
+	WearLevelStep(rq ioreq.Req, region int) (bool, error)
 }
 
 // MaintConfig tunes StartMaintenance.
@@ -78,10 +80,10 @@ func StartMaintenance(k *sim.Kernel, gc GCDriver, cfg MaintConfig) *Maintenance 
 	for r := 0; r < gc.Regions(); r++ {
 		r := r
 		k.Go(fmt.Sprintf("gc-worker%d", r), func(p *sim.Proc) {
-			w := sim.ProcWaiter{P: p}
+			rq := ioreq.Req{W: sim.ProcWaiter{P: p}, Class: ioreq.ClassGC}
 			for !mt.stopped {
 				if gc.NeedsGC(r) {
-					did, err := gc.GCStep(w, r)
+					did, err := gc.GCStep(rq, r)
 					if err != nil {
 						fail(err)
 						return
@@ -100,7 +102,7 @@ func StartMaintenance(k *sim.Kernel, gc GCDriver, cfg MaintConfig) *Maintenance 
 		return mt
 	}
 	k.Go("wear-sweep", func(p *sim.Proc) {
-		w := sim.ProcWaiter{P: p}
+		rq := ioreq.Req{W: sim.ProcWaiter{P: p}, Class: ioreq.ClassGC}
 		for !mt.stopped {
 			p.Sleep(cfg.SweepEvery)
 			if mt.stopped {
@@ -117,7 +119,7 @@ func StartMaintenance(k *sim.Kernel, gc GCDriver, cfg MaintConfig) *Maintenance 
 			if best < 0 {
 				continue
 			}
-			did, err := wl.WearLevelStep(w, best)
+			did, err := wl.WearLevelStep(rq, best)
 			if err != nil {
 				fail(err)
 				return

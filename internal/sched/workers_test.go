@@ -3,6 +3,7 @@ package sched
 import (
 	"testing"
 
+	"noftl/internal/ioreq"
 	"noftl/internal/sim"
 )
 
@@ -19,22 +20,27 @@ func (f *fakeDriver) Regions() int         { return f.regions }
 func (f *fakeDriver) NeedsGC(r int) bool   { return f.dirty[r] > 0 }
 func (f *fakeDriver) WearSpread(r int) int { return f.spread[r] }
 
-func (f *fakeDriver) GCStep(w sim.Waiter, r int) (bool, error) {
+func (f *fakeDriver) GCStep(rq ioreq.Req, r int) (bool, error) {
+	if rq.Class != ioreq.ClassGC {
+		panic("maintenance request not declared GC class")
+	}
 	if f.dirty[r] == 0 {
 		return false, nil
 	}
 	f.dirty[r]--
 	f.gcSteps[r]++
+	w := rq.W
 	w.WaitUntil(w.Now() + 100*sim.Microsecond) // a step costs device time
 	return true, nil
 }
 
-func (f *fakeDriver) WearLevelStep(w sim.Waiter, r int) (bool, error) {
+func (f *fakeDriver) WearLevelStep(rq ioreq.Req, r int) (bool, error) {
 	if f.spread[r] == 0 {
 		return false, nil
 	}
 	f.spread[r] = 0
 	f.wlSteps[r]++
+	w := rq.W
 	w.WaitUntil(w.Now() + 500*sim.Microsecond)
 	return true, nil
 }
@@ -86,7 +92,7 @@ type failingDriver struct{}
 
 func (failingDriver) Regions() int     { return 1 }
 func (failingDriver) NeedsGC(int) bool { return true }
-func (failingDriver) GCStep(sim.Waiter, int) (bool, error) {
+func (failingDriver) GCStep(ioreq.Req, int) (bool, error) {
 	return false, errBoom
 }
 

@@ -516,7 +516,10 @@ func (bp *BufferPool) writeFrame(ctx *IOCtx, f *Frame) error {
 		return nil
 	}
 	if bp.wal != nil {
-		if err := bp.wal.Flush(ctx, f.flushTo); err != nil {
+		// WAL-before-data from a write-back is background work: it keeps
+		// the flusher's declared class (FlushBg) instead of jumping to
+		// the commit path's WAL priority.
+		if err := bp.wal.FlushBg(ctx, f.flushTo); err != nil {
 			return err
 		}
 	}

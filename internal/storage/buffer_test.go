@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"noftl/internal/ioreq"
 	"testing"
 
 	"noftl/internal/flash"
@@ -168,7 +169,7 @@ func TestEngineOnNoFTLVolume(t *testing.T) {
 
 	// Restart on the same flash state: the NoFTL mapping is rebuilt from
 	// OOB, then the engine recovers from its own log.
-	volData2, err := noftl.Rebuild(devData, noftl.Config{}, &sim.ClockWaiter{})
+	volData2, err := noftl.Rebuild(devData, noftl.Config{}, ioreq.Plain(&sim.ClockWaiter{}))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -170,7 +170,7 @@ func (e *Engine) Checkpoint(ctx *IOCtx) error {
 		redoStart = next
 	}
 	lsn := e.wal.Append(&LogRecord{Type: RecCheckpoint, Active: act, Key: int64(redoStart)})
-	if err := e.wal.Flush(ctx, e.wal.NextLSN()); err != nil {
+	if err := e.wal.FlushBg(ctx, e.wal.NextLSN()); err != nil {
 		return err
 	}
 	// The log may only be reclaimed below the recovery horizon: redo

@@ -1,0 +1,103 @@
+package storage
+
+import (
+	"testing"
+
+	"noftl/internal/ioreq"
+	"noftl/internal/sim"
+)
+
+// TestNilCtxFallbackCounted: the nil-context convenience fallback must
+// keep working but leave a trace — silently substituting a private
+// clock is how missing descriptor plumbing hides.
+func TestNilCtxFallbackCounted(t *testing.T) {
+	ResetNilCtxFallbacks()
+	var nilCtx *IOCtx
+	if w := nilCtx.waiter(); w == nil {
+		t.Fatal("nil ctx must still yield a waiter")
+	}
+	if rq := nilCtx.Req(); rq.W == nil {
+		t.Fatal("nil ctx must still yield a usable descriptor")
+	}
+	if w := (&IOCtx{}).waiter(); w == nil {
+		t.Fatal("nil waiter must still yield a waiter")
+	}
+	if got := NilCtxFallbacks(); got != 3 {
+		t.Fatalf("fallbacks = %d, want 3", got)
+	}
+	// A real context never counts.
+	ctx := NewIOCtx(&sim.ClockWaiter{})
+	_ = ctx.waiter()
+	_ = ctx.Req()
+	if got := NilCtxFallbacks(); got != 3 {
+		t.Fatalf("plumbed context counted as fallback: %d", got)
+	}
+	ResetNilCtxFallbacks()
+	if NilCtxFallbacks() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+// TestIOCtxDerivations checks the With*/EnsureClass constructors derive
+// without mutating the parent.
+func TestIOCtxDerivations(t *testing.T) {
+	base := NewIOCtx(&sim.ClockWaiter{})
+	d := base.WithClass(ioreq.ClassGC).WithTag(9).WithDeadline(100)
+	if base.Class != ioreq.ClassDefault || base.Tag != 0 || base.Deadline != 0 {
+		t.Fatalf("parent mutated: %+v", base)
+	}
+	if d.Class != ioreq.ClassGC || d.Tag != 9 || d.Deadline != 100 || d.W != base.W {
+		t.Fatalf("derivation wrong: %+v", d)
+	}
+	// EnsureClass fills only the default.
+	if got := base.EnsureClass(ioreq.ClassWAL); got.Class != ioreq.ClassWAL {
+		t.Fatalf("EnsureClass on default: %v", got.Class)
+	}
+	if got := d.EnsureClass(ioreq.ClassWAL); got != d || got.Class != ioreq.ClassGC {
+		t.Fatal("EnsureClass overrode a declared class")
+	}
+	// The descriptor round-trips onto the waiter.
+	rq := d.Req()
+	w := rq.Waiter()
+	back := ioreq.From(w)
+	if back.Class != ioreq.ClassGC || back.Tag != 9 || back.Deadline != 100 {
+		t.Fatalf("descriptor lost on waiter round-trip: %+v", back)
+	}
+}
+
+// TestFullyPlumbedEngineNeverFallsBack is the debug assertion the
+// fallback counter exists for: a complete engine session — format,
+// open, transactions, checkpoint — on real contexts must never
+// substitute a private clock anywhere in the stack.
+func TestFullyPlumbedEngineNeverFallsBack(t *testing.T) {
+	ResetNilCtxFallbacks()
+	ctx := NewIOCtx(&sim.ClockWaiter{})
+	data := NewMemVolume(4096, 1<<12)
+	logv := NewMemVolume(4096, 1<<12)
+	if err := Format(ctx, data, logv); err != nil {
+		t.Fatal(err)
+	}
+	e, err := Open(ctx, data, logv, EngineConfig{BufferFrames: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := e.CreateTable(ctx, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		tx := e.Begin()
+		if _, err := e.Insert(ctx, tx, tbl, []byte("row")); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Commit(ctx, tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Checkpoint(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := NilCtxFallbacks(); got != 0 {
+		t.Fatalf("fully plumbed session fell back to a private clock %d times", got)
+	}
+}

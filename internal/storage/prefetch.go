@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"noftl/internal/ioreq"
 	"noftl/internal/sim"
 )
 
@@ -15,6 +16,12 @@ type PrefetcherConfig struct {
 	// OnError receives a prefetcher's fatal error; the process then
 	// stops. Nil ignores errors (read-ahead is best-effort).
 	OnError func(error)
+	// Class, when not ioreq.ClassDefault, is declared on every request
+	// the prefetchers issue (per-request tagging); the default leaves
+	// routing to the volume's prefetch device view.
+	Class ioreq.Class
+	// Tag is the stream tag the prefetchers attach to their requests.
+	Tag uint32
 }
 
 // StartPrefetchers launches background read-ahead processes on the
@@ -34,7 +41,7 @@ func (e *Engine) StartPrefetchers(k *sim.Kernel, cfg PrefetcherConfig) (stop fun
 	stopped := false
 	for i := 0; i < cfg.N; i++ {
 		k.Go("prefetcher", func(p *sim.Proc) {
-			ctx := NewIOCtx(sim.ProcWaiter{P: p})
+			ctx := &IOCtx{W: sim.ProcWaiter{P: p}, Class: cfg.Class, Tag: cfg.Tag}
 			for !stopped {
 				id, ok := e.bp.PopPrefetch()
 				if !ok {

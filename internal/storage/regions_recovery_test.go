@@ -51,7 +51,7 @@ func newRegionEngine(t *testing.T) (*Engine, *IOCtx, *flash.Device, region.Layou
 func crashAndReopenRegions(t *testing.T, dev *flash.Device, layout region.Layout) (*Engine, *IOCtx) {
 	t.Helper()
 	ctx := NewIOCtx(nil)
-	m, err := region.Rebuild(dev, layout, ctx.waiter())
+	m, err := region.Rebuild(dev, layout, ctx.Req())
 	if err != nil {
 		t.Fatalf("region rebuild: %v", err)
 	}

@@ -3,23 +3,107 @@ package storage
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"noftl/internal/delta"
+	"noftl/internal/ioreq"
 	"noftl/internal/sim"
 )
 
-// IOCtx carries the execution context of an I/O: the Waiter that
-// experiences latency. A nil IOCtx (or nil Waiter) gets a private serial
-// clock, convenient in unit tests.
+// IOCtx carries the execution context of an I/O — the cross-layer
+// request descriptor at the engine level: the Waiter that experiences
+// latency, plus the intent (scheduler class, stream tag, deadline) that
+// travels with every command the request causes, all the way to the
+// per-die queues. A nil IOCtx (or nil Waiter) gets a private serial
+// clock, convenient in unit tests; the substitution is counted
+// (NilCtxFallbacks) so missing plumbing cannot hide behind it.
 type IOCtx struct {
 	W sim.Waiter
+	// Class is the scheduler class the request declares for its flash
+	// commands (ioreq.ClassDefault: the volume's per-class routing
+	// decides — the pre-descriptor behavior).
+	Class ioreq.Class
+	// Tag is the request's stream/transaction tag (0: untagged). It
+	// reaches the command log for per-stream latency attribution.
+	Tag uint32
+	// Deadline promotes the request's commands ahead of their class once
+	// the simulated clock passes it (0: none).
+	Deadline sim.Time
 }
 
-// NewIOCtx wraps a waiter.
+// NewIOCtx wraps a waiter into an intent-free context.
 func NewIOCtx(w sim.Waiter) *IOCtx { return &IOCtx{W: w} }
+
+// nilCtxFallbacks counts waiter() calls that had to substitute a private
+// serial clock for a nil context or nil waiter. The fallback is
+// convenient in unit tests but in a fully plumbed stack it means a call
+// path dropped its descriptor — tests assert the counter stays flat.
+var nilCtxFallbacks atomic.Int64
+
+// NilCtxFallbacks returns how many I/O calls ran on a substituted
+// private clock because their IOCtx (or its waiter) was nil.
+func NilCtxFallbacks() int64 { return nilCtxFallbacks.Load() }
+
+// ResetNilCtxFallbacks zeroes the fallback counter (test setup).
+func ResetNilCtxFallbacks() { nilCtxFallbacks.Store(0) }
+
+// WithClass returns a derived context declaring the scheduler class.
+func (c *IOCtx) WithClass(cl ioreq.Class) *IOCtx {
+	d := c.clone()
+	d.Class = cl
+	return d
+}
+
+// WithTag returns a derived context carrying the stream tag.
+func (c *IOCtx) WithTag(tag uint32) *IOCtx {
+	d := c.clone()
+	d.Tag = tag
+	return d
+}
+
+// WithDeadline returns a derived context carrying the deadline.
+func (c *IOCtx) WithDeadline(t sim.Time) *IOCtx {
+	d := c.clone()
+	d.Deadline = t
+	return d
+}
+
+// EnsureClass returns the context itself when it already declares a
+// class, or a derived one declaring cl. Layers that know what a request
+// is (the WAL knows it is flushing log records) use it to fill in the
+// default without overriding intent declared closer to the origin.
+func (c *IOCtx) EnsureClass(cl ioreq.Class) *IOCtx {
+	if c != nil && c.Class != ioreq.ClassDefault {
+		return c
+	}
+	return c.WithClass(cl)
+}
+
+func (c *IOCtx) clone() *IOCtx {
+	if c == nil {
+		nilCtxFallbacks.Add(1)
+		return &IOCtx{W: &sim.ClockWaiter{}}
+	}
+	d := *c
+	return &d
+}
+
+// Req converts the context into the descriptor handed to host-side
+// flash management (noftl.Volume, ftl.SeqLog).
+func (c *IOCtx) Req() ioreq.Req {
+	if c == nil || c.W == nil {
+		nilCtxFallbacks.Add(1)
+		if c == nil {
+			return ioreq.Req{W: &sim.ClockWaiter{}}
+		}
+		return ioreq.Req{W: &sim.ClockWaiter{}, Class: c.Class, Tag: c.Tag, Deadline: c.Deadline}
+	}
+	return ioreq.Req{W: c.W, Class: c.Class, Tag: c.Tag, Deadline: c.Deadline}
+}
 
 func (c *IOCtx) waiter() sim.Waiter {
 	if c == nil || c.W == nil {
+		nilCtxFallbacks.Add(1)
 		return &sim.ClockWaiter{}
 	}
 	return c.W

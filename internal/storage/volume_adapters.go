@@ -28,9 +28,10 @@ func (n *NoFTLVolume) PageSize() int { return n.pageSize }
 // Pages implements Volume.
 func (n *NoFTLVolume) Pages() int64 { return n.V.LogicalPages() }
 
-// ReadPage implements Volume.
+// ReadPage implements Volume. The context's request descriptor travels
+// down to the die queues.
 func (n *NoFTLVolume) ReadPage(ctx *IOCtx, id PageID, buf []byte) error {
-	return n.V.Read(ctx.waiter(), int64(id), buf)
+	return n.V.Read(ctx.Req(), int64(id), buf)
 }
 
 // WritePage implements Volume.
@@ -44,14 +45,14 @@ func (n *NoFTLVolume) WritePage(ctx *IOCtx, id PageID, data []byte, hint WriteHi
 	case HintLog:
 		h = noftl.HintLog
 	}
-	return n.V.WriteHint(ctx.waiter(), int64(id), data, h)
+	return n.V.WriteHint(ctx.Req(), int64(id), data, h)
 }
 
 // PrefetchPage implements PrefetchVolume: the read is issued through
 // the volume's prefetch command class, which an attached scheduler
 // serves below foreground reads, WAL appends and data programs.
 func (n *NoFTLVolume) PrefetchPage(ctx *IOCtx, id PageID, buf []byte) error {
-	return n.V.ReadPrefetch(ctx.waiter(), int64(id), buf)
+	return n.V.ReadPrefetch(ctx.Req(), int64(id), buf)
 }
 
 // WriteDeltaPage implements DeltaVolume: the differential is appended
@@ -59,7 +60,7 @@ func (n *NoFTLVolume) PrefetchPage(ctx *IOCtx, id PageID, buf []byte) error {
 // page), the contribution-iv path — flash traffic proportional to the
 // bytes the DBMS actually changed.
 func (n *NoFTLVolume) WriteDeltaPage(ctx *IOCtx, id PageID, payload []byte) error {
-	return n.V.WriteDelta(ctx.waiter(), int64(id), payload)
+	return n.V.WriteDelta(ctx.Req(), int64(id), payload)
 }
 
 // Deallocate implements Volume: the free-space manager's dead-page
@@ -91,7 +92,10 @@ func (b *BlockVolume) PageSize() int { return b.pageSize }
 // Pages implements Volume.
 func (b *BlockVolume) Pages() int64 { return b.D.Pages() }
 
-// ReadPage implements Volume.
+// ReadPage implements Volume. The legacy block interface has no way to
+// carry the request descriptor (class, tag, deadline) — exactly the
+// semantic loss the NoFTL architecture removes — so only the waiter
+// crosses it.
 func (b *BlockVolume) ReadPage(ctx *IOCtx, id PageID, buf []byte) error {
 	return b.D.Read(ctx.waiter(), int64(id), buf)
 }
@@ -131,7 +135,7 @@ func (f *FlashLog) Pages() int64 { return f.L.CapacityPages() }
 // Append implements AppendLog. Region exhaustion surfaces as ErrLogFull
 // so the engine's checkpoint machinery treats it like a wrapped log.
 func (f *FlashLog) Append(ctx *IOCtx, data []byte) (int64, error) {
-	pos, err := f.L.Append(ctx.waiter(), data)
+	pos, err := f.L.Append(ctx.Req(), data)
 	if errors.Is(err, ftl.ErrLogSpace) {
 		return 0, fmt.Errorf("%w: %v", ErrLogFull, err)
 	}
@@ -140,12 +144,12 @@ func (f *FlashLog) Append(ctx *IOCtx, data []byte) (int64, error) {
 
 // ReadAt implements AppendLog.
 func (f *FlashLog) ReadAt(ctx *IOCtx, pos int64, buf []byte) error {
-	return f.L.ReadAt(ctx.waiter(), pos, buf)
+	return f.L.ReadAt(ctx.Req(), pos, buf)
 }
 
 // Truncate implements AppendLog.
 func (f *FlashLog) Truncate(ctx *IOCtx, keepFrom int64) error {
-	return f.L.Truncate(ctx.waiter(), keepFrom)
+	return f.L.Truncate(ctx.Req(), keepFrom)
 }
 
 // Bounds implements AppendLog.

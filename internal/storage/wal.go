@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"noftl/internal/ioreq"
 	"noftl/internal/sim"
 )
 
@@ -147,7 +148,40 @@ func (w *WAL) Append(r *LogRecord) uint64 {
 
 // Flush makes every record with LSN < upTo durable. Concurrent callers
 // coalesce: if another flush already covered upTo, it returns at once.
+//
+// Flush is the commit path: it always dispatches in the WAL class
+// (keeping the caller's stream tag). The log is shared infrastructure —
+// a group-commit flush covers other transactions' records, so letting a
+// low-priority committer's flush queue at its own class would block
+// high-priority commits behind it (priority inversion through the
+// shared log). Background-induced flushes (write-back, checkpoints) use
+// FlushBg instead, which keeps the caller's declared class.
 func (w *WAL) Flush(ctx *IOCtx, upTo uint64) error {
+	return w.flush(ctx.WithClass(ioreq.ClassWAL), upTo)
+}
+
+// FlushBg is Flush for background callers: a context that already
+// declares a class — a db-writer or the checkpointer flushing the log
+// ahead of a page write — keeps it, so background-induced log traffic
+// does not outrank commit appends just because it shares the log
+// device view. An undeclared context still gets the WAL class.
+//
+// Log writes never run at maintenance priority, though: any flush can
+// end up covering other streams' records (the flushing flag serializes
+// concurrent flushers), so classes below the program tier (prefetch,
+// GC — e.g. a low-priority tenant's foreground eviction flushing the
+// WAL ahead of the victim write) are clamped up to ClassProgram. That
+// bounds the shared-log inversion window at one background-class
+// flush instead of one maintenance-class flush.
+func (w *WAL) FlushBg(ctx *IOCtx, upTo uint64) error {
+	ctx = ctx.EnsureClass(ioreq.ClassWAL)
+	if ctx.Class > ioreq.ClassProgram {
+		ctx = ctx.WithClass(ioreq.ClassProgram)
+	}
+	return w.flush(ctx, upTo)
+}
+
+func (w *WAL) flush(ctx *IOCtx, upTo uint64) error {
 	if upTo > w.nextLSN {
 		upTo = w.nextLSN
 	}

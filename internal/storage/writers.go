@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"noftl/internal/ioreq"
 	"noftl/internal/sim"
 )
 
@@ -43,10 +44,17 @@ type WriterConfig struct {
 	// the volume wants it (NoFTL integration).
 	DriveGC bool
 	// GC is the region-GC hook (wired to noftl.Volume.GCStep by the
-	// caller); nil disables.
-	GC func(w sim.Waiter, region int) (bool, error)
+	// caller); nil disables. The descriptor the writers pass declares the
+	// GC class, so maintenance is tagged at its origin.
+	GC func(rq ioreq.Req, region int) (bool, error)
 	// NeedsGC reports whether a region wants background cleaning.
 	NeedsGC func(region int) bool
+	// Class, when not ioreq.ClassDefault, is declared on every request
+	// the writers issue (per-request tagging); the default leaves routing
+	// to the volume's static per-class device views.
+	Class ioreq.Class
+	// Tag is the stream tag the writers attach to their requests.
+	Tag uint32
 }
 
 // StartWriters launches cfg.N db-writer processes on the kernel. The
@@ -64,7 +72,8 @@ func (e *Engine) StartWriters(k *sim.Kernel, cfg WriterConfig) (stop func()) {
 		i := i
 		k.Go("db-writer", func(p *sim.Proc) {
 			w := sim.ProcWaiter{P: p}
-			ctx := NewIOCtx(w)
+			ctx := &IOCtx{W: w, Class: cfg.Class, Tag: cfg.Tag}
+			gcReq := ioreq.Req{W: w, Class: ioreq.ClassGC, Tag: cfg.Tag}
 			for !stopped {
 				worked := false
 				switch cfg.Association {
@@ -75,7 +84,7 @@ func (e *Engine) StartWriters(k *sim.Kernel, cfg WriterConfig) (stop func()) {
 						worked = true
 					}
 					if cfg.DriveGC && cfg.GC != nil && cfg.NeedsGC != nil && cfg.NeedsGC(region) {
-						if did, err := cfg.GC(w, region); err == nil && did {
+						if did, err := cfg.GC(gcReq, region); err == nil && did {
 							worked = true
 						}
 					}
@@ -87,7 +96,7 @@ func (e *Engine) StartWriters(k *sim.Kernel, cfg WriterConfig) (stop func()) {
 					if cfg.DriveGC && cfg.GC != nil && cfg.NeedsGC != nil {
 						for r := 0; r < regions; r++ {
 							if cfg.NeedsGC(r) {
-								if did, err := cfg.GC(w, r); err == nil && did {
+								if did, err := cfg.GC(gcReq, r); err == nil && did {
 									worked = true
 								}
 								break

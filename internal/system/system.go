@@ -1,0 +1,443 @@
+// Package system assembles full NoFTL storage stacks: NAND device,
+// flash management (host-side volumes and regions, or a conventional
+// on-device FTL behind the legacy block interface), an optional native
+// command scheduler, and the storage engine formatted on top — one call
+// instead of five layers of hand-wiring.
+//
+// It is the implementation behind the public noftl.NewSystem facade and
+// behind the experiment drivers in package bench, so examples, commands
+// and benchmarks all build their stacks the same way.
+package system
+
+import (
+	"fmt"
+
+	"noftl/internal/blockdev"
+	"noftl/internal/flash"
+	"noftl/internal/ftl"
+	"noftl/internal/nand"
+	"noftl/internal/noftl"
+	"noftl/internal/region"
+	"noftl/internal/sched"
+	"noftl/internal/sim"
+	"noftl/internal/storage"
+)
+
+// Stack names a storage architecture under comparison.
+type Stack string
+
+// The storage stacks of Figure 6: the NoFTL architecture versus the
+// conventional architecture with an on-device FTL behind a block
+// interface.
+const (
+	StackNoFTL   Stack = "noftl"
+	StackFaster  Stack = "faster"
+	StackDFTL    Stack = "dftl"
+	StackPagemap Stack = "pagemap"
+	// StackNoFTLDelta is the NoFTL architecture with the in-place-append
+	// flush path on: small buffer-pool flushes go out as page
+	// differentials instead of full page programs.
+	StackNoFTLDelta Stack = "noftl-delta"
+	// StackNoFTLSingle hosts WAL and data on ONE single-policy NoFTL
+	// volume (the WAL gets a page window carved from the same page-mapped
+	// space): every write stream shares one mapping scheme, one GC and
+	// one set of frontiers. The regions ablation's baseline.
+	StackNoFTLSingle Stack = "noftl-single"
+	// StackNoFTLRegions carves the die array with the region manager:
+	// the WAL lives on a native append-only log region (block-granular
+	// mapping, truncation-on-checkpoint GC) and the data pages on a
+	// page-mapped region — per-region policies plus object placement.
+	StackNoFTLRegions Stack = "noftl-regions"
+)
+
+// System is an engine mounted on one storage stack.
+type System struct {
+	Stack    Stack
+	Engine   *storage.Engine
+	Dev      *flash.Device
+	Vol      storage.Volume
+	NoFTL    *noftl.Volume    // nil for block-device stacks
+	Regions  *region.Manager  // set for the region-managed stack
+	Sched    *sched.Scheduler // set when BuildOpts attached a scheduler
+	FTLStats func() ftl.Stats
+	Ctx      *storage.IOCtx
+	K        *sim.Kernel // DES kernel; block-device queueing binds to it
+
+	// BackgroundGC records that the NoFTL volume was built for
+	// worker-driven GC; runners then start maintenance workers instead
+	// of piggybacking GC on the db-writers.
+	BackgroundGC bool
+
+	// Log backing chosen by the stack: exactly one of logVol (page
+	// volume; nil selects the default zero-latency memory volume) and
+	// flashLog (native append-only region) is non-nil after Build.
+	logVol   storage.Volume
+	flashLog storage.AppendLog
+}
+
+// BuildOpts tunes the optional subsystems of a System. The zero value
+// reproduces the classic build: no command scheduler, GC at the
+// volume's low-water mark (inline plus db-writer-driven).
+type BuildOpts struct {
+	// Sched attaches a native command scheduler to the device and routes
+	// the NoFTL volume's (and log region's) commands through per-class
+	// views. Block-device stacks ignore it — an on-device FTL behind the
+	// legacy interface is exactly the thing the host cannot schedule.
+	Sched *sched.Config
+	// BackgroundGC configures NoFTL volumes for worker-driven GC
+	// (noftl.Config.BackgroundGC) and makes runners start the background
+	// maintenance workers.
+	BackgroundGC bool
+	// ScanResistant segments the engine's buffer-pool clock so scan
+	// traffic cannot evict the OLTP working set (HTAP experiment).
+	ScanResistant bool
+	// PrefetchWindow sets the engine's Scan read-ahead depth in pages
+	// (0: off). Read-ahead also needs prefetcher processes at run time.
+	PrefetchWindow int
+	// Layout overrides the region-managed stack's default layout
+	// (Config.Layout via the facade). Ignored by every other stack.
+	Layout *region.Layout
+}
+
+// Build assembles a full system: NAND device, flash management (host-
+// or device-side), volume adapter, formatted engine. The log lives on a
+// zero-latency memory volume for every stack except the single-volume
+// and region-managed ones, so measured differences come from the data
+// path.
+func Build(stack Stack, devCfg flash.Config, frames int) (*System, error) {
+	return BuildWithOpts(stack, devCfg, frames, BuildOpts{})
+}
+
+// BuildWithOpts is Build with scheduler/background-GC options.
+func BuildWithOpts(stack Stack, devCfg flash.Config, frames int, opts BuildOpts) (*System, error) {
+	devCfg.Nand.StoreData = true
+	dev := flash.New(devCfg)
+	k := sim.New()
+	s := &System{Stack: stack, Dev: dev, Ctx: storage.NewIOCtx(&sim.ClockWaiter{}), K: k,
+		BackgroundGC: opts.BackgroundGC}
+	pageSize := devCfg.Geometry.PageSize
+
+	var devs noftl.ClassDevs
+	if opts.Sched != nil {
+		s.Sched = sched.New(k, dev, *opts.Sched)
+		devs = noftl.ClassDevs{
+			Read:     s.Sched.Bind(sched.ClassRead),
+			WAL:      s.Sched.Bind(sched.ClassWAL),
+			Data:     s.Sched.Bind(sched.ClassProgram),
+			Prefetch: s.Sched.Bind(sched.ClassPrefetch),
+			GC:       s.Sched.Bind(sched.ClassGC),
+		}
+	}
+
+	switch stack {
+	case StackNoFTL, StackNoFTLDelta:
+		v, err := noftl.New(dev, noftl.Config{Devs: devs, BackgroundGC: opts.BackgroundGC})
+		if err != nil {
+			return nil, err
+		}
+		s.NoFTL = v
+		s.Vol = storage.NewNoFTLVolume(v)
+		s.FTLStats = v.Stats
+	case StackFaster:
+		f, err := ftl.NewFasterFTL(dev, ftl.FasterConfig{SecondChance: true})
+		if err != nil {
+			return nil, err
+		}
+		s.Vol = storage.NewBlockVolume(blockdev.New(f, blockdev.Config{Kernel: k}), pageSize)
+		s.FTLStats = f.Stats
+	case StackDFTL:
+		// CMT sized to ~2% of the device's pages: the device-RAM-to-
+		// capacity ratio of SATA-era controllers, which is what makes
+		// DFTL's translation traffic visible (§3.1).
+		cmt := int(devCfg.Geometry.TotalPages() / 50)
+		f, err := ftl.NewDFTL(dev, ftl.DFTLConfig{CMTEntries: cmt})
+		if err != nil {
+			return nil, err
+		}
+		s.Vol = storage.NewBlockVolume(blockdev.New(f, blockdev.Config{Kernel: k}), pageSize)
+		s.FTLStats = f.Stats
+	case StackPagemap:
+		f, err := ftl.NewPageFTL(dev, ftl.PageFTLConfig{})
+		if err != nil {
+			return nil, err
+		}
+		s.Vol = storage.NewBlockVolume(blockdev.New(f, blockdev.Config{Kernel: k}), pageSize)
+		s.FTLStats = f.Stats
+	case StackNoFTLSingle:
+		// Single-policy baseline with the WAL on flash: one volume, one
+		// mapping scheme, one write frontier for every stream (hints
+		// ignored); the log is just a window of the page space.
+		v, err := noftl.New(dev, noftl.Config{DisableHints: true, Devs: devs,
+			BackgroundGC: opts.BackgroundGC})
+		if err != nil {
+			return nil, err
+		}
+		s.NoFTL = v
+		s.FTLStats = v.Stats
+		full := storage.NewNoFTLVolume(v)
+		logPages := logWindowPages(v.LogicalPages(), devCfg.Geometry.Dies())
+		logVol, err := storage.NewSubVolume(full, 0, logPages)
+		if err != nil {
+			return nil, err
+		}
+		dataVol, err := storage.NewSubVolume(full, logPages, v.LogicalPages()-logPages)
+		if err != nil {
+			return nil, err
+		}
+		s.Vol = dataVol
+		s.logVol = logVol
+	case StackNoFTLRegions:
+		// Region-managed placement: the engine declares WAL → log region
+		// and heaps/B+-trees → data region through the catalog.
+		lay := region.DefaultDBLayout(regionLogDies(devCfg.Geometry.Dies()))
+		if opts.Layout != nil {
+			// Deep-copy the caller's layout: the builder mutates region
+			// specs (scheduler, BackgroundGC) and must not write through
+			// the shared Regions slice into the caller's value.
+			lay = *opts.Layout
+			lay.Regions = append([]region.Spec(nil), opts.Layout.Regions...)
+		}
+		lay.Scheduler = s.Sched
+		for i := range lay.Regions {
+			if lay.Regions[i].Mapping == region.PageMapped {
+				lay.Regions[i].BackgroundGC = opts.BackgroundGC
+			}
+		}
+		m, err := region.New(dev, lay)
+		if err != nil {
+			return nil, err
+		}
+		dataRegion, walRegion, err := m.Mount()
+		if err != nil {
+			return nil, err
+		}
+		s.Regions = m
+		s.NoFTL = dataRegion.Vol
+		s.FTLStats = m.Stats
+		s.Vol = storage.NewNoFTLVolume(dataRegion.Vol)
+		s.flashLog = storage.NewFlashLog(walRegion.Log)
+	default:
+		return nil, fmt.Errorf("system: unknown stack %q", stack)
+	}
+
+	engCfg := storage.EngineConfig{
+		BufferFrames:   frames,
+		DeltaWrites:    stack == StackNoFTLDelta,
+		ScanResistant:  opts.ScanResistant,
+		PrefetchWindow: opts.PrefetchWindow,
+	}
+	if s.flashLog != nil {
+		if err := storage.FormatFlashLog(s.Ctx, s.Vol, s.flashLog); err != nil {
+			return nil, err
+		}
+		e, err := storage.OpenFlashLog(s.Ctx, s.Vol, s.flashLog, engCfg)
+		if err != nil {
+			return nil, err
+		}
+		s.Engine = e
+		return s, nil
+	}
+	if s.logVol == nil {
+		s.logVol = storage.NewMemVolume(pageSize, 1<<14)
+	}
+	if err := storage.Format(s.Ctx, s.Vol, s.logVol); err != nil {
+		return nil, err
+	}
+	e, err := storage.Open(s.Ctx, s.Vol, s.logVol, engCfg)
+	if err != nil {
+		return nil, err
+	}
+	s.Engine = e
+	return s, nil
+}
+
+// regionLogDies sizes the log region: one die, or two on wide arrays.
+// logWindowPages derives the single-volume baseline's WAL share from
+// the same rule, so the A6 comparison can never measure a log-capacity
+// asymmetry by accident.
+func regionLogDies(dies int) int {
+	if dies >= 16 {
+		return 2
+	}
+	return 1
+}
+
+// logWindowPages sizes the single-volume stack's WAL window to the
+// same die share the region-managed stack gives its log region, with a
+// small floor so checkpoints fit.
+func logWindowPages(total int64, dies int) int64 {
+	n := total * int64(regionLogDies(dies)) / int64(dies)
+	if n < 256 {
+		n = 256
+	}
+	return n
+}
+
+// Close checkpoints the engine (flushing dirty pages and anchoring the
+// log) and shuts the simulation kernel down. The system is not usable
+// afterwards.
+func (s *System) Close() error {
+	err := s.Engine.Close(s.Ctx)
+	s.K.Shutdown()
+	return err
+}
+
+// Snapshot captures every layer's counters at one instant: the device,
+// the flash management (host- or device-side), the scheduler (zero
+// value without one), the buffer pool, the WAL and the per-region rows
+// (nil without a region manager).
+type Snapshot struct {
+	Device  flash.Stats
+	FTL     ftl.Stats
+	Sched   sched.Stats
+	Buffer  storage.BufferStats
+	Regions []region.RegionStats
+	// WALAppends and WALBytes count log records appended and their bytes.
+	WALAppends int64
+	WALBytes   int64
+}
+
+// Snapshot captures the system's cross-layer counters.
+func (s *System) Snapshot() Snapshot {
+	snap := Snapshot{
+		Device: s.Dev.Stats(),
+		Buffer: s.Engine.Buffer().Stats(),
+	}
+	if s.FTLStats != nil {
+		snap.FTL = s.FTLStats()
+	}
+	if s.Sched != nil {
+		snap.Sched = s.Sched.Stats()
+	}
+	if s.Regions != nil {
+		snap.Regions = s.Regions.RegionStats()
+	}
+	if wal := s.Engine.Log(); wal != nil {
+		snap.WALAppends = wal.Appends
+		snap.WALBytes = wal.BytesLogged
+	}
+	return snap
+}
+
+// StartMaintenance launches the background flash-maintenance workers
+// (GC per region plus the wear-leveling sweep) for a background-GC
+// system; it returns nil on stacks without a NoFTL volume or built
+// without BackgroundGC.
+func (s *System) StartMaintenance(cfg sched.MaintConfig) *sched.Maintenance {
+	if s.NoFTL == nil || !s.BackgroundGC {
+		return nil
+	}
+	return sched.StartMaintenance(s.K, s.NoFTL, cfg)
+}
+
+// Config declares a system for the public facade: a stack, a device
+// geometry (either Dies/CapacityMB/Cell or an explicit DeviceConfig)
+// and an engine buffer size. Zero values pick the canonical defaults:
+// the region-managed NoFTL stack on 8 SLC dies of ~64 MB with 256
+// buffer frames.
+type Config struct {
+	// Stack selects the storage architecture. Default StackNoFTLRegions.
+	Stack Stack
+	// Dies is the device's die count (ignored with Device set). Default 8.
+	Dies int
+	// CapacityMB approximates the device capacity (ignored with Device
+	// set). Default 64.
+	CapacityMB int
+	// Cell selects the NAND cell technology (ignored with Device set).
+	// Default SLC.
+	Cell nand.CellType
+	// Device overrides the derived geometry with an explicit config.
+	Device *flash.Config
+	// Frames is the engine's buffer-pool size in pages. Default 256.
+	Frames int
+	// Layout overrides the region-managed stack's default layout (one
+	// sequential log region plus one page-mapped data region) with a
+	// custom one. Only meaningful for StackNoFTLRegions; the catalog
+	// must route heaps, indexes and deltas to one page-mapped region.
+	Layout *region.Layout
+}
+
+// Option tunes the optional subsystems a facade-built system attaches.
+type Option func(*BuildOpts)
+
+// WithScheduler attaches a native command scheduler with the given
+// configuration. A trace hook already installed by WithTrace survives
+// (option order must not matter).
+func WithScheduler(cfg sched.Config) Option {
+	return func(o *BuildOpts) {
+		if o.Sched != nil && cfg.Trace == nil {
+			cfg.Trace = o.Sched.Trace
+		}
+		o.Sched = &cfg
+	}
+}
+
+// WithPriorityScheduler attaches the priority command scheduler
+// (foreground reads > WAL appends > data programs > prefetch > GC, with
+// erase suspension).
+func WithPriorityScheduler() Option {
+	return WithScheduler(sched.Config{Policy: sched.Priority})
+}
+
+// WithBackgroundGC builds the NoFTL volumes for worker-driven garbage
+// collection (the write path keeps only the emergency free-block floor).
+func WithBackgroundGC() Option {
+	return func(o *BuildOpts) { o.BackgroundGC = true }
+}
+
+// WithScanResistance segments the buffer-pool clock so scan traffic
+// cannot evict the OLTP working set.
+func WithScanResistance() Option {
+	return func(o *BuildOpts) { o.ScanResistant = true }
+}
+
+// WithPrefetch enables sequential read-ahead with the given window (in
+// pages).
+func WithPrefetch(window int) Option {
+	return func(o *BuildOpts) { o.PrefetchWindow = window }
+}
+
+// WithTrace registers a command-trace hook (one event per dispatched
+// flash command) on the scheduler. It requires a scheduler option; with
+// none it attaches a default priority scheduler.
+func WithTrace(fn func(sched.Event)) Option {
+	return func(o *BuildOpts) {
+		if o.Sched == nil {
+			o.Sched = &sched.Config{Policy: sched.Priority}
+		}
+		o.Sched.Trace = fn
+	}
+}
+
+// New builds a system from a facade config plus options — the public
+// noftl.NewSystem entry point.
+func New(cfg Config, opts ...Option) (*System, error) {
+	var bo BuildOpts
+	for _, o := range opts {
+		o(&bo)
+	}
+	bo.Layout = cfg.Layout
+	stack := cfg.Stack
+	if stack == "" {
+		stack = StackNoFTLRegions
+	}
+	devCfg := flash.Config{}
+	if cfg.Device != nil {
+		devCfg = *cfg.Device
+	} else {
+		dies := cfg.Dies
+		if dies <= 0 {
+			dies = 8
+		}
+		mb := cfg.CapacityMB
+		if mb <= 0 {
+			mb = 64
+		}
+		devCfg = flash.EmulatorConfig(dies, mb, cfg.Cell)
+	}
+	frames := cfg.Frames
+	if frames <= 0 {
+		frames = 256
+	}
+	return BuildWithOpts(stack, devCfg, frames, bo)
+}

@@ -40,6 +40,33 @@ func (l *CmdLog) ClassService(c sched.Class) *stats.Histogram {
 	return &h
 }
 
+// TagWait builds the queue-wait histogram of one request stream tag —
+// per-stream latency attribution across classes (a stream's foreground
+// reads and the GC work it caused share its tag).
+func (l *CmdLog) TagWait(tag uint32) *stats.Histogram {
+	var h stats.Histogram
+	for _, ev := range l.Events {
+		if ev.Tag == tag {
+			h.Add(ev.Start - ev.Arrival)
+		}
+	}
+	return &h
+}
+
+// Tags returns the distinct stream tags present in the log, in first-
+// appearance order.
+func (l *CmdLog) Tags() []uint32 {
+	var out []uint32
+	seen := map[uint32]bool{}
+	for _, ev := range l.Events {
+		if !seen[ev.Tag] {
+			seen[ev.Tag] = true
+			out = append(out, ev.Tag)
+		}
+	}
+	return out
+}
+
 // Suspends counts erase suspensions recorded in the log.
 func (l *CmdLog) Suspends() int {
 	n := 0

@@ -11,6 +11,7 @@ import (
 	"io"
 
 	"noftl/internal/ftl"
+	"noftl/internal/ioreq"
 	"noftl/internal/noftl"
 	"noftl/internal/sim"
 	"noftl/internal/storage"
@@ -156,12 +157,12 @@ func (t NoFTLTarget) LogicalPages() int64 { return t.V.LogicalPages() }
 
 // Read implements Target.
 func (t NoFTLTarget) Read(w sim.Waiter, lpn int64, buf []byte) error {
-	return t.V.Read(w, lpn, buf)
+	return t.V.Read(ioreq.Plain(w), lpn, buf)
 }
 
 // Write implements Target.
 func (t NoFTLTarget) Write(w sim.Waiter, lpn int64, data []byte) error {
-	return t.V.Write(w, lpn, data)
+	return t.V.Write(ioreq.Plain(w), lpn, data)
 }
 
 // Trim implements Target.

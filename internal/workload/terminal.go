@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"noftl/internal/ioreq"
 	"noftl/internal/sim"
 	"noftl/internal/stats"
 	"noftl/internal/storage"
@@ -18,6 +19,7 @@ import (
 // db-writers and flash maintenance all contend for the same dies.
 type Terminal struct {
 	ID        int
+	Tag       uint32 // stream tag riding on every request (0: untagged)
 	Committed int64
 	Retries   int64           // lock-timeout restarts
 	Hist      stats.Histogram // commit latency of counted transactions
@@ -37,6 +39,18 @@ type TerminalConfig struct {
 	// OnFatal receives a terminal's fatal error; the terminal then
 	// stops. Nil ignores errors.
 	OnFatal func(error)
+	// ClassOf, when non-nil, assigns terminal id's requests a scheduler
+	// class — the per-request QoS tier every command of its transactions
+	// dispatches at (ioreq.ClassDefault: the volume's routing decides).
+	ClassOf func(id int) ioreq.Class
+	// TagOf, when non-nil, assigns terminal id's requests a stream tag,
+	// carried down to the command log for per-stream attribution.
+	TagOf func(id int) uint32
+	// DeadlineAfter, when non-nil and positive for a terminal, stamps
+	// each of its transactions with a completion deadline that far into
+	// the future; a priority scheduler promotes the transaction's
+	// still-queued commands ahead of their class once it passes.
+	DeadlineAfter func(id int) sim.Time
 }
 
 // Terminals is the handle over a running terminal set.
@@ -54,11 +68,25 @@ func StartTerminals(k *sim.Kernel, e *storage.Engine, wl Workload, cfg TerminalC
 		term := &Terminal{ID: i}
 		ts.All = append(ts.All, term)
 		seed := cfg.Seed + int64(i)*7919
+		if cfg.TagOf != nil {
+			term.Tag = cfg.TagOf(i)
+		}
 		k.Go(fmt.Sprintf("terminal%d", i), func(p *sim.Proc) {
 			rng := rand.New(rand.NewSource(seed))
 			ctx := storage.NewIOCtx(sim.ProcWaiter{P: p})
+			if cfg.ClassOf != nil {
+				ctx.Class = cfg.ClassOf(term.ID)
+			}
+			ctx.Tag = term.Tag
+			var dlAfter sim.Time
+			if cfg.DeadlineAfter != nil {
+				dlAfter = cfg.DeadlineAfter(term.ID)
+			}
 			for !ts.stopped {
 				t0 := p.Now()
+				if dlAfter > 0 {
+					ctx.Deadline = t0 + dlAfter
+				}
 				err := wl.RunOne(ctx, e, rng)
 				switch {
 				case err == nil:
@@ -111,4 +139,42 @@ func (ts *Terminals) CommitHist() stats.Histogram {
 		h.AddHist(&t.Hist)
 	}
 	return h
+}
+
+// Tags returns the distinct stream tags of the terminal set, in first-
+// terminal order.
+func (ts *Terminals) Tags() []uint32 {
+	var out []uint32
+	seen := map[uint32]bool{}
+	for _, t := range ts.All {
+		if !seen[t.Tag] {
+			seen[t.Tag] = true
+			out = append(out, t.Tag)
+		}
+	}
+	return out
+}
+
+// TagCommitHist merges the commit-latency histograms of the terminals
+// carrying one stream tag.
+func (ts *Terminals) TagCommitHist(tag uint32) stats.Histogram {
+	var h stats.Histogram
+	for _, t := range ts.All {
+		if t.Tag == tag {
+			h.AddHist(&t.Hist)
+		}
+	}
+	return h
+}
+
+// TagCommitted sums committed (counted) transactions of the terminals
+// carrying one stream tag.
+func (ts *Terminals) TagCommitted(tag uint32) int64 {
+	var n int64
+	for _, t := range ts.All {
+		if t.Tag == tag {
+			n += t.Committed
+		}
+	}
+	return n
 }

@@ -41,17 +41,25 @@ func (c TPCBConfig) withDefaults() TPCBConfig {
 // TPCB is the TPC-B benchmark: the canonical update-heavy OLTP workload
 // (3 balance updates + 1 history insert per transaction).
 type TPCB struct {
-	cfg TPCBConfig
+	cfg  TPCBConfig
+	name string // table/index prefix and workload name ("tpcb")
 
 	branches, tellers, accounts, history uint32
 	branchPK, tellerPK, accountPK        uint32
 }
 
 // NewTPCB creates a TPC-B workload.
-func NewTPCB(cfg TPCBConfig) *TPCB { return &TPCB{cfg: cfg.withDefaults()} }
+func NewTPCB(cfg TPCBConfig) *TPCB { return &TPCB{cfg: cfg.withDefaults(), name: "tpcb"} }
+
+// NewTPCBNamed creates a TPC-B workload with its own table-name prefix,
+// so several independent instances (multi-tenant experiments) can load
+// side by side in one engine.
+func NewTPCBNamed(name string, cfg TPCBConfig) *TPCB {
+	return &TPCB{cfg: cfg.withDefaults(), name: name}
+}
 
 // Name implements Workload.
-func (t *TPCB) Name() string { return "tpcb" }
+func (t *TPCB) Name() string { return t.name }
 
 // Config returns the effective configuration.
 func (t *TPCB) Config() TPCBConfig { return t.cfg }
@@ -75,13 +83,13 @@ func (t *TPCB) Load(ctx *storage.IOCtx, e *storage.Engine) error {
 		id, err = e.CreateIndex(ctx, name)
 		return id
 	}
-	t.branches = mk("tpcb_branch")
-	t.tellers = mk("tpcb_teller")
-	t.accounts = mk("tpcb_account")
-	t.history = mk("tpcb_history")
-	t.branchPK = mkIdx("tpcb_branch_pk")
-	t.tellerPK = mkIdx("tpcb_teller_pk")
-	t.accountPK = mkIdx("tpcb_account_pk")
+	t.branches = mk(t.name + "_branch")
+	t.tellers = mk(t.name + "_teller")
+	t.accounts = mk(t.name + "_account")
+	t.history = mk(t.name + "_history")
+	t.branchPK = mkIdx(t.name + "_branch_pk")
+	t.tellerPK = mkIdx(t.name + "_teller_pk")
+	t.accountPK = mkIdx(t.name + "_account_pk")
 	if err != nil {
 		return err
 	}

@@ -27,6 +27,7 @@ import (
 	"noftl/internal/blockdev"
 	"noftl/internal/flash"
 	"noftl/internal/ftl"
+	"noftl/internal/ioreq"
 	"noftl/internal/nand"
 	"noftl/internal/noftl"
 	"noftl/internal/region"
@@ -34,6 +35,32 @@ import (
 	"noftl/internal/storage"
 	"noftl/internal/workload"
 )
+
+// --- cross-layer I/O request descriptors ---
+
+type (
+	// Req is the cross-layer I/O request descriptor: the waiter that
+	// experiences a request's latency plus the intent (scheduler class,
+	// stream tag, deadline) that travels with it from the workload layer
+	// down to the per-die command queues.
+	Req = ioreq.Req
+	// ReqClass is a request's declared scheduler class.
+	ReqClass = ioreq.Class
+)
+
+// Request classes. ReqDefault declares nothing — the volume's static
+// per-class device routing (the pre-descriptor behavior) decides.
+const (
+	ReqDefault  = ioreq.ClassDefault
+	ReqRead     = ioreq.ClassRead
+	ReqWAL      = ioreq.ClassWAL
+	ReqProgram  = ioreq.ClassProgram
+	ReqPrefetch = ioreq.ClassPrefetch
+	ReqGC       = ioreq.ClassGC
+)
+
+// NewReq wraps a bare waiter into an intent-free request descriptor.
+func NewReq(w Waiter) Req { return ioreq.Plain(w) }
 
 // --- NAND + flash device emulator ---
 
@@ -81,6 +108,9 @@ type (
 	Waiter = sim.Waiter
 	// ClockWaiter is a serial virtual clock (single synchronous client).
 	ClockWaiter = sim.ClockWaiter
+	// ProcWaiter adapts a DES process to the Waiter interface
+	// (ProcWaiter{P: p} inside a Kernel.Go body).
+	ProcWaiter = sim.ProcWaiter
 	// SimTime is simulated time in nanoseconds.
 	SimTime = sim.Time
 )
@@ -116,9 +146,9 @@ const (
 func NewVolume(dev *Device, cfg VolumeConfig) (*Volume, error) { return noftl.New(dev, cfg) }
 
 // RebuildVolume reconstructs a volume's mapping from flash OOB metadata
-// after a host restart.
-func RebuildVolume(dev *Device, cfg VolumeConfig, w Waiter) (*Volume, error) {
-	return noftl.Rebuild(dev, cfg, w)
+// after a host restart. The scan's page reads are charged to rq.
+func RebuildVolume(dev *Device, cfg VolumeConfig, rq Req) (*Volume, error) {
+	return noftl.Rebuild(dev, cfg, rq)
 }
 
 // --- configurable flash regions ---
@@ -158,9 +188,9 @@ func NewRegionManager(dev *Device, layout RegionLayout) (*RegionManager, error) 
 }
 
 // RebuildRegionManager reconstructs every region's mapping from flash
-// after a restart.
-func RebuildRegionManager(dev *Device, layout RegionLayout, w Waiter) (*RegionManager, error) {
-	return region.Rebuild(dev, layout, w)
+// after a restart. The scans' page reads are charged to rq.
+func RebuildRegionManager(dev *Device, layout RegionLayout, rq Req) (*RegionManager, error) {
+	return region.Rebuild(dev, layout, rq)
 }
 
 // DefaultDBLayout is the canonical database layout: a sequential log
@@ -211,6 +241,10 @@ type (
 	RID = storage.RID
 	// WriterConfig configures background db-writers (§3.2).
 	WriterConfig = storage.WriterConfig
+	// WriterAssociation selects how db-writers divide the dirty pages.
+	WriterAssociation = storage.WriterAssociation
+	// PrefetcherConfig configures the background read-ahead pool.
+	PrefetcherConfig = storage.PrefetcherConfig
 )
 
 // Writer association strategies (§3.2, Figure 4).
@@ -324,6 +358,45 @@ type (
 	RegionsConfig = bench.RegionsConfig
 	// RegionsResult is the regions ablation table.
 	RegionsResult = bench.RegionsResult
+	// SchedConfig / SchedResult: the command-scheduling ablation (A7) —
+	// inline GC vs background GC vs priority scheduling vs per-request
+	// tagging.
+	SchedConfig = bench.SchedConfig
+	// SchedResult is the scheduling ablation outcome.
+	SchedResult = bench.SchedResult
+	// SchedMode names one regime of the scheduling ablation.
+	SchedMode = bench.SchedMode
+	// HTAPConfig / HTAPResult: the HTAP ablation (A8) — OLTP terminals
+	// vs analytical scans under buffer-pool and read-ahead policies.
+	HTAPConfig = bench.HTAPConfig
+	// HTAPResult is the HTAP ablation outcome.
+	HTAPResult = bench.HTAPResult
+	// QoSConfig / QoSResult: the per-request QoS demo — two terminal
+	// groups on one stack, one declared low-priority, with per-tag
+	// commit-latency attribution.
+	QoSConfig = bench.QoSConfig
+	// QoSResult is the QoS demo outcome.
+	QoSResult = bench.QoSResult
+	// AblationResult is one design-choice sweep's table (A1-A4).
+	AblationResult = bench.AblationResult
+	// JSONReport collects machine-readable experiment results
+	// (noftlbench -json).
+	JSONReport = bench.JSONReport
+	// JSONResult is one measurement in a JSONReport.
+	JSONResult = bench.JSONResult
+)
+
+// Scheduling-ablation regimes (A7).
+const (
+	// SchedInline runs GC inline on the allocating path, FCFS dispatch.
+	SchedInline = bench.SchedInline
+	// SchedBackground moves GC to background workers, FCFS dispatch.
+	SchedBackground = bench.SchedBackground
+	// SchedPriorityMode adds the priority scheduler to background GC.
+	SchedPriorityMode = bench.SchedPriority
+	// SchedTagged adds per-request descriptors to the priority regime —
+	// the static-routing-vs-request-tags ablation column.
+	SchedTagged = bench.SchedTagged
 )
 
 // Figure3 regenerates the paper's Figure-3 table.
@@ -349,3 +422,32 @@ func DeltaAblation(cfg DeltaConfig) (*DeltaResult, error) { return bench.DeltaAb
 // per-region management policies and object placement buy over a
 // single-policy volume when the WAL also lives on flash.
 func RegionsAblation(cfg RegionsConfig) (*RegionsResult, error) { return bench.RegionsAblation(cfg) }
+
+// SchedAblation runs the command-scheduling ablation (A7): inline GC vs
+// background GC vs priority scheduling vs per-request tagging on the
+// region-managed stack.
+func SchedAblation(cfg SchedConfig) (*SchedResult, error) { return bench.SchedAblation(cfg) }
+
+// HTAPAblation runs the HTAP ablation (A8): OLTP terminals vs
+// analytical scans under the naive, scan-resistant and
+// scan-resistant+prefetch pool policies.
+func HTAPAblation(cfg HTAPConfig) (*HTAPResult, error) { return bench.HTAPAblation(cfg) }
+
+// QoS runs the per-request QoS demo: two TPC-B terminal groups on one
+// priority-scheduled stack, one group declared low-priority through the
+// request descriptor, reporting per-tag commit latency.
+func QoS(cfg QoSConfig) (*QoSResult, error) { return bench.QoS(cfg) }
+
+// AblationGCPolicy sweeps the GC victim-selection policy (A1).
+func AblationGCPolicy(seed int64) (*AblationResult, error) { return bench.AblationGCPolicy(seed) }
+
+// AblationDFTLCMT sweeps DFTL's cached-mapping-table size (A2).
+func AblationDFTLCMT(seed int64) (*AblationResult, error) { return bench.AblationDFTLCMT(seed) }
+
+// AblationFasterLog sweeps FASTer's log-block share (A3).
+func AblationFasterLog(seed int64) (*AblationResult, error) { return bench.AblationFasterLog(seed) }
+
+// AblationOverProvision sweeps NoFTL's over-provisioning share (A4).
+func AblationOverProvision(seed int64) (*AblationResult, error) {
+	return bench.AblationOverProvision(seed)
+}
