@@ -51,6 +51,10 @@ func main() {
 		schedTrace = flag.Bool("sched-trace", false, "collect a command log and print per-class waits")
 		tagged     = flag.Bool("tagged", true, "include the per-request-tagging column in the sched ablation")
 
+		traceOut   = flag.String("trace-out", "", "write a Perfetto-loadable trace-event JSON file for the sched experiment's last mode")
+		metricsOut = flag.String("metrics-out", "", "write the telemetry metrics time series + flight recorder (JSON) for the sched experiment's last mode")
+		slowestK   = flag.Int("slowest", 16, "flight-recorder retention: slowest K transactions (with -trace-out/-metrics-out)")
+
 		htapDies    = flag.Int("htap-dies", 0, "dies for the htap ablation (0: default 8)")
 		htapMB      = flag.Int("htap-mb", 0, "drive MB for the htap ablation (0: default 64)")
 		htapTerms   = flag.Int("htap-terminals", 0, "OLTP terminals for htap (0: default 12)")
@@ -233,6 +237,18 @@ func main() {
 			Seed:      *seed,
 			TraceCmds: *schedTrace,
 		}
+		telemetryOn := *traceOut != "" || *metricsOut != ""
+		if telemetryOn {
+			cfg.Telemetry = &noftl.TelemetryConfig{
+				SlowestK:    *slowestK,
+				RetainSpans: *traceOut != "",
+			}
+			// The Perfetto export draws its command timelines from the
+			// command log.
+			if *traceOut != "" {
+				cfg.TraceCmds = true
+			}
+		}
 		if !*tagged {
 			cfg.Modes = []noftl.SchedMode{noftl.SchedInline, noftl.SchedBackground,
 				noftl.SchedPriorityMode}
@@ -264,6 +280,31 @@ func main() {
 		fmt.Println()
 		for i := range res.Rows {
 			report.AddSched(res.Workload, &res.Rows[i])
+		}
+		if telemetryOn && len(res.Rows) > 0 {
+			// Export the last mode's run — with -tagged (the default)
+			// that is the fully scheduled, descriptor-dispatched regime.
+			last := &res.Rows[len(res.Rows)-1]
+			if last.Tel != nil {
+				fmt.Printf("flight recorder (%s): slowest transactions by layer\n%s",
+					last.Mode, last.Tel.SlowestTable())
+				if *traceOut != "" {
+					if err := writeFileWith(*traceOut, func(f *os.File) error {
+						return noftl.WriteTraceEvents(f, last.CmdLog, last.Tel.Spans())
+					}); err != nil {
+						return err
+					}
+					fmt.Printf("wrote Perfetto trace (%s) to %s\n", last.Mode, *traceOut)
+				}
+				if *metricsOut != "" {
+					if err := writeFileWith(*metricsOut, func(f *os.File) error {
+						return last.Tel.WriteMetrics(f)
+					}); err != nil {
+						return err
+					}
+					fmt.Printf("wrote metrics series (%s) to %s\n", last.Mode, *metricsOut)
+				}
+			}
 		}
 		return nil
 	})
@@ -330,6 +371,18 @@ func main() {
 		}
 		fmt.Printf("wrote %d results to %s\n", len(report.Results), *jsonOut)
 	}
+}
+
+func writeFileWith(path string, fn func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func parseInts(s string) []int {

@@ -113,6 +113,11 @@ type TPSResult struct {
 	// runs; nil otherwise) and TagCommitted the per-tag commit counts.
 	TagCommit    map[uint32]*stats.Histogram
 	TagCommitted map[uint32]int64
+	// DeadlineMisses counts counted commits that finished past their
+	// deadline; TagDeadlineMisses breaks them down per stream tag (TagOf
+	// runs; nil otherwise).
+	DeadlineMisses    int64
+	TagDeadlineMisses map[uint32]int64
 	// Scheduler accounting (zero without an attached scheduler).
 	Sched sched.Stats
 	// Background maintenance counters (zero without BackgroundGC).
@@ -201,7 +206,7 @@ func RunTPS(sys *System, wl workload.Workload, cfg TPSConfig) (*TPSResult, error
 	}
 	stopWriters := sys.Engine.StartWriters(k, writerCfg)
 
-	terms := workload.StartTerminals(k, sys.Engine, wl, workload.TerminalConfig{
+	termCfg := workload.TerminalConfig{
 		N:             cfg.Workers,
 		Seed:          cfg.Seed,
 		Think:         cfg.Think,
@@ -210,7 +215,11 @@ func RunTPS(sys *System, wl workload.Workload, cfg TPSConfig) (*TPSResult, error
 		ClassOf:       cfg.ClassOf,
 		TagOf:         cfg.TagOf,
 		DeadlineAfter: cfg.DeadlineAfter,
-	})
+	}
+	if sys.Tel != nil {
+		termCfg.SpanSink = sys.Tel.RecordSpan
+	}
+	terms := workload.StartTerminals(k, sys.Engine, wl, termCfg)
 	startCheckpointer(k, sys.Engine, func(p *sim.Proc) *storage.IOCtx {
 		ctx := storage.NewIOCtx(sim.ProcWaiter{P: p})
 		if cfg.Tagged {
@@ -245,13 +254,16 @@ func RunTPS(sys *System, wl workload.Workload, cfg TPSConfig) (*TPSResult, error
 	if cfg.TrackLatency {
 		res.CommitHist = terms.CommitHist()
 	}
+	res.DeadlineMisses = terms.DeadlineMisses()
 	if cfg.TagOf != nil {
 		res.TagCommit = map[uint32]*stats.Histogram{}
 		res.TagCommitted = map[uint32]int64{}
+		res.TagDeadlineMisses = map[uint32]int64{}
 		for _, tag := range terms.Tags() {
 			h := terms.TagCommitHist(tag)
 			res.TagCommit[tag] = &h
 			res.TagCommitted[tag] = terms.TagCommitted(tag)
+			res.TagDeadlineMisses[tag] = terms.TagDeadlineMisses(tag)
 		}
 	}
 	res.TPS = float64(res.Committed) / cfg.Measure.Seconds()

@@ -41,6 +41,11 @@ type JSONResult struct {
 	// Scheduler accounting (sched experiment).
 	QueueWaitMeanUs float64 `json:"queue_wait_mean_us,omitempty"`
 	EraseSuspends   int64   `json:"erase_suspends,omitempty"`
+	// Deadline accounting (QoS and deadline-stamped sched runs): commits
+	// that finished past their deadline, and commands the scheduler
+	// served ahead of their class because the deadline had passed.
+	DeadlineMisses     int64 `json:"deadline_misses,omitempty"`
+	DeadlinePromotions int64 `json:"deadline_promotions,omitempty"`
 	// Analytical stream + pool accounting (htap experiment).
 	ScanQPS      float64 `json:"scan_qps,omitempty"`
 	ScanRowsPerS float64 `json:"scan_rows_per_s,omitempty"`
@@ -95,23 +100,25 @@ func (r *JSONReport) AddSched(workload string, row *SchedRow) {
 		waitMean = us(total / sim.Time(n))
 	}
 	r.Results = append(r.Results, JSONResult{
-		Experiment:      "sched",
-		Workload:        workload,
-		Stack:           string(StackNoFTLRegions),
-		Mode:            string(row.Mode),
-		TPS:             res.TPS,
-		WA:              res.FTL.WriteAmplification(),
-		Erases:          res.Device.Erases,
-		BytesPerTx:      bytesPerTx,
-		Committed:       res.Committed,
-		CommitP50us:     us(res.CommitHist.Percentile(50)),
-		CommitP95us:     us(res.CommitHist.Percentile(95)),
-		CommitP99us:     us(res.CommitHist.Percentile(99)),
-		ReadP50us:       us(res.ReadHist.Percentile(50)),
-		ReadP95us:       us(res.ReadHist.Percentile(95)),
-		ReadP99us:       us(res.ReadHist.Percentile(99)),
-		QueueWaitMeanUs: waitMean,
-		EraseSuspends:   res.Device.EraseSuspends,
+		Experiment:         "sched",
+		Workload:           workload,
+		Stack:              string(StackNoFTLRegions),
+		Mode:               string(row.Mode),
+		TPS:                res.TPS,
+		WA:                 res.FTL.WriteAmplification(),
+		Erases:             res.Device.Erases,
+		BytesPerTx:         bytesPerTx,
+		Committed:          res.Committed,
+		CommitP50us:        us(res.CommitHist.Percentile(50)),
+		CommitP95us:        us(res.CommitHist.Percentile(95)),
+		CommitP99us:        us(res.CommitHist.Percentile(99)),
+		ReadP50us:          us(res.ReadHist.Percentile(50)),
+		ReadP95us:          us(res.ReadHist.Percentile(95)),
+		ReadP99us:          us(res.ReadHist.Percentile(99)),
+		QueueWaitMeanUs:    waitMean,
+		EraseSuspends:      res.Device.EraseSuspends,
+		DeadlineMisses:     res.DeadlineMisses,
+		DeadlinePromotions: res.Sched.DeadlinePromotions,
 	})
 }
 
@@ -158,15 +165,17 @@ func (r *JSONReport) AddQoS(res *QoSResult) {
 			mode = "low"
 		}
 		r.Results = append(r.Results, JSONResult{
-			Experiment:  "qos",
-			Workload:    "tpcb-2tenant",
-			Stack:       string(StackNoFTLRegions),
-			Mode:        mode,
-			TPS:         row.TPS,
-			Committed:   row.Committed,
-			CommitP50us: us(row.Commit.Percentile(50)),
-			CommitP95us: us(row.Commit.Percentile(95)),
-			CommitP99us: us(row.Commit.Percentile(99)),
+			Experiment:         "qos",
+			Workload:           "tpcb-2tenant",
+			Stack:              string(StackNoFTLRegions),
+			Mode:               mode,
+			TPS:                row.TPS,
+			Committed:          row.Committed,
+			CommitP50us:        us(row.Commit.Percentile(50)),
+			CommitP95us:        us(row.Commit.Percentile(95)),
+			CommitP99us:        us(row.Commit.Percentile(99)),
+			DeadlineMisses:     row.DeadlineMisses,
+			DeadlinePromotions: res.Sched.DeadlinePromotions,
 		})
 	}
 }

@@ -86,6 +86,9 @@ type QoSRow struct {
 	Committed int64
 	TPS       float64
 	Commit    stats.Histogram
+	// DeadlineMisses counts counted commits that finished past their
+	// deadline (always 0 for the low group, which runs without one).
+	DeadlineMisses int64
 }
 
 // QoSResult is the QoS demo outcome.
@@ -110,7 +113,7 @@ func (r *QoSResult) P99Ratio() float64 {
 
 // Table renders the per-group comparison.
 func (r *QoSResult) Table() string {
-	t := stats.NewTable("group", "terminals", "TPS", "commit p50", "p95", "p99")
+	t := stats.NewTable("group", "terminals", "TPS", "commit p50", "p95", "p99", "misses")
 	for _, row := range []*QoSRow{&r.High, &r.Low} {
 		name := "high"
 		if row.Tag == TagLowPriority {
@@ -119,7 +122,8 @@ func (r *QoSResult) Table() string {
 		t.Row(name, row.Terminals, row.TPS,
 			row.Commit.Percentile(50).String(),
 			row.Commit.Percentile(95).String(),
-			row.Commit.Percentile(99).String())
+			row.Commit.Percentile(99).String(),
+			row.DeadlineMisses)
 	}
 	return t.String()
 }
@@ -215,6 +219,7 @@ func QoS(cfg QoSConfig) (*QoSResult, error) {
 		row.Committed = ts.Committed()
 		row.TPS = float64(row.Committed) / cfg.Measure.Seconds()
 		row.Commit = ts.CommitHist()
+		row.DeadlineMisses = ts.DeadlineMisses()
 	}
 	fill(&out.High, high, TagHighPriority, highN)
 	fill(&out.Low, low, TagLowPriority, cfg.Workers-highN)

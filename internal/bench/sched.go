@@ -9,6 +9,7 @@ import (
 	"noftl/internal/sim"
 	"noftl/internal/stats"
 	"noftl/internal/storage"
+	"noftl/internal/telemetry"
 	"noftl/internal/trace"
 	"noftl/internal/workload"
 )
@@ -66,6 +67,10 @@ type SchedConfig struct {
 	// keeps its per-class summary in the row (memory-heavy; off by
 	// default).
 	TraceCmds bool
+	// Telemetry attaches the cross-layer telemetry pipeline to each
+	// mode's system: request spans on every counted transaction, the
+	// metrics sampler, and the flight recorder (SchedRow.Tel).
+	Telemetry *telemetry.Config
 
 	TPCC workload.TPCCConfig
 	TPCB workload.TPCBConfig
@@ -130,6 +135,10 @@ type SchedRow struct {
 	Result    TPSResult
 	Occupancy float64 // data-region live fraction at the end of the run
 	CmdLog    *trace.CmdLog
+	// Tel is the regime's telemetry pipeline (SchedConfig.Telemetry
+	// runs; nil otherwise): metrics series, retained spans, flight
+	// recorder.
+	Tel *telemetry.Telemetry
 }
 
 // SchedResult is the ablation outcome.
@@ -237,6 +246,7 @@ func SchedAblation(cfg SchedConfig) (*SchedResult, error) {
 			log = &trace.CmdLog{}
 			opts.Sched.Trace = log.Record
 		}
+		opts.Telemetry = cfg.Telemetry
 		devCfg := flash.EmulatorConfig(cfg.Dies, cfg.DriveMB, nand.SLC)
 		sys, err := BuildSystemOpts(StackNoFTLRegions, devCfg, cfg.Frames, opts)
 		if err != nil {
@@ -265,7 +275,7 @@ func SchedAblation(cfg SchedConfig) (*SchedResult, error) {
 		if err != nil {
 			return nil, fmt.Errorf("sched ablation %s: %w", mode, err)
 		}
-		row := SchedRow{Mode: mode, Result: *r, CmdLog: log}
+		row := SchedRow{Mode: mode, Result: *r, CmdLog: log, Tel: sys.Tel}
 		if sys.NoFTL != nil && sys.NoFTL.LogicalPages() > 0 {
 			row.Occupancy = float64(sys.NoFTL.LivePages()) / float64(sys.NoFTL.LogicalPages())
 		}

@@ -86,6 +86,10 @@ type Req struct {
 	// Deadline promotes the request's commands ahead of their class once
 	// the simulated clock passes it (0: none).
 	Deadline sim.Time
+	// Span, when non-nil, is the request's telemetry span: layers on the
+	// way down record stage timings on it (see span.go). It carries the
+	// trace ID.
+	Span *Span
 }
 
 // Plain wraps a bare waiter into an intent-free descriptor.
@@ -94,7 +98,7 @@ func Plain(w sim.Waiter) Req { return Req{W: w} }
 // Intent reports whether the descriptor declares anything beyond the
 // waiter.
 func (r Req) Intent() bool {
-	return r.Class != ClassDefault || r.Tag != 0 || r.Deadline != 0
+	return r.Class != ClassDefault || r.Tag != 0 || r.Deadline != 0 || r.Span != nil
 }
 
 // WithClass returns the descriptor with its class replaced.
@@ -120,7 +124,7 @@ func (r Req) Waiter() sim.Waiter {
 	if !r.Intent() {
 		return w
 	}
-	return &Tagged{Inner: w, Class: r.Class, Tag: r.Tag, Deadline: r.Deadline}
+	return &Tagged{Inner: w, Class: r.Class, Tag: r.Tag, Deadline: r.Deadline, Span: r.Span}
 }
 
 // Tagged is a sim.Waiter carrying the request descriptor across layers
@@ -132,6 +136,7 @@ type Tagged struct {
 	Class    Class
 	Tag      uint32
 	Deadline sim.Time
+	Span     *Span
 }
 
 // Now implements sim.Waiter.
@@ -144,7 +149,7 @@ func (t *Tagged) WaitUntil(ts sim.Time) { t.Inner.WaitUntil(ts) }
 // fields, or an intent-free descriptor around w itself.
 func From(w sim.Waiter) Req {
 	if t, ok := w.(*Tagged); ok {
-		return Req{W: t.Inner, Class: t.Class, Tag: t.Tag, Deadline: t.Deadline}
+		return Req{W: t.Inner, Class: t.Class, Tag: t.Tag, Deadline: t.Deadline, Span: t.Span}
 	}
 	return Req{W: w}
 }
@@ -158,7 +163,7 @@ func WithClass(w sim.Waiter, c Class) sim.Waiter {
 		if t.Class == c {
 			return w
 		}
-		return &Tagged{Inner: t.Inner, Class: c, Tag: t.Tag, Deadline: t.Deadline}
+		return &Tagged{Inner: t.Inner, Class: c, Tag: t.Tag, Deadline: t.Deadline, Span: t.Span}
 	}
 	return &Tagged{Inner: w, Class: c}
 }

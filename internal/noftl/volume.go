@@ -314,6 +314,19 @@ func (v *Volume) LivePages() int64 {
 	return n
 }
 
+// FreeBlocks counts erased, allocatable blocks across all regions — the
+// volume-wide headroom the garbage collector defends. Telemetry samples
+// it as a gauge.
+func (v *Volume) FreeBlocks() int64 {
+	var n int64
+	for _, d := range v.dies {
+		for plane := 0; plane < d.sp.Planes(); plane++ {
+			n += int64(d.bt.FreeCount(plane))
+		}
+	}
+	return n
+}
+
 // RegionOf maps a logical page to its physical region. Because the
 // volume stripes die-wise, the DBMS can partition dirty pages by region
 // and bind one db-writer per region (§3.2).

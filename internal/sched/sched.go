@@ -210,6 +210,7 @@ type request struct {
 	tag      uint32   // request stream tag (trace attribution)
 	deadline sim.Time // past it, the command outranks its class (0: none)
 	arrival  sim.Time
+	start    sim.Time // dispatch time (set by account; spans split queue/die on it)
 
 	ppn    nand.PPN // read/program/partial target, copyback source
 	dst    nand.PPN // copyback destination
@@ -470,6 +471,7 @@ func (ds *dieSched) run(p *sim.Proc) {
 
 // account records the queue wait of a command being dispatched.
 func (ds *dieSched) account(r *request, now sim.Time) {
+	r.start = now
 	wait := now - r.arrival
 	st := &ds.s.stats
 	st.Scheduled[r.class]++

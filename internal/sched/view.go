@@ -38,8 +38,15 @@ func (v view) Array() *nand.Array { return v.s.dev.Array() }
 // this kernel), who must bypass the queues. A request descriptor riding
 // on the waiter overrides the view's class and attaches its stream tag
 // and deadline to the queued command.
+//
+// A telemetry span riding on the descriptor sees the whole parked
+// window as its scheduler-queue stage; after completion, the service
+// part (dispatch to end, known from the request's recorded dispatch
+// time) is transferred to the die stage, splitting queue wait from die
+// service exactly.
 func (v view) submit(w sim.Waiter, r *request, die int) bool {
 	cls, retagged := v.c, false
+	var sp *ioreq.Span
 	if t, ok := w.(*ioreq.Tagged); ok {
 		if c, declared := FromRequest(t.Class); declared {
 			retagged = c != cls
@@ -47,6 +54,7 @@ func (v view) submit(w sim.Waiter, r *request, die int) bool {
 		}
 		r.tag = t.Tag
 		r.deadline = t.Deadline
+		sp = t.Span
 		w = t.Inner
 	}
 	pw, ok := w.(sim.ProcWaiter)
@@ -59,8 +67,17 @@ func (v view) submit(w sim.Waiter, r *request, die int) bool {
 	}
 	r.class = cls
 	r.arrival = pw.P.Now()
+	if sp != nil {
+		sp.Cmds++
+		sp.Enter(ioreq.StageSchedQ, r.arrival)
+	}
 	v.s.dies[die].enqueue(r)
 	r.done.Wait(pw.P)
+	if sp != nil {
+		end := pw.P.Now()
+		sp.Exit(end)
+		sp.Transfer(ioreq.StageSchedQ, ioreq.StageDie, end-r.start)
+	}
 	return true
 }
 

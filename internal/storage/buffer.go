@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"noftl/internal/delta"
+	"noftl/internal/ioreq"
 	"noftl/internal/sim"
 	"noftl/internal/stats"
 )
@@ -297,6 +298,20 @@ func (bp *BufferPool) TotalDirty() int {
 // must coalesce onto one frame, or updates split across twins and the
 // page is silently corrupted.
 func (bp *BufferPool) Pin(ctx *IOCtx, id PageID, fresh bool) (*Frame, error) {
+	if sp := ctx.span(); sp != nil {
+		// Telemetry: the whole pin — hit bookkeeping, victim eviction,
+		// miss read — is the span's buffer stage; the volume read nests
+		// its own stage inside.
+		w := ctx.waiter()
+		sp.Enter(ioreq.StageBuffer, w.Now())
+		f, err := bp.pin(ctx, id, fresh)
+		sp.Exit(w.Now())
+		return f, err
+	}
+	return bp.pin(ctx, id, fresh)
+}
+
+func (bp *BufferPool) pin(ctx *IOCtx, id PageID, fresh bool) (*Frame, error) {
 	wait := ctx.waiter()
 	for {
 		if f, ok := bp.table[id]; ok {

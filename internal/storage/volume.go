@@ -29,6 +29,10 @@ type IOCtx struct {
 	// Deadline promotes the request's commands ahead of their class once
 	// the simulated clock passes it (0: none).
 	Deadline sim.Time
+	// Span, when non-nil, is the request's telemetry span: the buffer
+	// pool, the WAL and the volume adapters record their stage timings
+	// on it, and it travels on the descriptor down to the die queues.
+	Span *ioreq.Span
 }
 
 // NewIOCtx wraps a waiter into an intent-free context.
@@ -96,9 +100,9 @@ func (c *IOCtx) Req() ioreq.Req {
 		if c == nil {
 			return ioreq.Req{W: &sim.ClockWaiter{}}
 		}
-		return ioreq.Req{W: &sim.ClockWaiter{}, Class: c.Class, Tag: c.Tag, Deadline: c.Deadline}
+		return ioreq.Req{W: &sim.ClockWaiter{}, Class: c.Class, Tag: c.Tag, Deadline: c.Deadline, Span: c.Span}
 	}
-	return ioreq.Req{W: c.W, Class: c.Class, Tag: c.Tag, Deadline: c.Deadline}
+	return ioreq.Req{W: c.W, Class: c.Class, Tag: c.Tag, Deadline: c.Deadline, Span: c.Span}
 }
 
 func (c *IOCtx) waiter() sim.Waiter {
@@ -107,6 +111,15 @@ func (c *IOCtx) waiter() sim.Waiter {
 		return &sim.ClockWaiter{}
 	}
 	return c.W
+}
+
+// span returns the telemetry span riding on the context (nil without
+// one — the instrumentation points' off switch).
+func (c *IOCtx) span() *ioreq.Span {
+	if c == nil {
+		return nil
+	}
+	return c.Span
 }
 
 // WriteHint mirrors noftl placement hints at the engine level.

@@ -6,8 +6,25 @@ import (
 
 	"noftl/internal/blockdev"
 	"noftl/internal/ftl"
+	"noftl/internal/ioreq"
 	"noftl/internal/noftl"
 )
+
+// spanVolume brackets one volume/log call in the span's volume stage.
+// Scheduler-queue time nests inside it (the view enters its own stage),
+// so the volume stage ends up holding only mapping and device work done
+// outside the die queues.
+func spanVolume(ctx *IOCtx, fn func() error) error {
+	sp := ctx.span()
+	if sp == nil {
+		return fn()
+	}
+	w := ctx.waiter()
+	sp.Enter(ioreq.StageVolume, w.Now())
+	err := fn()
+	sp.Exit(w.Now())
+	return err
+}
 
 // NoFTLVolume adapts a noftl.Volume to the engine: deallocations reach
 // the garbage collector, regions expose the die layout for db-writer
@@ -31,7 +48,7 @@ func (n *NoFTLVolume) Pages() int64 { return n.V.LogicalPages() }
 // ReadPage implements Volume. The context's request descriptor travels
 // down to the die queues.
 func (n *NoFTLVolume) ReadPage(ctx *IOCtx, id PageID, buf []byte) error {
-	return n.V.Read(ctx.Req(), int64(id), buf)
+	return spanVolume(ctx, func() error { return n.V.Read(ctx.Req(), int64(id), buf) })
 }
 
 // WritePage implements Volume.
@@ -45,14 +62,14 @@ func (n *NoFTLVolume) WritePage(ctx *IOCtx, id PageID, data []byte, hint WriteHi
 	case HintLog:
 		h = noftl.HintLog
 	}
-	return n.V.WriteHint(ctx.Req(), int64(id), data, h)
+	return spanVolume(ctx, func() error { return n.V.WriteHint(ctx.Req(), int64(id), data, h) })
 }
 
 // PrefetchPage implements PrefetchVolume: the read is issued through
 // the volume's prefetch command class, which an attached scheduler
 // serves below foreground reads, WAL appends and data programs.
 func (n *NoFTLVolume) PrefetchPage(ctx *IOCtx, id PageID, buf []byte) error {
-	return n.V.ReadPrefetch(ctx.Req(), int64(id), buf)
+	return spanVolume(ctx, func() error { return n.V.ReadPrefetch(ctx.Req(), int64(id), buf) })
 }
 
 // WriteDeltaPage implements DeltaVolume: the differential is appended
@@ -60,7 +77,7 @@ func (n *NoFTLVolume) PrefetchPage(ctx *IOCtx, id PageID, buf []byte) error {
 // page), the contribution-iv path — flash traffic proportional to the
 // bytes the DBMS actually changed.
 func (n *NoFTLVolume) WriteDeltaPage(ctx *IOCtx, id PageID, payload []byte) error {
-	return n.V.WriteDelta(ctx.Req(), int64(id), payload)
+	return spanVolume(ctx, func() error { return n.V.WriteDelta(ctx.Req(), int64(id), payload) })
 }
 
 // Deallocate implements Volume: the free-space manager's dead-page
@@ -97,12 +114,12 @@ func (b *BlockVolume) Pages() int64 { return b.D.Pages() }
 // semantic loss the NoFTL architecture removes — so only the waiter
 // crosses it.
 func (b *BlockVolume) ReadPage(ctx *IOCtx, id PageID, buf []byte) error {
-	return b.D.Read(ctx.waiter(), int64(id), buf)
+	return spanVolume(ctx, func() error { return b.D.Read(ctx.waiter(), int64(id), buf) })
 }
 
 // WritePage implements Volume.
 func (b *BlockVolume) WritePage(ctx *IOCtx, id PageID, data []byte, _ WriteHint) error {
-	return b.D.Write(ctx.waiter(), int64(id), data)
+	return spanVolume(ctx, func() error { return b.D.Write(ctx.waiter(), int64(id), data) })
 }
 
 // Deallocate implements Volume: silently dropped, as on real SATA-era
@@ -135,7 +152,12 @@ func (f *FlashLog) Pages() int64 { return f.L.CapacityPages() }
 // Append implements AppendLog. Region exhaustion surfaces as ErrLogFull
 // so the engine's checkpoint machinery treats it like a wrapped log.
 func (f *FlashLog) Append(ctx *IOCtx, data []byte) (int64, error) {
-	pos, err := f.L.Append(ctx.Req(), data)
+	var pos int64
+	err := spanVolume(ctx, func() error {
+		var err error
+		pos, err = f.L.Append(ctx.Req(), data)
+		return err
+	})
 	if errors.Is(err, ftl.ErrLogSpace) {
 		return 0, fmt.Errorf("%w: %v", ErrLogFull, err)
 	}
@@ -144,12 +166,12 @@ func (f *FlashLog) Append(ctx *IOCtx, data []byte) (int64, error) {
 
 // ReadAt implements AppendLog.
 func (f *FlashLog) ReadAt(ctx *IOCtx, pos int64, buf []byte) error {
-	return f.L.ReadAt(ctx.Req(), pos, buf)
+	return spanVolume(ctx, func() error { return f.L.ReadAt(ctx.Req(), pos, buf) })
 }
 
 // Truncate implements AppendLog.
 func (f *FlashLog) Truncate(ctx *IOCtx, keepFrom int64) error {
-	return f.L.Truncate(ctx.Req(), keepFrom)
+	return spanVolume(ctx, func() error { return f.L.Truncate(ctx.Req(), keepFrom) })
 }
 
 // Bounds implements AppendLog.

@@ -182,6 +182,20 @@ func (w *WAL) FlushBg(ctx *IOCtx, upTo uint64) error {
 }
 
 func (w *WAL) flush(ctx *IOCtx, upTo uint64) error {
+	if sp := ctx.span(); sp != nil {
+		// Telemetry: the whole flush — group-commit waits behind another
+		// flusher included — is the span's WAL stage; page writes nest
+		// the volume stage inside.
+		wait := ctx.waiter()
+		sp.Enter(ioreq.StageWAL, wait.Now())
+		err := w.doFlush(ctx, upTo)
+		sp.Exit(wait.Now())
+		return err
+	}
+	return w.doFlush(ctx, upTo)
+}
+
+func (w *WAL) doFlush(ctx *IOCtx, upTo uint64) error {
 	if upTo > w.nextLSN {
 		upTo = w.nextLSN
 	}

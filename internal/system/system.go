@@ -21,6 +21,7 @@ import (
 	"noftl/internal/sched"
 	"noftl/internal/sim"
 	"noftl/internal/storage"
+	"noftl/internal/telemetry"
 )
 
 // Stack names a storage architecture under comparison.
@@ -62,6 +63,10 @@ type System struct {
 	FTLStats func() ftl.Stats
 	Ctx      *storage.IOCtx
 	K        *sim.Kernel // DES kernel; block-device queueing binds to it
+	// Tel is the cross-layer telemetry pipeline (nil unless BuildOpts
+	// asked for it): a metrics registry over every layer's counters, a
+	// sim-time sampler, and a flight recorder for the slowest spans.
+	Tel *telemetry.Telemetry
 
 	// BackgroundGC records that the NoFTL volume was built for
 	// worker-driven GC; runners then start maintenance workers instead
@@ -97,6 +102,10 @@ type BuildOpts struct {
 	// Layout overrides the region-managed stack's default layout
 	// (Config.Layout via the facade). Ignored by every other stack.
 	Layout *region.Layout
+	// Telemetry attaches the cross-layer telemetry pipeline: a metrics
+	// registry over every layer's counters, a periodic sim-time sampler,
+	// and a flight recorder for request spans (System.Tel).
+	Telemetry *telemetry.Config
 }
 
 // Build assembles a full system: NAND device, flash management (host-
@@ -235,6 +244,7 @@ func BuildWithOpts(stack Stack, devCfg flash.Config, frames int, opts BuildOpts)
 			return nil, err
 		}
 		s.Engine = e
+		s.startTelemetry(opts.Telemetry)
 		return s, nil
 	}
 	if s.logVol == nil {
@@ -248,7 +258,78 @@ func BuildWithOpts(stack Stack, devCfg flash.Config, frames int, opts BuildOpts)
 		return nil, err
 	}
 	s.Engine = e
+	s.startTelemetry(opts.Telemetry)
 	return s, nil
+}
+
+// startTelemetry builds the metrics registry over the assembled layers
+// and starts the sim-time sampler. Registration order fixes the series'
+// column order, so it must stay deterministic: fixed layers first, then
+// optional ones gated on what the stack attached.
+func (s *System) startTelemetry(cfg *telemetry.Config) {
+	if cfg == nil {
+		return
+	}
+	t := telemetry.New(*cfg)
+	s.Tel = t
+
+	dev := s.Dev
+	t.Reg.Counter("flash.reads", func() int64 { return dev.Stats().Reads })
+	t.Reg.Counter("flash.programs", func() int64 { return dev.Stats().Programs })
+	t.Reg.Counter("flash.erases", func() int64 { return dev.Stats().Erases })
+	t.Reg.Counter("flash.program_bytes", func() int64 { return dev.Stats().ProgramBytes })
+	t.Reg.Counter("flash.erase_suspends", func() int64 { return dev.Stats().EraseSuspends })
+
+	if fs := s.FTLStats; fs != nil {
+		t.Reg.Counter("ftl.host_writes", func() int64 { return fs().HostWrites })
+		t.Reg.Counter("ftl.gc_copybacks", func() int64 { return fs().GCCopybacks })
+		t.Reg.Gauge("ftl.wa", func() float64 { return fs().WriteAmplification() })
+	}
+	if v := s.NoFTL; v != nil {
+		t.Reg.Counter("noftl.live_pages", v.LivePages)
+		t.Reg.Counter("noftl.free_blocks", v.FreeBlocks)
+	}
+	if sc := s.Sched; sc != nil {
+		for c := sched.Class(0); c < sched.NumClasses; c++ {
+			c := c
+			t.Reg.Gauge("sched.wait."+c.String()+"_us", func() float64 {
+				st := sc.Stats()
+				return float64(st.MeanWait(c)) / 1e3
+			})
+			t.Reg.Counter("sched.sched."+c.String(), func() int64 {
+				return sc.Stats().Scheduled[c]
+			})
+		}
+		dies := dev.Geometry().Dies()
+		t.Reg.Counter("sched.depth", func() int64 {
+			var n int64
+			for d := 0; d < dies; d++ {
+				n += int64(sc.QueueDepth(d))
+			}
+			return n
+		})
+		t.Reg.Counter("sched.deadline_promotions", func() int64 {
+			return sc.Stats().DeadlinePromotions
+		})
+	}
+	bp := s.Engine.Buffer()
+	t.Reg.Counter("buffer.hits", func() int64 { return bp.Stats().Hits })
+	t.Reg.Counter("buffer.misses", func() int64 { return bp.Stats().Misses })
+	t.Reg.Counter("buffer.evictions", func() int64 { return bp.Stats().Evictions })
+	t.Reg.Gauge("buffer.hit_rate", func() float64 {
+		st := bp.Stats()
+		if st.Hits+st.Misses == 0 {
+			return 0
+		}
+		return float64(st.Hits) / float64(st.Hits+st.Misses)
+	})
+	if wal := s.Engine.Log(); wal != nil {
+		t.Reg.Counter("wal.appends", func() int64 { return wal.Appends })
+		t.Reg.Counter("wal.bytes", func() int64 { return wal.BytesLogged })
+	}
+	t.Reg.Counter("storage.nil_ctx_fallbacks", storage.NilCtxFallbacks)
+
+	t.Start(s.K)
 }
 
 // regionLogDies sizes the log region: one die, or two on wide arrays.
@@ -395,6 +476,15 @@ func WithScanResistance() Option {
 // pages).
 func WithPrefetch(window int) Option {
 	return func(o *BuildOpts) { o.PrefetchWindow = window }
+}
+
+// WithTelemetry attaches the cross-layer telemetry pipeline: request
+// spans (delivered via workload.TerminalConfig.SpanSink), a metrics
+// registry over every layer's counters with a periodic sim-time
+// sampler, and a flight recorder retaining the slowest spans and all
+// deadline misses.
+func WithTelemetry(cfg telemetry.Config) Option {
+	return func(o *BuildOpts) { o.Telemetry = &cfg }
 }
 
 // WithTrace registers a command-trace hook (one event per dispatched

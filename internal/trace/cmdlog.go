@@ -17,27 +17,40 @@ type CmdLog struct {
 // Record appends one event; pass it as the scheduler's Trace hook.
 func (l *CmdLog) Record(ev sched.Event) { l.Events = append(l.Events, ev) }
 
+// ClassAgg holds one class's aggregated command log: how many commands
+// it dispatched and its queue-wait and service-time distributions.
+type ClassAgg struct {
+	Count   int64
+	Wait    stats.Histogram // arrival to dispatch
+	Service stats.Histogram // dispatch to completion, suspensions included
+}
+
+// ByClass aggregates the whole log per class in one pass. Callers that
+// need several classes — or both wait and service of one — should use
+// it instead of repeated ClassWait/ClassService calls, each of which
+// scans the full log.
+func (l *CmdLog) ByClass() [sched.NumClasses]ClassAgg {
+	var agg [sched.NumClasses]ClassAgg
+	for _, ev := range l.Events {
+		a := &agg[ev.Class]
+		a.Count++
+		a.Wait.Add(ev.Start - ev.Arrival)
+		a.Service.Add(ev.End - ev.Start)
+	}
+	return agg
+}
+
 // ClassWait builds the queue-wait histogram of one class.
 func (l *CmdLog) ClassWait(c sched.Class) *stats.Histogram {
-	var h stats.Histogram
-	for _, ev := range l.Events {
-		if ev.Class == c {
-			h.Add(ev.Start - ev.Arrival)
-		}
-	}
-	return &h
+	agg := l.ByClass()
+	return &agg[c].Wait
 }
 
 // ClassService builds the service-time histogram (dispatch to
 // completion, suspensions included) of one class.
 func (l *CmdLog) ClassService(c sched.Class) *stats.Histogram {
-	var h stats.Histogram
-	for _, ev := range l.Events {
-		if ev.Class == c {
-			h.Add(ev.End - ev.Start)
-		}
-	}
-	return &h
+	agg := l.ByClass()
+	return &agg[c].Service
 }
 
 // TagWait builds the queue-wait histogram of one request stream tag —
@@ -79,15 +92,15 @@ func (l *CmdLog) Suspends() int {
 // Summary renders per-class command counts and wait/service
 // distributions.
 func (l *CmdLog) Summary() string {
+	agg := l.ByClass()
 	t := stats.NewTable("class", "cmds", "wait mean", "wait p99", "svc mean", "svc max")
 	for c := sched.Class(0); c < sched.NumClasses; c++ {
-		w := l.ClassWait(c)
-		if w.Count() == 0 {
+		a := &agg[c]
+		if a.Count == 0 {
 			continue
 		}
-		s := l.ClassService(c)
-		t.Row(c.String(), w.Count(), w.Mean().String(),
-			w.Percentile(99).String(), s.Mean().String(), s.Max().String())
+		t.Row(c.String(), a.Count, a.Wait.Mean().String(),
+			a.Wait.Percentile(99).String(), a.Service.Mean().String(), a.Service.Max().String())
 	}
 	return t.String()
 }

@@ -40,3 +40,66 @@ func TestCmdLogAggregation(t *testing.T) {
 		t.Fatalf("summary missing classes:\n%s", sum)
 	}
 }
+
+// synthLog builds a deterministic n-event log spread over all classes.
+func synthLog(n int) *CmdLog {
+	l := &CmdLog{Events: make([]sched.Event, 0, n)}
+	for i := 0; i < n; i++ {
+		at := sim.Time(i) * 5 * sim.Microsecond
+		l.Record(sched.Event{
+			Die:     i % 4,
+			Class:   sched.Class(i % int(sched.NumClasses)),
+			Op:      "read",
+			Arrival: at,
+			Start:   at + sim.Time(i%7)*sim.Microsecond,
+			End:     at + sim.Time(i%7+30)*sim.Microsecond,
+		})
+	}
+	return l
+}
+
+func TestByClassMatchesPerClassScans(t *testing.T) {
+	l := synthLog(5000)
+	agg := l.ByClass()
+	var total int64
+	for c := sched.Class(0); c < sched.NumClasses; c++ {
+		a := &agg[c]
+		total += a.Count
+		w, s := l.ClassWait(c), l.ClassService(c)
+		if a.Count != w.Count() || a.Count != s.Count() {
+			t.Fatalf("class %v: count %d, wait %d, service %d", c, a.Count, w.Count(), s.Count())
+		}
+		if a.Wait.Mean() != w.Mean() || a.Wait.Percentile(99) != w.Percentile(99) {
+			t.Fatalf("class %v: wait %v vs %v", c, a.Wait.Mean(), w.Mean())
+		}
+		if a.Service.Mean() != s.Mean() || a.Service.Max() != s.Max() {
+			t.Fatalf("class %v: service %v vs %v", c, a.Service.Mean(), s.Mean())
+		}
+	}
+	if total != int64(len(l.Events)) {
+		t.Fatalf("aggregated %d events, log has %d", total, len(l.Events))
+	}
+}
+
+// BenchmarkClassAggPerCall is the pre-ByClass access pattern: one
+// full-log scan per class per histogram, as Summary used to do.
+func BenchmarkClassAggPerCall(b *testing.B) {
+	l := synthLog(100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for c := sched.Class(0); c < sched.NumClasses; c++ {
+			_ = l.ClassWait(c)
+			_ = l.ClassService(c)
+		}
+	}
+}
+
+// BenchmarkClassAggSinglePass aggregates every class's wait and service
+// in one scan.
+func BenchmarkClassAggSinglePass(b *testing.B) {
+	l := synthLog(100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = l.ByClass()
+	}
+}

@@ -18,11 +18,12 @@ import (
 // experiments need — the regime where foreground transactions, background
 // db-writers and flash maintenance all contend for the same dies.
 type Terminal struct {
-	ID        int
-	Tag       uint32 // stream tag riding on every request (0: untagged)
-	Committed int64
-	Retries   int64           // lock-timeout restarts
-	Hist      stats.Histogram // commit latency of counted transactions
+	ID             int
+	Tag            uint32 // stream tag riding on every request (0: untagged)
+	Committed      int64
+	Retries        int64           // lock-timeout restarts
+	DeadlineMisses int64           // counted commits past their deadline
+	Hist           stats.Histogram // commit latency of counted transactions
 }
 
 // TerminalConfig configures StartTerminals.
@@ -51,6 +52,11 @@ type TerminalConfig struct {
 	// the future; a priority scheduler promotes the transaction's
 	// still-queued commands ahead of their class once it passes.
 	DeadlineAfter func(id int) sim.Time
+	// SpanSink, when non-nil, turns on request spans: every counted
+	// transaction runs under a fresh ioreq.Span whose per-layer stage
+	// timings are delivered here at commit (typically
+	// telemetry.Telemetry.RecordSpan).
+	SpanSink func(*ioreq.Span)
 }
 
 // Terminals is the handle over a running terminal set.
@@ -82,17 +88,34 @@ func StartTerminals(k *sim.Kernel, e *storage.Engine, wl Workload, cfg TerminalC
 			if cfg.DeadlineAfter != nil {
 				dlAfter = cfg.DeadlineAfter(term.ID)
 			}
+			var spanSeq uint64
 			for !ts.stopped {
 				t0 := p.Now()
 				if dlAfter > 0 {
 					ctx.Deadline = t0 + dlAfter
 				}
+				ctx.Span = nil
+				if cfg.SpanSink != nil {
+					spanSeq++
+					sp := ioreq.NewSpan(uint64(term.ID)<<32|spanSeq, term.ID, term.Tag)
+					sp.Deadline = ctx.Deadline
+					sp.Begin(t0)
+					ctx.Span = sp
+				}
 				err := wl.RunOne(ctx, e, rng)
 				switch {
 				case err == nil:
 					if cfg.Counting == nil || *cfg.Counting {
+						now := p.Now()
 						term.Committed++
-						term.Hist.Add(p.Now() - t0)
+						term.Hist.Add(now - t0)
+						if ctx.Deadline > 0 && now > ctx.Deadline {
+							term.DeadlineMisses++
+						}
+						if ctx.Span != nil {
+							ctx.Span.Finish(now)
+							cfg.SpanSink(ctx.Span)
+						}
 					}
 				case errors.Is(err, storage.ErrLockTimeout):
 					term.Retries++
@@ -128,6 +151,28 @@ func (ts *Terminals) Retries() int64 {
 	var n int64
 	for _, t := range ts.All {
 		n += t.Retries
+	}
+	return n
+}
+
+// DeadlineMisses sums counted commits that finished past their deadline
+// over all terminals.
+func (ts *Terminals) DeadlineMisses() int64 {
+	var n int64
+	for _, t := range ts.All {
+		n += t.DeadlineMisses
+	}
+	return n
+}
+
+// TagDeadlineMisses sums deadline misses of the terminals carrying one
+// stream tag.
+func (ts *Terminals) TagDeadlineMisses(tag uint32) int64 {
+	var n int64
+	for _, t := range ts.All {
+		if t.Tag == tag {
+			n += t.DeadlineMisses
+		}
 	}
 	return n
 }
