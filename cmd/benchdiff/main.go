@@ -1,0 +1,132 @@
+// Command benchdiff compares two noftlbench -json reports and flags
+// per-metric regressions, so perf trajectories (the BENCH_*.json
+// files) gate changes instead of being eyeballed.
+//
+// Rows are matched by (experiment, workload, stack, mode); rows present
+// in only one report are listed but never fail the diff. A matched row
+// breaches when throughput drops, or commit p99 / write amplification
+// rises, by more than the corresponding threshold fraction. Any breach
+// exits nonzero (CI runs it as a soft gate via continue-on-error).
+//
+// Usage:
+//
+//	benchdiff [-tps-drop 0.15] [-p99-rise 0.30] [-wa-rise 0.10] baseline.json new.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"noftl/internal/bench"
+	"noftl/internal/stats"
+)
+
+func main() {
+	var (
+		tpsDrop = flag.Float64("tps-drop", 0.15, "max allowed TPS drop (fraction)")
+		p99Rise = flag.Float64("p99-rise", 0.30, "max allowed commit-p99 rise (fraction)")
+		waRise  = flag.Float64("wa-rise", 0.10, "max allowed write-amplification rise (fraction)")
+	)
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [flags] baseline.json new.json")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	base, err := load(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	next, err := load(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+
+	baseRows := index(base)
+	breaches := 0
+	t := stats.NewTable("row", "metric", "base", "new", "delta", "limit", "verdict")
+	for _, nr := range next.Results {
+		k := key(nr)
+		br, ok := baseRows[k]
+		if !ok {
+			t.Row(k, "-", "-", "-", "-", "-", "new row")
+			continue
+		}
+		delete(baseRows, k)
+		for _, c := range []struct {
+			metric     string
+			base, next float64
+			// rise is the regression direction: true when bigger is worse.
+			rise  bool
+			limit float64
+		}{
+			{"tps", br.TPS, nr.TPS, false, *tpsDrop},
+			{"commit_p99_us", br.CommitP99us, nr.CommitP99us, true, *p99Rise},
+			{"wa", br.WA, nr.WA, true, *waRise},
+		} {
+			if c.base <= 0 || c.next <= 0 {
+				continue // metric absent in one report: nothing to compare
+			}
+			delta := c.next/c.base - 1
+			worse := delta
+			if !c.rise {
+				worse = -delta
+			}
+			verdict := "ok"
+			if worse > c.limit {
+				verdict = "REGRESSION"
+				breaches++
+			}
+			t.Row(k, c.metric,
+				fmt.Sprintf("%.4g", c.base), fmt.Sprintf("%.4g", c.next),
+				fmt.Sprintf("%+.1f%%", 100*delta), fmt.Sprintf("%.0f%%", 100*c.limit),
+				verdict)
+		}
+	}
+	for k := range baseRows {
+		t.Row(k, "-", "-", "-", "-", "-", "row dropped")
+	}
+	fmt.Print(t.String())
+
+	if breaches > 0 {
+		fmt.Printf("\n%d regression(s) past threshold\n", breaches)
+		os.Exit(1)
+	}
+	fmt.Println("\nno regressions past thresholds")
+}
+
+func load(path string) (*bench.JSONReport, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r bench.JSONReport
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+func key(r bench.JSONResult) string {
+	k := r.Experiment + "/" + r.Workload + "/" + r.Stack
+	if r.Mode != "" {
+		k += "/" + r.Mode
+	}
+	return k
+}
+
+func index(r *bench.JSONReport) map[string]bench.JSONResult {
+	m := make(map[string]bench.JSONResult, len(r.Results))
+	for _, row := range r.Results {
+		m[key(row)] = row
+	}
+	return m
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

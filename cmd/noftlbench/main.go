@@ -28,6 +28,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"noftl"
 )
@@ -55,6 +57,13 @@ func main() {
 		metricsOut = flag.String("metrics-out", "", "write the telemetry metrics time series + flight recorder (JSON) for the sched experiment's last mode")
 		slowestK   = flag.Int("slowest", 16, "flight-recorder retention: slowest K transactions (with -trace-out/-metrics-out)")
 
+		healthOut   = flag.String("health-out", "", "write the device-health snapshot (wear heatmaps, GC efficiency, alert log; JSON) for the sched experiment's last mode")
+		promOut     = flag.String("prom-out", "", "write a Prometheus text-format metrics dump for the sched experiment's last mode")
+		monitorAddr = flag.String("monitor-addr", "", "serve live /metrics, /health and /alerts on this address during sched runs (e.g. 127.0.0.1:9464)")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this path")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this path on exit")
+
 		htapDies    = flag.Int("htap-dies", 0, "dies for the htap ablation (0: default 8)")
 		htapMB      = flag.Int("htap-mb", 0, "drive MB for the htap ablation (0: default 64)")
 		htapTerms   = flag.Int("htap-terminals", 0, "OLTP terminals for htap (0: default 12)")
@@ -63,6 +72,34 @@ func main() {
 		htapWindow  = flag.Int("htap-window", 0, "prefetch read-ahead depth for htap (0: default 16)")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	report := &noftl.JSONReport{Seed: *seed}
 
@@ -249,6 +286,16 @@ func main() {
 				cfg.TraceCmds = true
 			}
 		}
+		healthOn := *healthOut != "" || *promOut != "" || *monitorAddr != ""
+		if healthOn {
+			cfg.Health = &noftl.HealthConfig{
+				Rules:       noftl.DefaultSLORules(64, 4, 50_000, 0.05),
+				MonitorAddr: *monitorAddr,
+			}
+			if *monitorAddr != "" {
+				fmt.Printf("live monitor on http://%s (/metrics /health /alerts)\n", *monitorAddr)
+			}
+		}
 		if !*tagged {
 			cfg.Modes = []noftl.SchedMode{noftl.SchedInline, noftl.SchedBackground,
 				noftl.SchedPriorityMode}
@@ -304,6 +351,37 @@ func main() {
 					}
 					fmt.Printf("wrote metrics series (%s) to %s\n", last.Mode, *metricsOut)
 				}
+			}
+		}
+		if healthOn && len(res.Rows) > 0 {
+			last := &res.Rows[len(res.Rows)-1]
+			fmt.Println("device health:")
+			fmt.Print(res.HealthTable())
+			alerts := 0
+			for _, row := range res.Rows {
+				if row.Health != nil {
+					alerts += len(row.Health.Alerts)
+				}
+			}
+			if alerts > 0 {
+				fmt.Println("SLO alerts:")
+				fmt.Print(res.AlertTable())
+			}
+			if *healthOut != "" && last.Health != nil {
+				if err := writeFileWith(*healthOut, func(f *os.File) error {
+					return noftl.WriteHealthSnapshot(f, last.Health)
+				}); err != nil {
+					return err
+				}
+				fmt.Printf("wrote health snapshot (%s) to %s\n", last.Mode, *healthOut)
+			}
+			if *promOut != "" && last.Tel != nil && last.Health != nil {
+				if err := writeFileWith(*promOut, func(f *os.File) error {
+					return noftl.WritePrometheus(f, last.Tel.Reg, last.Health.TNs)
+				}); err != nil {
+					return err
+				}
+				fmt.Printf("wrote Prometheus dump (%s) to %s\n", last.Mode, *promOut)
 			}
 		}
 		return nil

@@ -46,6 +46,12 @@ type JSONResult struct {
 	// served ahead of their class because the deadline had passed.
 	DeadlineMisses     int64 `json:"deadline_misses,omitempty"`
 	DeadlinePromotions int64 `json:"deadline_promotions,omitempty"`
+	// Device-health accounting (health-enabled sched runs): end-of-run
+	// erase-count spread over non-bad blocks, the data region's
+	// valid-page copy ratio, and SLO transitions fired during the run.
+	WearSpread     int     `json:"wear_spread,omitempty"`
+	ValidCopyRatio float64 `json:"valid_copy_ratio,omitempty"`
+	AlertsFired    int     `json:"alerts_fired,omitempty"`
 	// Analytical stream + pool accounting (htap experiment).
 	ScanQPS      float64 `json:"scan_qps,omitempty"`
 	ScanRowsPerS float64 `json:"scan_rows_per_s,omitempty"`
@@ -99,7 +105,7 @@ func (r *JSONReport) AddSched(workload string, row *SchedRow) {
 		}
 		waitMean = us(total / sim.Time(n))
 	}
-	r.Results = append(r.Results, JSONResult{
+	jr := JSONResult{
 		Experiment:         "sched",
 		Workload:           workload,
 		Stack:              string(StackNoFTLRegions),
@@ -119,7 +125,17 @@ func (r *JSONReport) AddSched(workload string, row *SchedRow) {
 		EraseSuspends:      res.Device.EraseSuspends,
 		DeadlineMisses:     res.DeadlineMisses,
 		DeadlinePromotions: res.Sched.DeadlinePromotions,
-	})
+	}
+	if h := row.Health; h != nil {
+		jr.WearSpread = h.Wear.Spread
+		jr.AlertsFired = len(h.Alerts)
+		for _, reg := range h.Regions {
+			if reg.Mapping == "page" {
+				jr.ValidCopyRatio = reg.GC.ValidCopyRatio
+			}
+		}
+	}
+	r.Results = append(r.Results, jr)
 }
 
 // AddHTAP appends one HTAP-ablation row: the OLTP stream under the TPS

@@ -10,6 +10,7 @@ import (
 	"noftl/internal/stats"
 	"noftl/internal/storage"
 	"noftl/internal/telemetry"
+	"noftl/internal/telemetry/health"
 	"noftl/internal/trace"
 	"noftl/internal/workload"
 )
@@ -71,6 +72,12 @@ type SchedConfig struct {
 	// mode's system: request spans on every counted transaction, the
 	// metrics sampler, and the flight recorder (SchedRow.Tel).
 	Telemetry *telemetry.Config
+	// Health attaches the device-health monitor to each mode's system
+	// (implies telemetry): SchedRow.Health carries the end-of-run
+	// snapshot (wear heatmaps, GC efficiency, alert log). A configured
+	// MonitorAddr serves live pages during each mode's run; the
+	// listener closes between modes so a fixed address can rebind.
+	Health *health.Config
 
 	TPCC workload.TPCCConfig
 	TPCB workload.TPCBConfig
@@ -139,6 +146,10 @@ type SchedRow struct {
 	// runs; nil otherwise): metrics series, retained spans, flight
 	// recorder.
 	Tel *telemetry.Telemetry
+	// Health is the regime's end-of-run device-health snapshot
+	// (SchedConfig.Health runs; nil otherwise) — its Alerts field is
+	// the full SLO transition log of the run.
+	Health *health.Snapshot
 }
 
 // SchedResult is the ablation outcome.
@@ -227,6 +238,44 @@ func (r *SchedResult) WaitTable() string {
 	return t.String()
 }
 
+// HealthTable renders the health-enabled regimes' device summary:
+// wear distribution, data-region GC efficiency and alert count.
+func (r *SchedResult) HealthTable() string {
+	t := stats.NewTable("mode", "wear spread", "wear p99", "bad", "occ",
+		"valid-copy", "WA", "alerts")
+	for _, row := range r.Rows {
+		h := row.Health
+		if h == nil {
+			continue
+		}
+		occ, vcr, wa := 0.0, 0.0, 0.0
+		for _, reg := range h.Regions {
+			if reg.Mapping == "page" {
+				occ, vcr, wa = reg.Occupancy, reg.GC.ValidCopyRatio, reg.GC.WA
+			}
+		}
+		t.Row(string(row.Mode), h.Wear.Spread, h.Wear.P99, h.Wear.BadBlocks,
+			fmt.Sprintf("%.0f%%", 100*occ), fmt.Sprintf("%.2f", vcr),
+			fmt.Sprintf("%.2f", wa), len(h.Alerts))
+	}
+	return t.String()
+}
+
+// AlertTable renders every health-enabled regime's SLO transitions.
+func (r *SchedResult) AlertTable() string {
+	t := stats.NewTable("mode", "t", "rule", "sev", "state", "value", "threshold")
+	for _, row := range r.Rows {
+		if row.Health == nil {
+			continue
+		}
+		for _, a := range row.Health.Alerts {
+			t.Row(string(row.Mode), a.TNs.String(), a.Rule, a.Severity, a.State,
+				fmt.Sprintf("%.3g", a.Value), fmt.Sprintf("%.3g", a.Threshold))
+		}
+	}
+	return t.String()
+}
+
 // SchedAblation runs the sweep: one freshly built region-managed system
 // per regime, same seed, same workload.
 func SchedAblation(cfg SchedConfig) (*SchedResult, error) {
@@ -247,6 +296,7 @@ func SchedAblation(cfg SchedConfig) (*SchedResult, error) {
 			opts.Sched.Trace = log.Record
 		}
 		opts.Telemetry = cfg.Telemetry
+		opts.Health = cfg.Health
 		devCfg := flash.EmulatorConfig(cfg.Dies, cfg.DriveMB, nand.SLC)
 		sys, err := BuildSystemOpts(StackNoFTLRegions, devCfg, cfg.Frames, opts)
 		if err != nil {
@@ -278,6 +328,14 @@ func SchedAblation(cfg SchedConfig) (*SchedResult, error) {
 		row := SchedRow{Mode: mode, Result: *r, CmdLog: log, Tel: sys.Tel}
 		if sys.NoFTL != nil && sys.NoFTL.LogicalPages() > 0 {
 			row.Occupancy = float64(sys.NoFTL.LivePages()) / float64(sys.NoFTL.LogicalPages())
+		}
+		if sys.Health != nil {
+			row.Health = sys.Health.Snapshot(sys.K.Now())
+			// Release the live listener so the next mode (or a rerun on a
+			// fixed address) can bind it.
+			if err := sys.Health.Close(); err != nil {
+				return nil, fmt.Errorf("sched ablation %s: close monitor: %w", mode, err)
+			}
 		}
 		res.Rows = append(res.Rows, row)
 	}

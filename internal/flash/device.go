@@ -177,6 +177,17 @@ func (d *Device) Stats() Stats {
 	return s
 }
 
+// DieBusy returns one die's accumulated service time without copying
+// the full stats snapshot (health probes call it per die per sample).
+func (d *Device) DieBusy(die int) sim.Time {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if die < 0 || die >= len(d.stats.DieBusy) {
+		return 0
+	}
+	return d.stats.DieBusy[die]
+}
+
 // OnReset registers fn to run after every ResetTime or ResetStats.
 // Attached command schedulers use it to clear their own queue-wait
 // accounting, so back-to-back bench phases spliced with resets cannot

@@ -101,6 +101,21 @@ func (s Stats) WriteAmplification() float64 {
 	return float64(s.HostWrites+s.GCCopybacks+s.GCWrites+s.MapWrites) / float64(s.HostWrites)
 }
 
+// GCPages counts pages relocated by garbage collection (copyback plus
+// bus copies).
+func (s Stats) GCPages() int64 { return s.GCCopybacks + s.GCWrites }
+
+// ValidCopyRatio is the fraction of each reclaimed block that was
+// still live when GC erased it: relocated pages per erase over
+// pages-per-block. 0 means blocks are fully dead at reclaim (ideal);
+// values near 1 mean GC is shoveling mostly-live blocks.
+func (s Stats) ValidCopyRatio(pagesPerBlock int) float64 {
+	if s.Erases == 0 || pagesPerBlock <= 0 {
+		return 0
+	}
+	return float64(s.GCPages()) / (float64(s.Erases) * float64(pagesPerBlock))
+}
+
 // String gives a one-line summary.
 func (s Stats) String() string {
 	out := fmt.Sprintf("hostR=%d hostW=%d copyback=%d gcR=%d gcW=%d erase=%d mapR=%d mapW=%d WA=%.2f",

@@ -149,6 +149,17 @@ func (l *SeqLog) CapacityPages() int64 {
 	return int64(blocks) * int64(l.ppb())
 }
 
+// FreeBlocks is the number of whole blocks of stream capacity not yet
+// holding retained pages (the log's headroom before truncation must
+// reclaim extents).
+func (l *SeqLog) FreeBlocks() int64 {
+	free := l.CapacityPages() - l.LivePages()
+	if free < 0 {
+		return 0
+	}
+	return free / int64(l.ppb())
+}
+
 // Bounds returns the retained stream window [head, next): head is the
 // oldest readable position, next the position the next Append gets.
 func (l *SeqLog) Bounds() (head, next int64) { return l.base, l.next }

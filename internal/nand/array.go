@@ -489,3 +489,34 @@ func (a *Array) Wear() WearStats {
 	ws.Mean = float64(sum) / float64(ws.TotalBlock)
 	return ws
 }
+
+// DieWear returns one erase count per block of the die, in physical
+// block order (a wear-heatmap row). Retired blocks report -1 so
+// consumers can render them distinctly from pristine blocks.
+func (a *Array) DieWear(die int) []int {
+	per := a.geo.BlocksPerDie()
+	out := make([]int, per)
+	base := int64(die) * int64(per)
+	for i := 0; i < per; i++ {
+		bs := a.block(PBN(base + int64(i)))
+		if bs.bad {
+			out[i] = -1
+			continue
+		}
+		out[i] = bs.eraseCount
+	}
+	return out
+}
+
+// DieBadBlocks counts retired (factory or grown bad) blocks on a die.
+func (a *Array) DieBadBlocks(die int) int {
+	per := a.geo.BlocksPerDie()
+	base := int64(die) * int64(per)
+	n := 0
+	for i := 0; i < per; i++ {
+		if a.block(PBN(base + int64(i))).bad {
+			n++
+		}
+	}
+	return n
+}

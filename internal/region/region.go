@@ -405,6 +405,7 @@ type RegionStats struct {
 	FTL           ftl.Stats
 	LivePages     int64 // pages currently holding data
 	CapacityPages int64 // pages the region can hold
+	FreeBlocks    int64 // erased blocks ready for new programs
 	// Erase-count statistics over the region's non-bad blocks — the
 	// reporting view of the wear imbalance the background sweep acts on
 	// (the sweep itself reads noftl.Volume.WearSpread per volume region).
@@ -435,9 +436,11 @@ func (m *Manager) RegionStats() []RegionStats {
 		if r.Log != nil {
 			s.LivePages = r.Log.LivePages()
 			s.CapacityPages = r.Log.CapacityPages()
+			s.FreeBlocks = r.Log.FreeBlocks()
 		} else {
 			s.LivePages = r.Vol.LivePages()
 			s.CapacityPages = r.Vol.LogicalPages()
+			s.FreeBlocks = r.Vol.FreeBlocks()
 		}
 		s.MinErase, s.MaxErase, s.AvgErase = m.eraseStats(r)
 		out = append(out, s)

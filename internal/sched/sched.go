@@ -344,6 +344,16 @@ func (s *Scheduler) Reset() { s.stats = Stats{} }
 // QueueDepth reports the number of commands currently queued on a die.
 func (s *Scheduler) QueueDepth(die int) int { return len(s.dies[die].reqs) }
 
+// QueueDepths reports every die's current queue depth (index = die) —
+// the health probe's per-die load row.
+func (s *Scheduler) QueueDepths() []int {
+	out := make([]int, len(s.dies))
+	for i, d := range s.dies {
+		out[i] = len(d.reqs)
+	}
+	return out
+}
+
 func (s *Scheduler) suspendable() bool {
 	return s.cfg.Policy == Priority && !s.cfg.DisableSuspend
 }

@@ -22,6 +22,7 @@ import (
 	"noftl/internal/sim"
 	"noftl/internal/storage"
 	"noftl/internal/telemetry"
+	"noftl/internal/telemetry/health"
 )
 
 // Stack names a storage architecture under comparison.
@@ -67,6 +68,10 @@ type System struct {
 	// asked for it): a metrics registry over every layer's counters, a
 	// sim-time sampler, and a flight recorder for the slowest spans.
 	Tel *telemetry.Telemetry
+	// Health is the device-health monitor (nil unless BuildOpts asked
+	// for it): per-die wear heatmaps, per-region GC efficiency, the SLO
+	// engine and the optional live HTTP monitoring surface.
+	Health *health.Monitor
 
 	// BackgroundGC records that the NoFTL volume was built for
 	// worker-driven GC; runners then start maintenance workers instead
@@ -106,6 +111,11 @@ type BuildOpts struct {
 	// registry over every layer's counters, a periodic sim-time sampler,
 	// and a flight recorder for request spans (System.Tel).
 	Telemetry *telemetry.Config
+	// Health attaches the device-health monitor on top of telemetry
+	// (System.Health): snapshot probes over every layer, SLO rules
+	// evaluated at each sampler tick, and the optional live HTTP
+	// surface. Implies a default Telemetry config when none is set.
+	Health *health.Config
 }
 
 // Build assembles a full system: NAND device, flash management (host-
@@ -244,7 +254,9 @@ func BuildWithOpts(stack Stack, devCfg flash.Config, frames int, opts BuildOpts)
 			return nil, err
 		}
 		s.Engine = e
-		s.startTelemetry(opts.Telemetry)
+		if err := s.startTelemetry(opts); err != nil {
+			return nil, err
+		}
 		return s, nil
 	}
 	if s.logVol == nil {
@@ -258,17 +270,24 @@ func BuildWithOpts(stack Stack, devCfg flash.Config, frames int, opts BuildOpts)
 		return nil, err
 	}
 	s.Engine = e
-	s.startTelemetry(opts.Telemetry)
+	if err := s.startTelemetry(opts); err != nil {
+		return nil, err
+	}
 	return s, nil
 }
 
 // startTelemetry builds the metrics registry over the assembled layers
 // and starts the sim-time sampler. Registration order fixes the series'
 // column order, so it must stay deterministic: fixed layers first, then
-// optional ones gated on what the stack attached.
-func (s *System) startTelemetry(cfg *telemetry.Config) {
+// optional ones gated on what the stack attached. A health config
+// implies telemetry (the monitor rides the sampler).
+func (s *System) startTelemetry(opts BuildOpts) error {
+	cfg := opts.Telemetry
 	if cfg == nil {
-		return
+		if opts.Health == nil {
+			return nil
+		}
+		cfg = &telemetry.Config{}
 	}
 	t := telemetry.New(*cfg)
 	s.Tel = t
@@ -329,7 +348,130 @@ func (s *System) startTelemetry(cfg *telemetry.Config) {
 	}
 	t.Reg.Counter("storage.nil_ctx_fallbacks", storage.NilCtxFallbacks)
 
+	// Device-health gauges: cheap scans of the NAND array's wear state
+	// plus volume occupancy, registered last so earlier series keep
+	// their PR 6 column positions.
+	arr := dev.Array()
+	t.Reg.Gauge("health.wear_spread", func() float64 {
+		ws := arr.Wear()
+		return float64(ws.Max - ws.Min)
+	})
+	t.Reg.Gauge("health.bad_blocks", func() float64 {
+		c := arr.Counters()
+		return float64(c.FactoryBad + c.GrownBad)
+	})
+	if v := s.NoFTL; v != nil {
+		t.Reg.Gauge("health.occupancy", func() float64 {
+			total := v.LogicalPages()
+			if total == 0 {
+				return 0
+			}
+			return float64(v.LivePages()) / float64(total)
+		})
+	}
+
+	if err := s.startHealth(opts.Health); err != nil {
+		return err
+	}
+
 	t.Start(s.K)
+	return nil
+}
+
+// startHealth builds the health monitor over the telemetry pipeline:
+// layer probes filling the snapshot (device wear/load, per-region GC),
+// the SLO engine hooked on the sampler, and the optional live HTTP
+// surface.
+func (s *System) startHealth(cfg *health.Config) error {
+	if cfg == nil {
+		return nil
+	}
+	m := health.New(*cfg, s.Tel)
+	s.Health = m
+
+	dev, sc := s.Dev, s.Sched
+	geo := dev.Geometry()
+	arr := dev.Array()
+	m.AddProbe(func(snap *health.Snapshot) {
+		snap.Device = health.DeviceInfo{
+			Dies:          geo.Dies(),
+			PlanesPerDie:  geo.PlanesPerDie,
+			BlocksPerDie:  geo.BlocksPerDie(),
+			PagesPerBlock: geo.PagesPerBlock,
+			PageSize:      geo.PageSize,
+		}
+		var depths []int
+		if sc != nil {
+			depths = sc.QueueDepths()
+		}
+		for die := 0; die < geo.Dies(); die++ {
+			d := health.DieHealth{
+				Die:       die,
+				Blocks:    arr.DieWear(die),
+				BadBlocks: arr.DieBadBlocks(die),
+				BusyNs:    dev.DieBusy(die),
+			}
+			if die < len(depths) {
+				d.QueueDepth = depths[die]
+			}
+			minE, maxE := -1, 0
+			var sum, n int64
+			for _, e := range d.Blocks {
+				if e < 0 {
+					continue
+				}
+				if minE < 0 || e < minE {
+					minE = e
+				}
+				if e > maxE {
+					maxE = e
+				}
+				sum += int64(e)
+				n++
+			}
+			if minE < 0 {
+				minE = 0
+			}
+			d.EraseMin, d.EraseMax = minE, maxE
+			if n > 0 {
+				d.EraseMean = float64(sum) / float64(n)
+			}
+			snap.Dies = append(snap.Dies, d)
+		}
+	})
+	if rm := s.Regions; rm != nil {
+		ppb := geo.PagesPerBlock
+		pageSize := geo.PageSize
+		m.AddProbe(func(snap *health.Snapshot) {
+			for _, rs := range rm.RegionStats() {
+				f := rs.FTL
+				snap.Regions = append(snap.Regions, health.RegionHealth{
+					Name:          rs.Name,
+					Mapping:       rs.Mapping.String(),
+					Dies:          rs.Dies,
+					LivePages:     rs.LivePages,
+					CapacityPages: rs.CapacityPages,
+					Occupancy:     rs.Occupancy(),
+					FreeBlocks:    rs.FreeBlocks,
+					EraseMin:      rs.MinErase,
+					EraseMax:      rs.MaxErase,
+					EraseAvg:      rs.AvgErase,
+					GC: health.GCHealth{
+						Erases:         f.Erases,
+						CopyPages:      f.GCPages(),
+						ValidCopyRatio: f.ValidCopyRatio(ppb),
+						WA:             f.WriteAmplification(),
+						HostBytes:      f.HostWrites * int64(pageSize),
+						DeltaBytes:     f.DeltaBytes,
+						GCBytes:        f.GCPages() * int64(pageSize),
+						WearBytes:      f.WearMoves * int64(pageSize),
+						FoldBytes:      f.Folds * int64(pageSize),
+					},
+				})
+			}
+		})
+	}
+	return m.Serve()
 }
 
 // regionLogDies sizes the log region: one die, or two on wide arrays.
@@ -360,6 +502,11 @@ func logWindowPages(total int64, dies int) int64 {
 func (s *System) Close() error {
 	err := s.Engine.Close(s.Ctx)
 	s.K.Shutdown()
+	if s.Health != nil {
+		if cerr := s.Health.Close(); err == nil {
+			err = cerr
+		}
+	}
 	return err
 }
 
@@ -485,6 +632,15 @@ func WithPrefetch(window int) Option {
 // deadline misses.
 func WithTelemetry(cfg telemetry.Config) Option {
 	return func(o *BuildOpts) { o.Telemetry = &cfg }
+}
+
+// WithHealth attaches the device-health monitor: per-die wear
+// heatmaps and erase histograms, per-region GC efficiency, SLO rules
+// evaluated at every sampler tick, and (with Config.MonitorAddr set)
+// a live HTTP surface serving /metrics, /health and /alerts. Implies
+// default telemetry when no WithTelemetry option is given.
+func WithHealth(cfg health.Config) Option {
+	return func(o *BuildOpts) { o.Health = &cfg }
 }
 
 // WithTrace registers a command-trace hook (one event per dispatched

@@ -1,0 +1,341 @@
+// Package health is the device-health observability layer on top of
+// the telemetry registry: structured health snapshots (per-die wear
+// heatmaps and erase histograms, wear-spread percentiles, per-region
+// GC efficiency and write-amplification decomposition, occupancy and
+// free-block timelines), a declarative SLO/alert engine evaluated at
+// every sampler tick, and a live monitoring surface (Prometheus text
+// exposition plus an opt-in HTTP endpoint serving /metrics, /health
+// and /alerts from a running benchmark).
+//
+// The layering mirrors the telemetry package: health knows nothing of
+// nand/flash/ftl/region/sched — package system registers probes
+// (cheap closures over each layer's existing counters) that fill the
+// snapshot, and the SLO engine reads the metrics registry plus the
+// flight recorder's per-tag commit/miss counts. Everything is driven
+// by the simulated clock, so a fixed-seed run produces byte-identical
+// snapshot JSON and an identical alert log.
+package health
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+
+	"noftl/internal/sim"
+	"noftl/internal/telemetry"
+)
+
+// Config tunes a health Monitor.
+type Config struct {
+	// Rules are the SLO rules evaluated at each sampler tick. Empty
+	// means no alerting (snapshots still work).
+	Rules []Rule
+	// MonitorAddr, when non-empty, binds an HTTP listener serving
+	// /metrics (Prometheus text), /health (snapshot JSON) and /alerts
+	// (alert log JSON), refreshed at every sampler tick. Use
+	// "127.0.0.1:0" to let the OS pick a port (Monitor.Addr reports it).
+	MonitorAddr string
+	// HistBuckets are the upper bounds of the per-die erase-count
+	// histogram buckets. Empty derives power-of-two buckets from the
+	// observed maximum (deterministic for a fixed run).
+	HistBuckets []int
+	// Timelines names the registry metrics copied from the sampled
+	// series into Snapshot.Timelines. Empty uses DefaultTimelines.
+	Timelines []string
+}
+
+// DefaultTimelines are the series columns embedded in snapshots when
+// Config.Timelines is empty. Unregistered names are skipped.
+var DefaultTimelines = []string{
+	"noftl.free_blocks", "noftl.live_pages",
+	"commit.tps", "commit.p99_us", "commit.deadline_misses",
+	"health.wear_spread", "health.occupancy",
+}
+
+// Probe fills a part of a health snapshot. Package system registers
+// one per layer (device wear, region GC, scheduler depth); probes run
+// on the sim thread in registration order.
+type Probe func(*Snapshot)
+
+// Monitor owns health snapshots, the SLO engine and the optional live
+// HTTP surface for one system. Build it with New, which hooks the
+// telemetry sampler; each tick evaluates the rules and (when serving)
+// refreshes the cached monitor pages.
+type Monitor struct {
+	cfg    Config
+	tel    *telemetry.Telemetry
+	probes []Probe
+	engine *Engine
+	srv    *Server
+}
+
+// New builds a Monitor over a telemetry pipeline and hooks its sampler
+// (rule evaluation plus live-page refresh run at every tick). Register
+// probes before the kernel starts running.
+func New(cfg Config, tel *telemetry.Telemetry) *Monitor {
+	m := &Monitor{cfg: cfg, tel: tel, engine: NewEngine(cfg.Rules, tel)}
+	tel.OnSample(m.Tick)
+	return m
+}
+
+// AddProbe registers a snapshot filler (run in registration order).
+func (m *Monitor) AddProbe(p Probe) { m.probes = append(m.probes, p) }
+
+// Telemetry returns the pipeline the monitor is attached to.
+func (m *Monitor) Telemetry() *telemetry.Telemetry { return m.tel }
+
+// Engine returns the SLO engine (rule states, for tests and tables).
+func (m *Monitor) Engine() *Engine { return m.engine }
+
+// Alerts returns the alert log accumulated so far (sim-time order).
+func (m *Monitor) Alerts() []telemetry.Alert { return m.tel.Recorder().Alerts() }
+
+// Tick is the sampler hook: evaluates every rule at now (emitting
+// alert transitions into the flight recorder) and refreshes the live
+// monitor pages when serving. It runs on the sim thread.
+func (m *Monitor) Tick(now sim.Time) {
+	m.engine.Eval(now)
+	if m.srv != nil {
+		m.refresh(now)
+	}
+}
+
+// Snapshot builds a full health snapshot at now: probes fill the
+// per-layer sections, then device-wide wear percentiles, histograms
+// and the series timelines are derived.
+func (m *Monitor) Snapshot(now sim.Time) *Snapshot {
+	s := &Snapshot{TNs: now, Alerts: m.Alerts()}
+	if s.Alerts == nil {
+		s.Alerts = []telemetry.Alert{}
+	}
+	for _, p := range m.probes {
+		p(s)
+	}
+	s.finalize(m.cfg.HistBuckets)
+	names := m.cfg.Timelines
+	if names == nil {
+		names = DefaultTimelines
+	}
+	series := m.tel.Series()
+	for _, n := range names {
+		col := series.Column(n)
+		if col == nil {
+			continue
+		}
+		s.Timelines = append(s.Timelines, Timeline{Name: n, Values: col})
+	}
+	return s
+}
+
+// WriteJSON renders the snapshot at now as indented JSON
+// (byte-deterministic for a fixed-seed run).
+func (m *Monitor) WriteJSON(w io.Writer, now sim.Time) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(m.Snapshot(now))
+}
+
+// writeAlertsJSON renders an alert log as indented JSON (the /alerts
+// live page).
+func writeAlertsJSON(w io.Writer, alerts []telemetry.Alert) error {
+	if alerts == nil {
+		alerts = []telemetry.Alert{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(alerts)
+}
+
+// Snapshot is the health snapshot schema (see DESIGN.md "Device
+// health & SLOs"). All fields are plain structs and slices so JSON
+// marshalling is deterministic.
+type Snapshot struct {
+	// TNs is the simulated time the snapshot was taken at.
+	TNs sim.Time `json:"t_ns"`
+	// Device describes the geometry the heatmaps index into.
+	Device DeviceInfo `json:"device"`
+	// Wear is the device-wide wear distribution over non-bad blocks.
+	Wear WearHealth `json:"wear"`
+	// Dies holds one heatmap row + histogram + load view per die.
+	Dies []DieHealth `json:"dies"`
+	// Regions holds per-region occupancy and GC efficiency (region
+	// stacks only).
+	Regions []RegionHealth `json:"regions,omitempty"`
+	// Timelines are selected series columns (one value per sampler
+	// tick) for trend views.
+	Timelines []Timeline `json:"timelines,omitempty"`
+	// Alerts is the SLO transition log up to TNs.
+	Alerts []telemetry.Alert `json:"alerts"`
+}
+
+// DeviceInfo pins the geometry a snapshot's heatmaps index into.
+type DeviceInfo struct {
+	Dies          int `json:"dies"`
+	PlanesPerDie  int `json:"planes_per_die"`
+	BlocksPerDie  int `json:"blocks_per_die"`
+	PagesPerBlock int `json:"pages_per_block"`
+	PageSize      int `json:"page_size"`
+}
+
+// DieHealth is one die's wear heatmap row plus its load view.
+type DieHealth struct {
+	Die int `json:"die"`
+	// Blocks is the erase count per physical block (heatmap row);
+	// retired blocks carry -1.
+	Blocks []int `json:"blocks"`
+	// Hist is the erase-count histogram over non-bad blocks
+	// (cumulative-free buckets: count of blocks with erases <= le,
+	// exclusive of lower buckets).
+	Hist      []HistBucket `json:"hist"`
+	EraseMin  int          `json:"erase_min"`
+	EraseMax  int          `json:"erase_max"`
+	EraseMean float64      `json:"erase_mean"`
+	BadBlocks int          `json:"bad_blocks"`
+	// BusyNs is the die's cumulative service time (flash timing model).
+	BusyNs sim.Time `json:"busy_ns"`
+	// QueueDepth is the scheduler's current queue depth for the die.
+	QueueDepth int `json:"queue_depth"`
+}
+
+// HistBucket is one erase-count histogram bucket: Count blocks fell in
+// (previous Le, Le].
+type HistBucket struct {
+	Le    int `json:"le"`
+	Count int `json:"count"`
+}
+
+// WearHealth is the device-wide wear distribution.
+type WearHealth struct {
+	Min    int     `json:"min"`
+	Max    int     `json:"max"`
+	Mean   float64 `json:"mean"`
+	Spread int     `json:"spread"`
+	// P50/P90/P99 are erase-count percentiles over non-bad blocks.
+	P50         int `json:"p50"`
+	P90         int `json:"p90"`
+	P99         int `json:"p99"`
+	TotalBlocks int `json:"total_blocks"`
+	BadBlocks   int `json:"bad_blocks"`
+}
+
+// GCHealth decomposes a region's garbage-collection efficiency.
+type GCHealth struct {
+	Erases int64 `json:"erases"`
+	// CopyPages counts pages relocated by GC (copyback + bus copies).
+	CopyPages int64 `json:"copy_pages"`
+	// ValidCopyRatio is CopyPages / (Erases * pages-per-block): the
+	// fraction of each reclaimed block that was still live. Lower is
+	// better — 0 means blocks are fully dead when reclaimed.
+	ValidCopyRatio float64 `json:"valid_copy_ratio"`
+	// WA is the write-amplification factor (device writes / host writes).
+	WA float64 `json:"wa"`
+	// Byte decomposition of the programs behind WA.
+	HostBytes int64 `json:"host_bytes"`
+	// DeltaBytes are partial-page delta appends (counted in HostBytes'
+	// numerator separately because they cost bus bytes, not pages).
+	DeltaBytes int64 `json:"delta_bytes,omitempty"`
+	GCBytes    int64 `json:"gc_bytes"`
+	WearBytes  int64 `json:"wear_bytes,omitempty"`
+	FoldBytes  int64 `json:"fold_bytes,omitempty"`
+}
+
+// RegionHealth is one region's occupancy and GC view.
+type RegionHealth struct {
+	Name          string   `json:"name"`
+	Mapping       string   `json:"mapping"`
+	Dies          int      `json:"dies"`
+	LivePages     int64    `json:"live_pages"`
+	CapacityPages int64    `json:"capacity_pages"`
+	Occupancy     float64  `json:"occupancy"`
+	FreeBlocks    int64    `json:"free_blocks"`
+	EraseMin      int      `json:"erase_min"`
+	EraseMax      int      `json:"erase_max"`
+	EraseAvg      float64  `json:"erase_avg"`
+	GC            GCHealth `json:"gc"`
+}
+
+// Timeline is one metric's sampled values (column of the series).
+type Timeline struct {
+	Name   string    `json:"name"`
+	Values []float64 `json:"values"`
+}
+
+// finalize derives the device-wide wear section and the per-die
+// histograms from the per-die heatmap rows the probes filled.
+func (s *Snapshot) finalize(buckets []int) {
+	var all []int
+	for i := range s.Dies {
+		d := &s.Dies[i]
+		for _, e := range d.Blocks {
+			if e >= 0 {
+				all = append(all, e)
+			}
+		}
+		s.Wear.BadBlocks += d.BadBlocks
+	}
+	s.Wear.TotalBlocks = len(all)
+	if len(all) == 0 {
+		for i := range s.Dies {
+			s.Dies[i].Hist = []HistBucket{}
+		}
+		return
+	}
+	sort.Ints(all)
+	s.Wear.Min = all[0]
+	s.Wear.Max = all[len(all)-1]
+	s.Wear.Spread = s.Wear.Max - s.Wear.Min
+	var sum int64
+	for _, e := range all {
+		sum += int64(e)
+	}
+	s.Wear.Mean = float64(sum) / float64(len(all))
+	pct := func(p float64) int {
+		i := int(p / 100 * float64(len(all)-1))
+		return all[i]
+	}
+	s.Wear.P50, s.Wear.P90, s.Wear.P99 = pct(50), pct(90), pct(99)
+
+	if buckets == nil {
+		buckets = powerBuckets(s.Wear.Max)
+	}
+	for i := range s.Dies {
+		s.Dies[i].Hist = histogram(s.Dies[i].Blocks, buckets)
+	}
+}
+
+// powerBuckets derives deterministic power-of-two bucket bounds
+// covering max: 0, 1, 2, 4, ... >= max.
+func powerBuckets(max int) []int {
+	out := []int{0, 1}
+	for b := 2; ; b *= 2 {
+		out = append(out, b)
+		if b >= max {
+			return out
+		}
+	}
+}
+
+// histogram buckets the non-bad erase counts of one heatmap row.
+func histogram(blocks, bounds []int) []HistBucket {
+	out := make([]HistBucket, len(bounds))
+	for i, le := range bounds {
+		out[i].Le = le
+	}
+	for _, e := range blocks {
+		if e < 0 {
+			continue
+		}
+		placed := false
+		for i, le := range bounds {
+			if e <= le {
+				out[i].Count++
+				placed = true
+				break
+			}
+		}
+		if !placed && len(out) > 0 { // overflow of caller-set bounds
+			out[len(out)-1].Count++
+		}
+	}
+	return out
+}

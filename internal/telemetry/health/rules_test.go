@@ -1,0 +1,162 @@
+package health
+
+import (
+	"testing"
+
+	"noftl/internal/ioreq"
+	"noftl/internal/sim"
+	"noftl/internal/telemetry"
+)
+
+func tick(n int) sim.Time { return sim.Time(n) * 100 * sim.Millisecond }
+
+func TestThresholdRulesFireAndResolve(t *testing.T) {
+	tel := telemetry.New(telemetry.Config{})
+	spread := 0.0
+	tel.Reg.Gauge("health.wear_spread", func() float64 { return spread })
+
+	e := NewEngine([]Rule{
+		{Name: "wear_spread", Kind: RuleAbove, Metric: "health.wear_spread",
+			Threshold: 10, For: 2},
+		{Name: "missing", Kind: RuleAbove, Metric: "not.registered", Threshold: 1},
+	}, tel)
+
+	e.Eval(tick(1)) // spread 0: quiet
+	spread = 12
+	e.Eval(tick(2)) // first breach: hysteresis holds (For: 2)
+	if e.Active("wear_spread") {
+		t.Fatalf("rule fired before For samples elapsed")
+	}
+	e.Eval(tick(3)) // second consecutive breach: fires
+	if !e.Active("wear_spread") {
+		t.Fatalf("rule did not fire after For consecutive breaches")
+	}
+	e.Eval(tick(4)) // still breached: no duplicate transition
+	spread = 5
+	e.Eval(tick(5)) // resolved
+
+	alerts := tel.Recorder().Alerts()
+	if len(alerts) != 2 {
+		t.Fatalf("want exactly firing+resolved, got %d alerts: %+v", len(alerts), alerts)
+	}
+	if alerts[0].State != "firing" || alerts[0].TNs != tick(3) || alerts[0].Value != 12 {
+		t.Errorf("firing transition wrong: %+v", alerts[0])
+	}
+	if alerts[1].State != "resolved" || alerts[1].TNs != tick(5) {
+		t.Errorf("resolved transition wrong: %+v", alerts[1])
+	}
+}
+
+func TestBelowRule(t *testing.T) {
+	tel := telemetry.New(telemetry.Config{})
+	free := 10.0
+	tel.Reg.Gauge("noftl.free_blocks", func() float64 { return free })
+	e := NewEngine([]Rule{{Name: "free_floor", Kind: RuleBelow,
+		Metric: "noftl.free_blocks", Threshold: 4, Severity: "page"}}, tel)
+
+	e.Eval(tick(1))
+	free = 3
+	e.Eval(tick(2))
+	if !e.Active("free_floor") {
+		t.Fatalf("below rule did not fire")
+	}
+	a := tel.Recorder().Alerts()
+	if len(a) != 1 || a[0].Severity != "page" || a[0].Rule != "free_floor" {
+		t.Fatalf("alert wrong: %+v", a)
+	}
+}
+
+func TestBurnRateRule(t *testing.T) {
+	tel := telemetry.New(telemetry.Config{})
+	const tag = 0xDB0001
+	record := func(n int, missed bool) {
+		for i := 0; i < n; i++ {
+			sp := ioreq.NewSpan(uint64(i), 0, tag)
+			sp.Begin(0)
+			if missed {
+				sp.Deadline = 5 // finished at 10 > deadline 5
+			}
+			sp.Finish(10)
+			tel.RecordSpan(sp)
+		}
+	}
+
+	// Budget 10% of commits may miss; For 1 so the window verdict is
+	// immediate.
+	e := NewEngine([]Rule{{Name: "burn", Kind: RuleBurnRate, Tag: tag,
+		Budget: 0.10}}, tel)
+
+	record(100, false)
+	e.Eval(tick(1)) // 0/100 window misses: burn 0
+	if e.Active("burn") {
+		t.Fatalf("fired without misses")
+	}
+	record(80, false)
+	record(20, true)
+	e.Eval(tick(2)) // 20/100 misses = 2x of the 10% budget
+	if !e.Active("burn") {
+		t.Fatalf("burn rule did not fire at 2x budget")
+	}
+	a := tel.Recorder().Alerts()
+	if len(a) != 1 || a[0].Value != 2 || a[0].Tag != tag {
+		t.Fatalf("burn alert wrong: %+v", a)
+	}
+	// Quiet window with traffic: resolves.
+	record(50, false)
+	e.Eval(tick(3))
+	if e.Active("burn") {
+		t.Fatalf("burn rule still active after a clean window")
+	}
+	// Idle window (no commits): stays quiet, no division by zero.
+	e.Eval(tick(4))
+	if got := len(tel.Recorder().Alerts()); got != 2 {
+		t.Fatalf("want firing+resolved only, got %d", got)
+	}
+}
+
+func TestDefaultRules(t *testing.T) {
+	rules := DefaultRules(64, 4, 50_000, 0.05)
+	if len(rules) != 4 {
+		t.Fatalf("want 4 rules, got %d", len(rules))
+	}
+	names := map[string]bool{}
+	for _, r := range rules {
+		names[r.Name] = true
+	}
+	for _, want := range []string{"wear_spread", "free_floor", "p99_ceiling", "deadline_burn"} {
+		if !names[want] {
+			t.Errorf("default rule %q missing", want)
+		}
+	}
+	if got := DefaultRules(0, 0, 0, 0); len(got) != 0 {
+		t.Errorf("non-positive params should drop rules, got %d", len(got))
+	}
+}
+
+func TestSnapshotWearMath(t *testing.T) {
+	s := &Snapshot{Dies: []DieHealth{
+		{Die: 0, Blocks: []int{1, 2, 3, 4}, BadBlocks: 0},
+		{Die: 1, Blocks: []int{5, -1, 7, 8}, BadBlocks: 1},
+	}}
+	s.finalize(nil)
+	if s.Wear.Min != 1 || s.Wear.Max != 8 || s.Wear.Spread != 7 {
+		t.Errorf("wear min/max/spread = %d/%d/%d", s.Wear.Min, s.Wear.Max, s.Wear.Spread)
+	}
+	if s.Wear.TotalBlocks != 7 || s.Wear.BadBlocks != 1 {
+		t.Errorf("block counts = %d good, %d bad", s.Wear.TotalBlocks, s.Wear.BadBlocks)
+	}
+	if s.Wear.P50 != 4 {
+		t.Errorf("p50 = %d, want 4", s.Wear.P50)
+	}
+	// Histogram: power-of-two buckets 0,1,2,4,8; the bad block is
+	// excluded, each good block lands in exactly one bucket.
+	total := 0
+	for _, d := range s.Dies {
+		for _, b := range d.Hist {
+			total += b.Count
+		}
+	}
+	if total != 7 {
+		t.Errorf("histogram counts %d blocks, want 7", total)
+	}
+}

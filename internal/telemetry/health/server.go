@@ -1,0 +1,124 @@
+package health
+
+import (
+	"bytes"
+	"net"
+	"net/http"
+	"sync"
+
+	"noftl/internal/sim"
+	"noftl/internal/telemetry"
+)
+
+// Server is the live monitoring surface: an HTTP listener serving
+// /metrics (Prometheus text exposition), /health (snapshot JSON) and
+// /alerts (alert log JSON).
+//
+// The DES kernel is single-threaded, so handlers never touch
+// simulation state: the sim thread renders each page at every sampler
+// tick and swaps the cached bytes in under a mutex; handlers only copy
+// the cache out. That keeps a live scrape race-free against a running
+// simulation.
+type Server struct {
+	mu    sync.Mutex
+	pages map[string][]byte
+
+	ln   net.Listener
+	http *http.Server
+}
+
+// contentTypes per served path.
+var contentTypes = map[string]string{
+	"/metrics": "text/plain; version=0.0.4; charset=utf-8",
+	"/health":  "application/json",
+	"/alerts":  "application/json",
+}
+
+// NewServer binds addr (use "127.0.0.1:0" for an OS-picked port) and
+// starts serving the cached pages. Pages are empty until the first
+// Update.
+func NewServer(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, pages: map[string][]byte{}}
+	mux := http.NewServeMux()
+	for path := range contentTypes {
+		mux.HandleFunc(path, s.serve)
+	}
+	s.http = &http.Server{Handler: mux}
+	go func() { _ = s.http.Serve(ln) }()
+	return s, nil
+}
+
+// Addr reports the bound listen address (host:port).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Update swaps the cached bytes of one page (called by the sim thread
+// at sampler ticks).
+func (s *Server) Update(path string, body []byte) {
+	s.mu.Lock()
+	s.pages[path] = body
+	s.mu.Unlock()
+}
+
+func (s *Server) serve(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	body := s.pages[r.URL.Path]
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", contentTypes[r.URL.Path])
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+}
+
+// Close stops the listener.
+func (s *Server) Close() error { return s.http.Close() }
+
+// Serve binds the configured MonitorAddr and begins refreshing the
+// live pages at every sampler tick. It renders an initial set of pages
+// immediately so scrapes before the first tick see valid (if empty)
+// documents. No-op when MonitorAddr is empty or already serving.
+func (m *Monitor) Serve() error {
+	if m.cfg.MonitorAddr == "" || m.srv != nil {
+		return nil
+	}
+	srv, err := NewServer(m.cfg.MonitorAddr)
+	if err != nil {
+		return err
+	}
+	m.srv = srv
+	m.refresh(0)
+	return nil
+}
+
+// Addr reports the live monitor's bound address ("" when not serving).
+func (m *Monitor) Addr() string {
+	if m.srv == nil {
+		return ""
+	}
+	return m.srv.Addr()
+}
+
+// Close stops the live monitor (no-op when not serving).
+func (m *Monitor) Close() error {
+	if m.srv == nil {
+		return nil
+	}
+	err := m.srv.Close()
+	m.srv = nil
+	return err
+}
+
+// refresh re-renders every live page at now (sim thread only).
+func (m *Monitor) refresh(now sim.Time) {
+	m.srv.Update("/metrics", telemetry.PromText(m.tel.Reg, now))
+	var hb bytes.Buffer
+	if err := m.WriteJSON(&hb, now); err == nil {
+		m.srv.Update("/health", hb.Bytes())
+	}
+	var ab bytes.Buffer
+	if err := writeAlertsJSON(&ab, m.Alerts()); err == nil {
+		m.srv.Update("/alerts", ab.Bytes())
+	}
+}

@@ -1,0 +1,63 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"noftl/internal/sim"
+)
+
+// Prometheus text exposition (format 0.0.4) over the metrics registry.
+// Metric names mangle "layer.metric" to "noftl_layer_metric"
+// (Prometheus names admit [a-zA-Z0-9_:] only), each preceded by HELP
+// and TYPE lines keyed off the registry's metric kind. The simulated
+// clock is exported as its own gauge so scrapes can be ordered without
+// wall time. Output is deterministic: registration order, %g value
+// formatting.
+
+// PromName mangles a registry metric name into a valid Prometheus
+// metric name with the "noftl_" prefix.
+func PromName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 6)
+	b.WriteString("noftl_")
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WriteProm renders the registry's current values in Prometheus text
+// exposition format, stamped with the given simulated time.
+func WriteProm(w io.Writer, reg *Registry, now sim.Time) error {
+	if _, err := fmt.Fprintf(w,
+		"# HELP noftl_sim_time_seconds Simulated clock at export time.\n"+
+			"# TYPE noftl_sim_time_seconds gauge\n"+
+			"noftl_sim_time_seconds %g\n", now.Seconds()); err != nil {
+		return err
+	}
+	for _, m := range reg.Metrics() {
+		pn := PromName(m.Name)
+		if _, err := fmt.Fprintf(w,
+			"# HELP %s Registry metric %q.\n# TYPE %s %s\n%s %g\n",
+			pn, m.Name, pn, m.Kind, pn, m.Read()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PromText renders WriteProm into a byte slice (the live monitor
+// caches it per sampler tick).
+func PromText(reg *Registry, now sim.Time) []byte {
+	var b strings.Builder
+	_ = WriteProm(&b, reg, now)
+	return []byte(b.String())
+}

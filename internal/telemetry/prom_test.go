@@ -1,0 +1,70 @@
+package telemetry
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"noftl/internal/sim"
+)
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"flash.erases":       "noftl_flash_erases",
+		"sched.wait.read_us": "noftl_sched_wait_read_us",
+		"commit.p99_us":      "noftl_commit_p99_us",
+		"weird-name.x":       "noftl_weird_name_x",
+	}
+	for in, want := range cases {
+		if got := PromName(in); got != want {
+			t.Errorf("PromName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// The exposition format is a contract with scrapers: pin it with a
+// golden file. Regenerate with UPDATE_PROM_GOLDEN=1 on an intentional
+// format change.
+func TestPromGolden(t *testing.T) {
+	r := NewRegistry()
+	var erases int64 = 802
+	r.Counter("flash.erases", func() int64 { return erases })
+	r.Gauge("buffer.hit_rate", func() float64 { return 0.9375 })
+	r.Gauge("health.wear_spread", func() float64 { return 17 })
+	r.Counter("commit.count", func() int64 { return 9620 })
+
+	var b strings.Builder
+	if err := WriteProm(&b, r, 4*sim.Second+10*sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+
+	golden := filepath.Join("testdata", "metrics.prom.golden")
+	if update() {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with UPDATE_PROM_GOLDEN=1 to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("Prometheus exposition drifted from golden file.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+
+	// Every metric line must be preceded by HELP and TYPE, and the kind
+	// must match the registration.
+	if !strings.Contains(got, "# TYPE noftl_flash_erases counter") {
+		t.Errorf("counter TYPE line missing:\n%s", got)
+	}
+	if !strings.Contains(got, "# TYPE noftl_buffer_hit_rate gauge") {
+		t.Errorf("gauge TYPE line missing:\n%s", got)
+	}
+}
+
+func update() bool { return os.Getenv("UPDATE_PROM_GOLDEN") != "" }

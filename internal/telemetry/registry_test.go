@@ -1,0 +1,123 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+
+	"noftl/internal/ioreq"
+	"noftl/internal/sim"
+)
+
+// Registering a brand-new metric after the first sample used to desync
+// Series.Names (latched at the first sample) from the value rows —
+// Column silently truncated. The registry now seals at the first
+// sample and rejects the late registration loudly.
+func TestRegistryRejectsLateRegistration(t *testing.T) {
+	tel := New(Config{})
+	tel.Reg.Gauge("layer.early", func() float64 { return 1 })
+
+	k := sim.New()
+	tel.Start(k)
+	k.RunFor(tel.SampleEvery() * 3)
+
+	if !tel.Reg.Sealed() {
+		t.Fatalf("registry not sealed after first sample")
+	}
+	wantCols := tel.Reg.Len()
+	for _, s := range tel.Series().Samples {
+		if len(s.Values) != wantCols {
+			t.Fatalf("sample row has %d values, want %d", len(s.Values), wantCols)
+		}
+	}
+
+	// A new name must panic with an actionable message.
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatalf("late registration of a new metric did not panic")
+			}
+			msg, ok := r.(string)
+			if !ok || !strings.Contains(msg, "layer.late") {
+				t.Fatalf("panic %v does not name the offending metric", r)
+			}
+		}()
+		tel.Reg.Gauge("layer.late", func() float64 { return 2 })
+	}()
+
+	// Replacing an existing metric's closure stays legal after sealing.
+	tel.Reg.Gauge("layer.early", func() float64 { return 42 })
+	if v, ok := tel.Reg.Value("layer.early"); !ok || v != 42 {
+		t.Fatalf("replaced closure not in effect: %v %v", v, ok)
+	}
+
+	// And the series stays rectangular after more samples.
+	k.RunFor(tel.SampleEvery() * 2)
+	for i, s := range tel.Series().Samples {
+		if len(s.Values) != wantCols {
+			t.Fatalf("sample %d has %d values, want %d", i, len(s.Values), wantCols)
+		}
+	}
+	if col := tel.Series().Column("layer.early"); len(col) != len(tel.Series().Samples) {
+		t.Fatalf("column truncated: %d values for %d samples", len(col), len(tel.Series().Samples))
+	}
+}
+
+func TestRegistryValueAndKinds(t *testing.T) {
+	r := NewRegistry()
+	var n int64 = 7
+	r.Counter("a.count", func() int64 { return n })
+	r.Gauge("a.level", func() float64 { return 0.5 })
+
+	if v, ok := r.Value("a.count"); !ok || v != 7 {
+		t.Fatalf("Value(a.count) = %v, %v", v, ok)
+	}
+	if _, ok := r.Value("missing"); ok {
+		t.Fatalf("Value(missing) reported ok")
+	}
+	ms := r.Metrics()
+	if ms[0].Kind != KindCounter || ms[1].Kind != KindGauge {
+		t.Fatalf("kinds = %v, %v", ms[0].Kind, ms[1].Kind)
+	}
+	if KindCounter.String() != "counter" || KindGauge.String() != "gauge" {
+		t.Fatalf("kind strings wrong")
+	}
+}
+
+func TestTelemetryTagCommitsAndHooks(t *testing.T) {
+	tel := New(Config{})
+	span := func(tag uint32) *ioreq.Span {
+		sp := ioreq.NewSpan(1, 0, tag)
+		sp.Begin(0)
+		sp.Finish(10)
+		return sp
+	}
+	tel.RecordSpan(span(7))
+	tel.RecordSpan(span(9))
+	tel.RecordSpan(span(7))
+
+	if got := tel.TagCommits(7); got != 2 {
+		t.Fatalf("TagCommits(7) = %d, want 2", got)
+	}
+	if got := tel.TagCommits(9); got != 1 {
+		t.Fatalf("TagCommits(9) = %d, want 1", got)
+	}
+	tags := tel.CommitTags()
+	if len(tags) != 2 || tags[0] != 7 || tags[1] != 9 {
+		t.Fatalf("CommitTags = %v, want [7 9]", tags)
+	}
+
+	var ticks []sim.Time
+	tel.OnSample(func(now sim.Time) { ticks = append(ticks, now) })
+	k := sim.New()
+	tel.Start(k)
+	k.RunFor(tel.SampleEvery() * 3)
+	if len(ticks) != 3 {
+		t.Fatalf("OnSample fired %d times, want 3", len(ticks))
+	}
+	for i, tk := range ticks {
+		if want := tel.SampleEvery() * sim.Time(i+1); tk != want {
+			t.Fatalf("tick %d at %v, want %v", i, tk, want)
+		}
+	}
+}

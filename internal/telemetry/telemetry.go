@@ -93,13 +93,24 @@ type Telemetry struct {
 	winCommits int64
 	// Window metrics latched by sample() just before the registry read.
 	winTPS, winP99us, winMeanUs float64
+
+	// Per-tag cumulative commit counts (burn-rate denominators for the
+	// SLO engine); tagCommitOrder keeps first-appearance order so
+	// iteration stays deterministic.
+	tagCommits     map[uint32]int64
+	tagCommitOrder []uint32
+
+	// onSample hooks run at the end of every sample() tick — the health
+	// monitor registers its rule evaluation and snapshot refresh here.
+	onSample []func(now sim.Time)
 }
 
 // New builds a Telemetry with the commit/window metrics pre-registered.
 func New(cfg Config) *Telemetry {
 	cfg = cfg.withDefaults()
 	t := &Telemetry{cfg: cfg, Reg: NewRegistry(),
-		rec: NewFlightRecorder(cfg.SlowestK, cfg.MissRing)}
+		rec:        NewFlightRecorder(cfg.SlowestK, cfg.MissRing),
+		tagCommits: map[uint32]int64{}}
 	t.Reg.Gauge("commit.tps", func() float64 { return t.winTPS })
 	t.Reg.Gauge("commit.p99_us", func() float64 { return t.winP99us })
 	t.Reg.Gauge("commit.mean_us", func() float64 { return t.winMeanUs })
@@ -121,6 +132,25 @@ func (t *Telemetry) Spans() []*ioreq.Span { return t.spans }
 // Commits counts spans recorded so far.
 func (t *Telemetry) Commits() int64 { return t.commits }
 
+// TagCommits counts spans recorded so far for one tenant tag.
+func (t *Telemetry) TagCommits(tag uint32) int64 { return t.tagCommits[tag] }
+
+// CommitTags returns the tags seen on recorded spans, in
+// first-appearance order (deterministic under the DES kernel).
+func (t *Telemetry) CommitTags() []uint32 {
+	return append([]uint32(nil), t.tagCommitOrder...)
+}
+
+// SampleEvery reports the sampler period.
+func (t *Telemetry) SampleEvery() sim.Time { return t.cfg.SampleEvery }
+
+// OnSample registers a hook invoked at the end of every sampler tick,
+// after the sample row is appended. Hooks run in registration order on
+// the sim thread. Register before Start.
+func (t *Telemetry) OnSample(fn func(now sim.Time)) {
+	t.onSample = append(t.onSample, fn)
+}
+
 // RecordSpan is the span sink: terminals hand every finished
 // transaction span to it.
 func (t *Telemetry) RecordSpan(sp *ioreq.Span) {
@@ -129,6 +159,10 @@ func (t *Telemetry) RecordSpan(sp *ioreq.Span) {
 	}
 	t.commits++
 	t.winCommits++
+	if t.tagCommits[sp.Tag] == 0 {
+		t.tagCommitOrder = append(t.tagCommitOrder, sp.Tag)
+	}
+	t.tagCommits[sp.Tag]++
 	t.spanCmds += sp.Cmds
 	t.winHist.Add(sp.Latency())
 	if sp.Missed() {
@@ -167,12 +201,19 @@ func (t *Telemetry) sample(now sim.Time) {
 		t.winMeanUs = usFloat(t.winHist.Mean())
 	}
 	if t.series.Names == nil {
+		// The column set is fixed by the first sample; seal the registry
+		// so a late registration fails loudly instead of silently
+		// desyncing names from values.
+		t.Reg.Seal()
 		t.series.Names = t.Reg.Names()
 	}
 	t.series.Samples = append(t.series.Samples, Sample{T: now, Values: t.Reg.ReadAll()})
 	t.winCommits = 0
 	t.winHist = stats.Histogram{}
 	t.lastSample = now
+	for _, fn := range t.onSample {
+		fn(now)
+	}
 }
 
 func usFloat(d sim.Time) float64 { return float64(d) / float64(sim.Microsecond) }
