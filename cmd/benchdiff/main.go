@@ -8,16 +8,24 @@
 // rises, by more than the corresponding threshold fraction. Any breach
 // exits nonzero (CI runs it as a soft gate via continue-on-error).
 //
+// Blame-share columns (blame_shares in blame-enabled reports) are
+// compared warn-only: a culprit class whose share of blamed queue wait
+// moved by more than -blame-shift points prints "warn" but never counts
+// as a breach — shifting blame composition is a diagnosis lead, not a
+// regression by itself.
+//
 // Usage:
 //
-//	benchdiff [-tps-drop 0.15] [-p99-rise 0.30] [-wa-rise 0.10] baseline.json new.json
+//	benchdiff [-tps-drop 0.15] [-p99-rise 0.30] [-wa-rise 0.10] [-blame-shift 0.10] baseline.json new.json
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"sort"
 
 	"noftl/internal/bench"
 	"noftl/internal/stats"
@@ -25,9 +33,10 @@ import (
 
 func main() {
 	var (
-		tpsDrop = flag.Float64("tps-drop", 0.15, "max allowed TPS drop (fraction)")
-		p99Rise = flag.Float64("p99-rise", 0.30, "max allowed commit-p99 rise (fraction)")
-		waRise  = flag.Float64("wa-rise", 0.10, "max allowed write-amplification rise (fraction)")
+		tpsDrop    = flag.Float64("tps-drop", 0.15, "max allowed TPS drop (fraction)")
+		p99Rise    = flag.Float64("p99-rise", 0.30, "max allowed commit-p99 rise (fraction)")
+		waRise     = flag.Float64("wa-rise", 0.10, "max allowed write-amplification rise (fraction)")
+		blameShift = flag.Float64("blame-shift", 0.10, "blame-share shift (absolute points) that prints a warn-only note")
 	)
 	flag.Parse()
 	if flag.NArg() != 2 {
@@ -85,6 +94,7 @@ func main() {
 				fmt.Sprintf("%+.1f%%", 100*delta), fmt.Sprintf("%.0f%%", 100*c.limit),
 				verdict)
 		}
+		blameRows(t, k, br.BlameShares, nr.BlameShares, *blameShift)
 	}
 	for k := range baseRows {
 		t.Row(k, "-", "-", "-", "-", "-", "row dropped")
@@ -96,6 +106,36 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("\nno regressions past thresholds")
+}
+
+// blameRows adds one warn-only row per culprit class whose share of the
+// row's blamed queue wait shifted. Shifts never count as breaches: a
+// changed blame composition is where to look, not proof of a regression.
+func blameRows(t *stats.Table, k string, base, next map[string]float64, shift float64) {
+	if len(base) == 0 || len(next) == 0 {
+		return // either side ran without blame: nothing to compare
+	}
+	classes := make([]string, 0, len(base)+len(next))
+	for c := range base {
+		classes = append(classes, c)
+	}
+	for c := range next {
+		if _, ok := base[c]; !ok {
+			classes = append(classes, c)
+		}
+	}
+	sort.Strings(classes)
+	for _, c := range classes {
+		delta := next[c] - base[c]
+		verdict := "ok"
+		if math.Abs(delta) > shift {
+			verdict = "warn"
+		}
+		t.Row(k, "blame_share/"+c,
+			fmt.Sprintf("%.1f%%", 100*base[c]), fmt.Sprintf("%.1f%%", 100*next[c]),
+			fmt.Sprintf("%+.1fpp", 100*delta), fmt.Sprintf("%.0fpp", 100*shift),
+			verdict)
+	}
 }
 
 func load(path string) (*bench.JSONReport, error) {

@@ -53,9 +53,17 @@ func main() {
 		schedTrace = flag.Bool("sched-trace", false, "collect a command log and print per-class waits")
 		tagged     = flag.Bool("tagged", true, "include the per-request-tagging column in the sched ablation")
 
-		traceOut   = flag.String("trace-out", "", "write a Perfetto-loadable trace-event JSON file for the sched experiment's last mode")
-		metricsOut = flag.String("metrics-out", "", "write the telemetry metrics time series + flight recorder (JSON) for the sched experiment's last mode")
-		slowestK   = flag.Int("slowest", 16, "flight-recorder retention: slowest K transactions (with -trace-out/-metrics-out)")
+		traceOut   = flag.String("trace-out", "", "write a Perfetto-loadable trace-event JSON file for the sched/htap experiment's last mode or the qos run")
+		metricsOut = flag.String("metrics-out", "", "write the telemetry metrics time series + flight recorder (JSON) for the sched/htap experiment's last mode or the qos run")
+		slowestK   = flag.Int("slowest", 16, "flight-recorder / blame retention: slowest K transactions (with -trace-out/-metrics-out/-blame-out)")
+
+		blameOut      = flag.String("blame-out", "", "write the latency root-cause report (interference matrix, per-victim shares, slowest spans; JSON) for the sched/htap experiment's last mode or the qos run")
+		foldedOut     = flag.String("folded-out", "", "write blame-attributed request time as folded stacks (flamegraph.pl / speedscope-loadable) for the same run as -blame-out")
+		speedscopeOut = flag.String("speedscope-out", "", "write blame-attributed request time as a speedscope sampled profile for the same run as -blame-out")
+
+		qosDies  = flag.Int("qos-dies", 0, "dies for the qos demo (0: default 8)")
+		qosMB    = flag.Int("qos-mb", 0, "drive MB for the qos demo (0: default 64)")
+		qosLowDL = flag.Int("qos-low-deadline-ms", 0, "stamp the qos demo's low tenant with this completion deadline (ms; 0: off) so its SLO misses are measured and blame-attributed")
 
 		healthOut   = flag.String("health-out", "", "write the device-health snapshot (wear heatmaps, GC efficiency, alert log; JSON) for the sched experiment's last mode")
 		promOut     = flag.String("prom-out", "", "write a Prometheus text-format metrics dump for the sched experiment's last mode")
@@ -113,6 +121,76 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println()
+	}
+
+	// Telemetry and blame exports are shared by the sched, htap and qos
+	// experiments: the same flags select the pipeline, the same helpers
+	// print and write the chosen run's artifacts.
+	telemetryOn := *traceOut != "" || *metricsOut != ""
+	blameOn := *blameOut != "" || *foldedOut != "" || *speedscopeOut != ""
+	newTelemetryCfg := func() *noftl.TelemetryConfig {
+		return &noftl.TelemetryConfig{
+			SlowestK:    *slowestK,
+			RetainSpans: *traceOut != "",
+		}
+	}
+	exportTelemetry := func(name string, tel *noftl.Telemetry, log *noftl.CmdLog) error {
+		if tel == nil {
+			return nil
+		}
+		fmt.Printf("flight recorder (%s): slowest transactions by layer\n%s",
+			name, tel.SlowestTable())
+		if *traceOut != "" {
+			if err := writeFileWith(*traceOut, func(f *os.File) error {
+				return noftl.WriteTraceEvents(f, log, tel.Spans())
+			}); err != nil {
+				return err
+			}
+			fmt.Printf("wrote Perfetto trace (%s) to %s\n", name, *traceOut)
+		}
+		if *metricsOut != "" {
+			if err := writeFileWith(*metricsOut, func(f *os.File) error {
+				return tel.WriteMetrics(f)
+			}); err != nil {
+				return err
+			}
+			fmt.Printf("wrote metrics series (%s) to %s\n", name, *metricsOut)
+		}
+		return nil
+	}
+	exportBlame := func(name string, rep *noftl.BlameReport) error {
+		if rep == nil {
+			return nil
+		}
+		fmt.Printf("blame matrix (%s): top victim x culprit interference\n%s",
+			name, rep.TopTable(12))
+		fmt.Printf("slowest spans (%s) with blame attribution:\n%s",
+			name, rep.SlowestTable(8))
+		if *blameOut != "" {
+			if err := writeFileWith(*blameOut, func(f *os.File) error {
+				return rep.WriteJSON(f)
+			}); err != nil {
+				return err
+			}
+			fmt.Printf("wrote blame report (%s) to %s\n", name, *blameOut)
+		}
+		if *foldedOut != "" {
+			if err := writeFileWith(*foldedOut, func(f *os.File) error {
+				return rep.WriteFolded(f)
+			}); err != nil {
+				return err
+			}
+			fmt.Printf("wrote folded stacks (%s) to %s\n", name, *foldedOut)
+		}
+		if *speedscopeOut != "" {
+			if err := writeFileWith(*speedscopeOut, func(f *os.File) error {
+				return rep.WriteSpeedscope(f)
+			}); err != nil {
+				return err
+			}
+			fmt.Printf("wrote speedscope profile (%s) to %s\n", name, *speedscopeOut)
+		}
+		return nil
 	}
 
 	run("fig3", func() error {
@@ -274,17 +352,16 @@ func main() {
 			Seed:      *seed,
 			TraceCmds: *schedTrace,
 		}
-		telemetryOn := *traceOut != "" || *metricsOut != ""
 		if telemetryOn {
-			cfg.Telemetry = &noftl.TelemetryConfig{
-				SlowestK:    *slowestK,
-				RetainSpans: *traceOut != "",
-			}
+			cfg.Telemetry = newTelemetryCfg()
 			// The Perfetto export draws its command timelines from the
 			// command log.
 			if *traceOut != "" {
 				cfg.TraceCmds = true
 			}
+		}
+		if blameOn {
+			cfg.Blame = &noftl.BlameConfig{SlowestK: *slowestK}
 		}
 		healthOn := *healthOut != "" || *promOut != "" || *monitorAddr != ""
 		if healthOn {
@@ -328,29 +405,15 @@ func main() {
 		for i := range res.Rows {
 			report.AddSched(res.Workload, &res.Rows[i])
 		}
-		if telemetryOn && len(res.Rows) > 0 {
+		if (telemetryOn || blameOn) && len(res.Rows) > 0 {
 			// Export the last mode's run — with -tagged (the default)
 			// that is the fully scheduled, descriptor-dispatched regime.
 			last := &res.Rows[len(res.Rows)-1]
-			if last.Tel != nil {
-				fmt.Printf("flight recorder (%s): slowest transactions by layer\n%s",
-					last.Mode, last.Tel.SlowestTable())
-				if *traceOut != "" {
-					if err := writeFileWith(*traceOut, func(f *os.File) error {
-						return noftl.WriteTraceEvents(f, last.CmdLog, last.Tel.Spans())
-					}); err != nil {
-						return err
-					}
-					fmt.Printf("wrote Perfetto trace (%s) to %s\n", last.Mode, *traceOut)
-				}
-				if *metricsOut != "" {
-					if err := writeFileWith(*metricsOut, func(f *os.File) error {
-						return last.Tel.WriteMetrics(f)
-					}); err != nil {
-						return err
-					}
-					fmt.Printf("wrote metrics series (%s) to %s\n", last.Mode, *metricsOut)
-				}
+			if err := exportTelemetry(string(last.Mode), last.Tel, last.CmdLog); err != nil {
+				return err
+			}
+			if err := exportBlame(string(last.Mode), last.Blame); err != nil {
+				return err
 			}
 		}
 		if healthOn && len(res.Rows) > 0 {
@@ -388,7 +451,7 @@ func main() {
 	})
 
 	run("htap", func() error {
-		res, err := noftl.HTAPAblation(noftl.HTAPConfig{
+		cfg := noftl.HTAPConfig{
 			Dies:      *htapDies,
 			DriveMB:   *htapMB,
 			Terminals: *htapTerms,
@@ -397,7 +460,17 @@ func main() {
 			Window:    *htapWindow,
 			Measure:   noftl.SimTime(*measure) * noftl.Second,
 			Seed:      *seed,
-		})
+		}
+		if telemetryOn {
+			cfg.Telemetry = newTelemetryCfg()
+			if *traceOut != "" {
+				cfg.TraceCmds = true
+			}
+		}
+		if blameOn {
+			cfg.Blame = &noftl.BlameConfig{SlowestK: *slowestK}
+		}
+		res, err := noftl.HTAPAblation(cfg)
 		if err != nil {
 			return err
 		}
@@ -408,15 +481,37 @@ func main() {
 		for i := range res.Rows {
 			report.AddHTAP(&res.Rows[i])
 		}
+		if (telemetryOn || blameOn) && len(res.Rows) > 0 {
+			last := &res.Rows[len(res.Rows)-1]
+			if err := exportTelemetry(string(last.Mode), last.Tel, last.CmdLog); err != nil {
+				return err
+			}
+			if err := exportBlame(string(last.Mode), last.Blame); err != nil {
+				return err
+			}
+		}
 		return nil
 	})
 
 	run("qos", func() error {
-		res, err := noftl.QoS(noftl.QoSConfig{
-			Workers: *workers,
-			Measure: noftl.SimTime(*measure) * noftl.Second,
-			Seed:    *seed,
-		})
+		cfg := noftl.QoSConfig{
+			Dies:        *qosDies,
+			DriveMB:     *qosMB,
+			Workers:     *workers,
+			Measure:     noftl.SimTime(*measure) * noftl.Second,
+			Seed:        *seed,
+			LowDeadline: noftl.SimTime(*qosLowDL) * noftl.Millisecond,
+		}
+		if telemetryOn {
+			cfg.Telemetry = newTelemetryCfg()
+			if *traceOut != "" {
+				cfg.TraceCmds = true
+			}
+		}
+		if blameOn {
+			cfg.Blame = &noftl.BlameConfig{SlowestK: *slowestK}
+		}
+		res, err := noftl.QoS(cfg)
 		if err != nil {
 			return err
 		}
@@ -424,6 +519,18 @@ func main() {
 		fmt.Print(res.Table())
 		fmt.Printf("p99 commit split low/high: %.2fx (%d class-overriding dispatches)\n\n",
 			res.P99Ratio(), res.Sched.Retagged)
+		if err := exportTelemetry("qos", res.Tel, res.CmdLog); err != nil {
+			return err
+		}
+		if res.Blame != nil {
+			if cs, ok := res.Blame.DominantMissedCulprit(noftl.TagLowPriority); ok {
+				fmt.Printf("low tenant's dominant latency culprit behind missed deadlines: %s (%.0f%% of blamed wait)\n",
+					cs.Class, 100*cs.Share)
+			}
+		}
+		if err := exportBlame("qos", res.Blame); err != nil {
+			return err
+		}
 		report.AddQoS(res)
 		return nil
 	})

@@ -2,6 +2,11 @@
 // and replays them against each flash-management scheme — the paper's
 // off-line methodology for Figure 3, exposed as a standalone tool.
 //
+// Replay builds each target as a full facade system (noftl.NewSystem)
+// and drives the trace as a simulated process, so every replayed op
+// carries a request descriptor (class, tag, waiter) through the stack
+// exactly like live engine traffic.
+//
 // Usage:
 //
 //	tracereplay -record tpcb -txs 5000 -o tpcb.trace
@@ -16,14 +21,11 @@ import (
 	"math/rand"
 	"os"
 
-	"noftl/internal/flash"
-	"noftl/internal/ftl"
-	"noftl/internal/nand"
-	"noftl/internal/noftl"
-	"noftl/internal/storage"
-	"noftl/internal/trace"
-	"noftl/internal/workload"
+	"noftl"
 )
+
+// replayTag marks replayed requests in command logs and blame reports.
+const replayTag uint32 = 0x52504C59 // "RPLY"
 
 func main() {
 	var (
@@ -55,35 +57,35 @@ func main() {
 }
 
 func doRecord(name, out string, txs, sf int, seed int64) error {
-	var wl workload.Workload
+	var wl noftl.Workload
 	switch name {
 	case "tpcb":
-		wl = workload.NewTPCB(workload.TPCBConfig{Branches: sf})
+		wl = noftl.NewTPCB(noftl.TPCBConfig{Branches: sf})
 	case "tpcc":
-		wl = workload.NewTPCC(workload.TPCCConfig{Warehouses: sf})
+		wl = noftl.NewTPCC(noftl.TPCCConfig{Warehouses: sf})
 	case "tpce":
-		wl = workload.NewTPCE(workload.TPCEConfig{Customers: sf * 50})
+		wl = noftl.NewTPCE(noftl.TPCEConfig{Customers: sf * 50})
 	case "tpch":
-		wl = workload.NewTPCH(workload.TPCHConfig{ScaleFactor: sf})
+		wl = noftl.NewTPCH(noftl.TPCHConfig{ScaleFactor: sf})
 	default:
 		return fmt.Errorf("unknown workload %q", name)
 	}
 	const pageSize = 4096
-	inner := storage.NewMemVolume(pageSize, 1<<20)
-	rec := trace.NewRecorder(inner)
-	logv := storage.NewMemVolume(pageSize, 1<<16)
-	ctx := storage.NewIOCtx(nil)
-	if err := storage.Format(ctx, rec, logv); err != nil {
+	inner := noftl.NewMemEngineVolume(pageSize, 1<<20)
+	rec := noftl.NewTraceRecorder(inner)
+	logv := noftl.NewMemEngineVolume(pageSize, 1<<16)
+	ctx := noftl.NewIOCtx(nil)
+	if err := noftl.Format(ctx, rec, logv); err != nil {
 		return err
 	}
-	e, err := storage.Open(ctx, rec, logv, storage.EngineConfig{BufferFrames: 1024})
+	e, err := noftl.Open(ctx, rec, logv, noftl.EngineConfig{BufferFrames: 1024})
 	if err != nil {
 		return err
 	}
 	if err := wl.Load(ctx, e); err != nil {
 		return err
 	}
-	rng := newRand(seed)
+	rng := rand.New(rand.NewSource(seed))
 	for i := 0; i < txs; i++ {
 		if err := wl.RunOne(ctx, e, rng); err != nil {
 			return fmt.Errorf("tx %d: %w", i, err)
@@ -117,7 +119,7 @@ func doReplay(path, target string) error {
 		return err
 	}
 	defer f.Close()
-	tr, err := trace.Decode(f)
+	tr, err := noftl.DecodeTrace(f)
 	if err != nil {
 		return err
 	}
@@ -142,57 +144,55 @@ func doReplay(path, target string) error {
 	return nil
 }
 
-func replayOne(tr *trace.Trace, target string, devPages int64) error {
-	cfg := replayDevice(devPages, tr.PageSize)
-	dev := flash.New(cfg)
-	var tgt trace.Target
-	var statsFn func() ftl.Stats
-	opts := trace.ReplayOptions{DropTrims: true}
-	switch target {
-	case "pagemap":
-		f, err := ftl.NewPageFTL(dev, ftl.PageFTLConfig{})
-		if err != nil {
-			return err
-		}
-		tgt, statsFn = f, f.Stats
-	case "dftl":
-		f, err := ftl.NewDFTL(dev, ftl.DFTLConfig{})
-		if err != nil {
-			return err
-		}
-		tgt, statsFn = f, f.Stats
-	case "faster":
-		f, err := ftl.NewFasterFTL(dev, ftl.FasterConfig{SecondChance: true})
-		if err != nil {
-			return err
-		}
-		tgt, statsFn = f, f.Stats
-	case "noftl":
-		v, err := noftl.New(dev, noftl.Config{})
-		if err != nil {
-			return err
-		}
-		tgt, statsFn = trace.NoFTLTarget{V: v}, v.Stats
-		opts.DropTrims = false // the whole point: dead pages reach the GC
-	default:
+// replayStacks maps the tool's target names onto facade stacks.
+var replayStacks = map[string]noftl.Stack{
+	"pagemap": noftl.StackPagemap,
+	"dftl":    noftl.StackDFTL,
+	"faster":  noftl.StackFaster,
+	"noftl":   noftl.StackNoFTL,
+}
+
+func replayOne(tr *noftl.IOTrace, target string, devPages int64) error {
+	stack, ok := replayStacks[target]
+	if !ok {
 		return fmt.Errorf("unknown target %q", target)
 	}
-	if tgt.LogicalPages() <= devPages*7/10 {
-		// keep going: logical capacity differs per scheme; replay wraps.
-		_ = tgt
-	}
-	if err := trace.Replay(tr, tgt, opts); err != nil {
+	devCfg := replayDevice(devPages, tr.PageSize)
+	sys, err := noftl.NewSystem(noftl.SystemConfig{
+		Stack:  stack,
+		Device: &devCfg,
+		Frames: 128,
+	})
+	if err != nil {
 		return err
 	}
-	s := statsFn()
-	d := dev.Stats()
+	// Deallocation hints only exist on the native interface: the block
+	// stacks replay with trims dropped (the legacy interface cannot
+	// convey them), NoFTL keeps them so dead pages reach the GC.
+	opts := noftl.ReplayOptions{DropTrims: stack != noftl.StackNoFTL}
+	// Measure the replay, not the engine format that built the system.
+	sys.Dev.ResetTime()
+	sys.Dev.ResetStats()
+	var replayErr error
+	sys.K.Go("replay", func(p *noftl.Proc) {
+		w := noftl.ProcWaiter{P: p}
+		ctx := noftl.NewIOCtx(w).WithTag(replayTag)
+		opts.Waiter = w
+		replayErr = noftl.ReplayTrace(tr, noftl.NewVolumeReplayTarget(sys.Vol, ctx), opts)
+	})
+	sys.K.Run()
+	if replayErr != nil {
+		return replayErr
+	}
+	s := sys.FTLStats()
+	d := sys.Dev.Stats()
 	fmt.Printf("%-8s %10d %10d %10d %10d %8.2f\n",
 		target, d.Copybacks, s.GCReads+s.GCWrites, d.Erases,
 		s.MapReads+s.MapWrites, s.WriteAmplification())
 	return nil
 }
 
-func replayDevice(pages int64, pageSize int) flash.Config {
+func replayDevice(pages int64, pageSize int) noftl.DeviceConfig {
 	const ppb = 64
 	blocks := int(pages/ppb) + 1
 	if blocks < 12 {
@@ -212,14 +212,12 @@ func replayDevice(pages int64, pageSize int) flash.Config {
 	for dies%channels != 0 {
 		channels--
 	}
-	return flash.Config{
-		Geometry: nand.Geometry{
+	return noftl.DeviceConfig{
+		Geometry: noftl.Geometry{
 			Channels: channels, ChipsPerChannel: dies / channels, DiesPerChip: 1,
 			PlanesPerDie: 1, BlocksPerPlane: blocks/dies + 2, PagesPerBlock: ppb,
 			PageSize: pageSize, OOBSize: 128,
 		},
-		Cell: nand.SLC,
+		Cell: noftl.SLC,
 	}
 }
-
-func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,73 @@
+// Latency root-cause on native flash: WHY is the low tenant's p99
+// inverted? The QoS demo runs two TPC-B tenants on one priority-
+// scheduled NoFTL stack; this example attaches the blame engine and a
+// deadline to the low tenant, then walks the diagnosis down the stack:
+// which spans missed their deadline, which commands occupied the die
+// while they waited, which tenant/class/die those culprits belong to —
+// all joined from the per-die command timeline and the per-transaction
+// request spans the descriptors carry through every layer.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"noftl"
+)
+
+func main() {
+	res, err := noftl.QoS(noftl.QoSConfig{
+		Dies:    8,
+		DriveMB: 64,
+		Workers: 16,
+		Writers: 8,
+		Frames:  384,
+		Warm:    1 * noftl.Second,
+		Measure: 4 * noftl.Second,
+		Seed:    42,
+		// Stamp the low tenant with a deadline too, so its SLO misses
+		// are measured — and blame-attributable.
+		LowDeadline: 3 * noftl.Millisecond,
+		// The blame engine implies telemetry span retention and a
+		// system-owned command log; tag names default to the demo's
+		// tenant names (high, low, writers, ckpt).
+		Blame: &noftl.BlameConfig{SlowestK: 16},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Per-request QoS: two TPC-B tenants, one declared low-priority")
+	fmt.Print(res.Table())
+	fmt.Printf("\np99 commit split low/high: %.2fx\n\n", res.P99Ratio())
+
+	rep := res.Blame
+
+	// Step 1: the headline — of the wait behind the low tenant's missed
+	// deadlines, which culprit class dominates?
+	if cs, ok := rep.DominantMissedCulprit(noftl.TagLowPriority); ok {
+		fmt.Printf("low tenant's missed deadlines: dominant culprit class %q with %.0f%% of blamed wait\n",
+			cs.Class, 100*cs.Share)
+	}
+	fmt.Println("full decomposition (low tenant, missed spans only):")
+	for _, cs := range rep.MissedShares(noftl.TagLowPriority) {
+		fmt.Printf("  %-8s %5.1f%%\n", cs.Class, 100*cs.Share)
+	}
+
+	// Step 2: the interference matrix — victim×culprit cells down to
+	// the die and blocking kind (plain queueing, erase windows,
+	// same-block program-order hazards).
+	fmt.Println("\ntop interference cells (who blocked whom, where, how):")
+	fmt.Print(rep.TopTable(10))
+
+	// Step 3: individual victims — the slowest retained spans with
+	// their per-culprit blame shares.
+	fmt.Println("\nslowest spans with blame attribution:")
+	fmt.Print(rep.SlowestTable(6))
+
+	fmt.Println("\nThe verdict is causal, not correlational: every nanosecond of a")
+	fmt.Println("span's queue wait is attributed to the specific commands that")
+	fmt.Println("occupied its die ahead of it (blamed + unattributed == recorded,")
+	fmt.Println("exactly). The p99 inversion traces to background flushing and GC")
+	fmt.Println("— not to the high tenant's foreground traffic.")
+}

@@ -9,6 +9,9 @@ import (
 	"noftl/internal/sim"
 	"noftl/internal/stats"
 	"noftl/internal/storage"
+	"noftl/internal/telemetry"
+	"noftl/internal/telemetry/blame"
+	"noftl/internal/trace"
 	"noftl/internal/workload"
 )
 
@@ -60,6 +63,18 @@ type HTAPConfig struct {
 
 	TPCB workload.TPCBConfig
 	TPCH workload.TPCHConfig
+
+	// Telemetry attaches the cross-layer telemetry pipeline to each
+	// mode's system; OLTP terminals then run under request spans
+	// (HTAPRow.Tel).
+	Telemetry *telemetry.Config
+	// TraceCmds attaches a command log to each mode's scheduler
+	// (HTAPRow.CmdLog) even without Blame.
+	TraceCmds bool
+	// Blame attaches the latency root-cause engine to each mode's
+	// system (implies telemetry with span retention and a system-owned
+	// command log); HTAPRow.Blame carries each policy's report.
+	Blame *blame.Config
 }
 
 func (c HTAPConfig) withDefaults() HTAPConfig {
@@ -143,6 +158,13 @@ type HTAPRow struct {
 	Device    flash.Stats
 	Sched     sched.Stats
 	Occupancy float64
+
+	// Tel is the policy's telemetry pipeline (HTAPConfig.Telemetry or
+	// Blame runs; nil otherwise); CmdLog its command timeline (TraceCmds
+	// or Blame); Blame the analyzed root-cause report (Blame runs).
+	Tel    *telemetry.Telemetry
+	CmdLog *trace.CmdLog
+	Blame  *blame.Report
 }
 
 // HTAPResult is the ablation outcome.
@@ -222,6 +244,13 @@ func HTAPAblation(cfg HTAPConfig) (*HTAPResult, error) {
 			opts.ScanResistant = true
 			opts.PrefetchWindow = cfg.Window
 		}
+		opts.Telemetry = cfg.Telemetry
+		opts.Blame = cfg.Blame
+		var log *trace.CmdLog
+		if cfg.TraceCmds && opts.Blame == nil {
+			log = &trace.CmdLog{}
+			opts.Sched.Trace = log.Record
+		}
 		devCfg := flash.EmulatorConfig(cfg.Dies, cfg.DriveMB, nand.SLC)
 		sys, err := BuildSystemOpts(StackNoFTLRegions, devCfg, cfg.Frames, opts)
 		if err != nil {
@@ -251,6 +280,14 @@ func HTAPAblation(cfg HTAPConfig) (*HTAPResult, error) {
 		row.Mode = mode
 		if sys.NoFTL != nil && sys.NoFTL.LogicalPages() > 0 {
 			row.Occupancy = float64(sys.NoFTL.LivePages()) / float64(sys.NoFTL.LogicalPages())
+		}
+		row.Tel = sys.Tel
+		row.CmdLog = log
+		if row.CmdLog == nil {
+			row.CmdLog = sys.CmdLog
+		}
+		if cfg.Blame != nil {
+			row.Blame = sys.Blame()
 		}
 		res.Rows = append(res.Rows, *row)
 	}
@@ -323,12 +360,16 @@ func RunHTAP(sys *System, oltp, analytical workload.Workload, cfg HTAPRunConfig)
 		})
 	}
 
-	terms := workload.StartTerminals(k, sys.Engine, oltp, workload.TerminalConfig{
+	termCfg := workload.TerminalConfig{
 		N:        cfg.Terminals,
 		Seed:     cfg.Seed,
 		Counting: &counting,
 		OnFatal:  fail,
-	})
+	}
+	if sys.Tel != nil {
+		termCfg.SpanSink = sys.Tel.RecordSpan
+	}
+	terms := workload.StartTerminals(k, sys.Engine, oltp, termCfg)
 	readers := workload.StartReaders(k, sys.Engine, analytical, workload.ReaderConfig{
 		N:        cfg.Readers,
 		Seed:     cfg.Seed,

@@ -61,6 +61,10 @@ type JSONResult struct {
 	GhostHits    int64   `json:"ghost_hits,omitempty"`
 	Prefetches   int64   `json:"prefetches,omitempty"`
 	PrefetchHits int64   `json:"prefetch_hits,omitempty"`
+	// BlameShares decomposes the row's blamed queue wait by culprit
+	// class (fractions of 1; blame-enabled runs). For QoS rows the
+	// victim is the row's tenant; elsewhere it aggregates every victim.
+	BlameShares map[string]float64 `json:"blame_shares,omitempty"`
 }
 
 func us(t sim.Time) float64 { return float64(t) / float64(sim.Microsecond) }
@@ -135,6 +139,9 @@ func (r *JSONReport) AddSched(workload string, row *SchedRow) {
 			}
 		}
 	}
+	if row.Blame != nil {
+		jr.BlameShares = row.Blame.ShareMapAll()
+	}
 	r.Results = append(r.Results, jr)
 }
 
@@ -146,7 +153,7 @@ func (r *JSONReport) AddHTAP(row *HTAPRow) {
 	if row.Committed > 0 {
 		bytesPerTx = float64(row.Device.ProgramBytes) / float64(row.Committed)
 	}
-	r.Results = append(r.Results, JSONResult{
+	jr := JSONResult{
 		Experiment:   "htap",
 		Workload:     "tpcb+tpch",
 		Stack:        string(StackNoFTLRegions),
@@ -169,7 +176,11 @@ func (r *JSONReport) AddHTAP(row *HTAPRow) {
 		GhostHits:    row.Buffer.GhostHits,
 		Prefetches:   row.Buffer.Prefetches,
 		PrefetchHits: row.Buffer.PrefetchHits,
-	})
+	}
+	if row.Blame != nil {
+		jr.BlameShares = row.Blame.ShareMapAll()
+	}
+	r.Results = append(r.Results, jr)
 }
 
 // AddQoS appends the QoS demo's per-tenant rows: one row per group
@@ -180,7 +191,7 @@ func (r *JSONReport) AddQoS(res *QoSResult) {
 		if row.Tag == TagLowPriority {
 			mode = "low"
 		}
-		r.Results = append(r.Results, JSONResult{
+		jr := JSONResult{
 			Experiment:         "qos",
 			Workload:           "tpcb-2tenant",
 			Stack:              string(StackNoFTLRegions),
@@ -192,7 +203,11 @@ func (r *JSONReport) AddQoS(res *QoSResult) {
 			CommitP99us:        us(row.Commit.Percentile(99)),
 			DeadlineMisses:     row.DeadlineMisses,
 			DeadlinePromotions: res.Sched.DeadlinePromotions,
-		})
+		}
+		if res.Blame != nil {
+			jr.BlameShares = res.Blame.ShareMap(row.Tag)
+		}
+		r.Results = append(r.Results, jr)
 	}
 }
 

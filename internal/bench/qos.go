@@ -10,6 +10,9 @@ import (
 	"noftl/internal/sim"
 	"noftl/internal/stats"
 	"noftl/internal/storage"
+	"noftl/internal/telemetry"
+	"noftl/internal/telemetry/blame"
+	"noftl/internal/trace"
 	"noftl/internal/workload"
 )
 
@@ -47,8 +50,25 @@ type QoSConfig struct {
 	// still-queued commands ahead of every class. Default 4ms; negative
 	// disables.
 	Deadline sim.Time
+	// LowDeadline stamps the low tenant's transactions with a completion
+	// deadline this far ahead, so its SLO misses are measured (and
+	// blame-attributable) too. Default 0: off — the low tenant then runs
+	// deadline-free, the original demo behavior.
+	LowDeadline sim.Time
 
 	TPCB workload.TPCBConfig
+
+	// Telemetry attaches the cross-layer telemetry pipeline; terminals
+	// then run under request spans (QoSResult.Tel).
+	Telemetry *telemetry.Config
+	// TraceCmds attaches a command log on the scheduler's trace hook
+	// (QoSResult.CmdLog) even without Blame.
+	TraceCmds bool
+	// Blame attaches the latency root-cause engine (implies telemetry
+	// with span retention and a system-owned command log);
+	// QoSResult.Blame then carries the analyzed report. Empty TagNames
+	// default to the demo's tenant names (QoSTagNames).
+	Blame *blame.Config
 }
 
 func (c QoSConfig) withDefaults() QoSConfig {
@@ -87,7 +107,7 @@ type QoSRow struct {
 	TPS       float64
 	Commit    stats.Histogram
 	// DeadlineMisses counts counted commits that finished past their
-	// deadline (always 0 for the low group, which runs without one).
+	// deadline (0 for the low group unless LowDeadline stamps one).
 	DeadlineMisses int64
 }
 
@@ -98,6 +118,25 @@ type QoSResult struct {
 	// Sched is the scheduler accounting of the run (Retagged counts the
 	// low group's descriptor overrides reaching the die queues).
 	Sched sched.Stats
+	// Tel is the telemetry pipeline (nil without QoSConfig.Telemetry or
+	// Blame); CmdLog the command timeline (nil without TraceCmds or
+	// Blame); Blame the analyzed root-cause report (nil without
+	// QoSConfig.Blame).
+	Tel    *telemetry.Telemetry
+	CmdLog *trace.CmdLog
+	Blame  *blame.Report
+}
+
+// QoSTagNames names the demo's stream tags for blame tables and flame
+// stacks: the two tenants plus the background db-writer and
+// checkpointer streams.
+func QoSTagNames() map[uint32]string {
+	return map[uint32]string{
+		TagHighPriority: "high",
+		TagLowPriority:  "low",
+		tagWriters:      "writers",
+		tagCheckpointer: "ckpt",
+	}
 }
 
 // P99Ratio is the low-priority group's p99 commit latency over the
@@ -137,6 +176,19 @@ func QoS(cfg QoSConfig) (*QoSResult, error) {
 	opts := BuildOpts{
 		Sched:        &sched.Config{Policy: sched.Priority},
 		BackgroundGC: true,
+		Telemetry:    cfg.Telemetry,
+	}
+	if cfg.Blame != nil {
+		bl := *cfg.Blame
+		if bl.TagNames == nil {
+			bl.TagNames = QoSTagNames()
+		}
+		opts.Blame = &bl
+	}
+	var log *trace.CmdLog
+	if cfg.TraceCmds && opts.Blame == nil {
+		log = &trace.CmdLog{}
+		opts.Sched.Trace = log.Record
 	}
 	devCfg := flash.EmulatorConfig(cfg.Dies, cfg.DriveMB, nand.SLC)
 	sys, err := BuildSystemOpts(StackNoFTLRegions, devCfg, cfg.Frames, opts)
@@ -176,10 +228,15 @@ func QoS(cfg QoSConfig) (*QoSResult, error) {
 		Class:       ioreq.ClassProgram,
 		Tag:         tagWriters,
 	})
+	var spanSink func(*ioreq.Span)
+	if sys.Tel != nil {
+		spanSink = sys.Tel.RecordSpan
+	}
 	highN := cfg.Workers / 2
 	high := workload.StartTerminals(k, sys.Engine, wlHigh, workload.TerminalConfig{
 		N: highN, Seed: cfg.Seed, Counting: &counting, OnFatal: fail,
-		TagOf: func(int) uint32 { return TagHighPriority },
+		SpanSink: spanSink,
+		TagOf:    func(int) uint32 { return TagHighPriority },
 		DeadlineAfter: func(int) sim.Time {
 			if cfg.Deadline > 0 {
 				return cfg.Deadline
@@ -187,10 +244,20 @@ func QoS(cfg QoSConfig) (*QoSResult, error) {
 			return 0
 		},
 	})
+	// FirstID keeps the two groups' terminal IDs — and so their span
+	// IDs — disjoint; colliding IDs would cross-wire the blame join.
 	low := workload.StartTerminals(k, sys.Engine, wlLow, workload.TerminalConfig{
-		N: cfg.Workers - highN, Seed: cfg.Seed + 1_000_003, Counting: &counting, OnFatal: fail,
-		TagOf:   func(int) uint32 { return TagLowPriority },
-		ClassOf: func(int) ioreq.Class { return ioreq.ClassPrefetch },
+		N: cfg.Workers - highN, FirstID: highN,
+		Seed: cfg.Seed + 1_000_003, Counting: &counting, OnFatal: fail,
+		SpanSink: spanSink,
+		TagOf:    func(int) uint32 { return TagLowPriority },
+		ClassOf:  func(int) ioreq.Class { return ioreq.ClassPrefetch },
+		DeadlineAfter: func(int) sim.Time {
+			if cfg.LowDeadline > 0 {
+				return cfg.LowDeadline
+			}
+			return 0
+		},
 	})
 	startCheckpointer(k, sys.Engine, func(p *sim.Proc) *storage.IOCtx {
 		return (&storage.IOCtx{W: sim.ProcWaiter{P: p}}).
@@ -212,7 +279,13 @@ func QoS(cfg QoSConfig) (*QoSResult, error) {
 		return nil, fmt.Errorf("qos: %w", fatal)
 	}
 
-	out := &QoSResult{Sched: sys.Sched.Stats()}
+	out := &QoSResult{Sched: sys.Sched.Stats(), Tel: sys.Tel, CmdLog: log}
+	if sys.CmdLog != nil {
+		out.CmdLog = sys.CmdLog
+	}
+	if cfg.Blame != nil {
+		out.Blame = sys.Blame()
+	}
 	fill := func(row *QoSRow, ts *workload.Terminals, tag uint32, n int) {
 		row.Tag = tag
 		row.Terminals = n

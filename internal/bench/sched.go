@@ -10,6 +10,7 @@ import (
 	"noftl/internal/stats"
 	"noftl/internal/storage"
 	"noftl/internal/telemetry"
+	"noftl/internal/telemetry/blame"
 	"noftl/internal/telemetry/health"
 	"noftl/internal/trace"
 	"noftl/internal/workload"
@@ -72,6 +73,10 @@ type SchedConfig struct {
 	// mode's system: request spans on every counted transaction, the
 	// metrics sampler, and the flight recorder (SchedRow.Tel).
 	Telemetry *telemetry.Config
+	// Blame attaches the latency root-cause engine to each mode's
+	// system (implies telemetry with span retention and a system-owned
+	// command log); SchedRow.Blame carries each regime's report.
+	Blame *blame.Config
 	// Health attaches the device-health monitor to each mode's system
 	// (implies telemetry): SchedRow.Health carries the end-of-run
 	// snapshot (wear heatmaps, GC efficiency, alert log). A configured
@@ -150,6 +155,9 @@ type SchedRow struct {
 	// (SchedConfig.Health runs; nil otherwise) — its Alerts field is
 	// the full SLO transition log of the run.
 	Health *health.Snapshot
+	// Blame is the regime's root-cause report (SchedConfig.Blame runs;
+	// nil otherwise).
+	Blame *blame.Report
 }
 
 // SchedResult is the ablation outcome.
@@ -297,6 +305,7 @@ func SchedAblation(cfg SchedConfig) (*SchedResult, error) {
 		}
 		opts.Telemetry = cfg.Telemetry
 		opts.Health = cfg.Health
+		opts.Blame = cfg.Blame
 		devCfg := flash.EmulatorConfig(cfg.Dies, cfg.DriveMB, nand.SLC)
 		sys, err := BuildSystemOpts(StackNoFTLRegions, devCfg, cfg.Frames, opts)
 		if err != nil {
@@ -326,6 +335,12 @@ func SchedAblation(cfg SchedConfig) (*SchedResult, error) {
 			return nil, fmt.Errorf("sched ablation %s: %w", mode, err)
 		}
 		row := SchedRow{Mode: mode, Result: *r, CmdLog: log, Tel: sys.Tel}
+		if row.CmdLog == nil {
+			row.CmdLog = sys.CmdLog
+		}
+		if cfg.Blame != nil {
+			row.Blame = sys.Blame()
+		}
 		if sys.NoFTL != nil && sys.NoFTL.LogicalPages() > 0 {
 			row.Occupancy = float64(sys.NoFTL.LivePages()) / float64(sys.NoFTL.LogicalPages())
 		}

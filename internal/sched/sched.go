@@ -176,6 +176,15 @@ type Event struct {
 	Start    sim.Time // dispatch time (Start-Arrival is the queue wait)
 	End      sim.Time
 	Suspends int // erase suspensions taken during this command
+	// Span is the telemetry span the command's request rode on (0: none);
+	// it joins the command log against retained ioreq.Spans for blame
+	// attribution.
+	Span uint64
+	// Block is the physical block the command mutates — the program
+	// target for program/partial/copyback, the erased block for erase,
+	// -1 for reads. It feeds same-block program-order hazard
+	// classification in blame analysis.
+	Block int64
 }
 
 // Command op kinds.
@@ -208,6 +217,7 @@ type request struct {
 	op       uint8
 	class    Class
 	tag      uint32   // request stream tag (trace attribution)
+	span     uint64   // telemetry span ID riding the request (0: none)
 	deadline sim.Time // past it, the command outranks its class (0: none)
 	arrival  sim.Time
 	start    sim.Time // dispatch time (set by account; spans split queue/die on it)
@@ -586,6 +596,12 @@ func (ds *dieSched) serveErase(p *sim.Proc, r *request) {
 func (ds *dieSched) finish(r *request, start sim.Time, suspends int) {
 	r.done.Fire()
 	if tr := ds.s.cfg.Trace; tr != nil {
+		block := int64(-1)
+		if r.op == opErase {
+			block = int64(r.pbn)
+		} else if pbn, ok := r.programTarget(ds.s.geo); ok {
+			block = int64(pbn)
+		}
 		tr(Event{
 			Die:      ds.die,
 			Class:    r.class,
@@ -595,6 +611,8 @@ func (ds *dieSched) finish(r *request, start sim.Time, suspends int) {
 			Start:    start,
 			End:      ds.s.k.Now(),
 			Suspends: suspends,
+			Span:     r.span,
+			Block:    block,
 		})
 	}
 }

@@ -70,6 +70,7 @@ func (v view) submit(w sim.Waiter, r *request, die int) bool {
 	if sp != nil {
 		sp.Cmds++
 		sp.Enter(ioreq.StageSchedQ, r.arrival)
+		r.span = sp.ID
 	}
 	v.s.dies[die].enqueue(r)
 	r.done.Wait(pw.P)

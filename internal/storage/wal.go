@@ -135,14 +135,16 @@ func (w *WAL) SinceAnchor() uint64 {
 	return w.nextLSN - w.anchor
 }
 
-// Append encodes r, assigns it the next LSN and buffers it.
+// Append encodes r, assigns it the next LSN and buffers it. The record
+// is encoded directly into the buffered tail — no intermediate slice.
 func (w *WAL) Append(r *LogRecord) uint64 {
 	r.LSN = w.nextLSN
-	enc := encodeRecord(r)
-	w.tail = append(w.tail, enc...)
-	w.nextLSN += uint64(len(enc))
+	before := len(w.tail)
+	w.tail = encodeRecordTo(w.tail, r)
+	n := len(w.tail) - before
+	w.nextLSN += uint64(n)
 	w.Appends++
-	w.BytesLogged += int64(len(enc))
+	w.BytesLogged += int64(n)
 	return r.LSN
 }
 
@@ -405,124 +407,164 @@ func min64(a, b uint64) uint64 {
 
 // --- record encoding ---
 
-func encodeRecord(r *LogRecord) []byte {
-	body := make([]byte, 0, 64)
-	put64 := func(v uint64) { body = binary.LittleEndian.AppendUint64(body, v) }
-	put32 := func(v uint32) { body = binary.LittleEndian.AppendUint32(body, v) }
-	put16 := func(v uint16) { body = binary.LittleEndian.AppendUint16(body, v) }
-	putBytes := func(b []byte) {
-		put16(uint16(len(b)))
-		body = append(body, b...)
-	}
+// recEnc is the zero-copy encode cursor: methods on a struct instead of
+// closures over a local slice, because closures capturing the slice
+// force it (and the capture block) onto the heap — the allocations the
+// storage alloc microbenchmarks flag on the Append hot path.
+type recEnc struct{ b []byte }
+
+func (e *recEnc) u8(v byte)    { e.b = append(e.b, v) }
+func (e *recEnc) u16(v uint16) { e.b = binary.LittleEndian.AppendUint16(e.b, v) }
+func (e *recEnc) u32(v uint32) { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
+func (e *recEnc) u64(v uint64) { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+func (e *recEnc) bytes(p []byte) {
+	e.u16(uint16(len(p)))
+	e.b = append(e.b, p...)
+}
+
+// encodeRecordTo appends r's encoding to dst and returns the extended
+// slice — zero allocations once dst has capacity, so Append encodes
+// straight into the buffered tail. The leading 4-byte total length is
+// backfilled once the body is down.
+func encodeRecordTo(dst []byte, r *LogRecord) []byte {
+	e := recEnc{b: dst}
+	start := len(dst)
+	e.u32(0) // total length, backfilled below
+	e.u8(byte(r.Type))
+	e.u64(r.LSN)
+	e.u64(r.Tx)
 	switch r.Type {
 	case RecBegin, RecCommit, RecAbort:
 	case RecHeapInsert:
-		put64(uint64(r.Page))
-		put16(uint16(r.Slot))
-		putBytes(r.After)
+		e.u64(uint64(r.Page))
+		e.u16(uint16(r.Slot))
+		e.bytes(r.After)
 	case RecHeapUpdate:
-		put64(uint64(r.Page))
-		put16(uint16(r.Slot))
-		putBytes(r.Before)
-		putBytes(r.After)
+		e.u64(uint64(r.Page))
+		e.u16(uint16(r.Slot))
+		e.bytes(r.Before)
+		e.bytes(r.After)
 	case RecHeapDelete:
-		put64(uint64(r.Page))
-		put16(uint16(r.Slot))
-		putBytes(r.Before)
+		e.u64(uint64(r.Page))
+		e.u16(uint16(r.Slot))
+		e.bytes(r.Before)
 	case RecPageImage:
-		put64(uint64(r.Page))
-		put32(uint32(len(r.After)))
-		body = append(body, r.After...)
+		e.u64(uint64(r.Page))
+		e.u32(uint32(len(r.After)))
+		e.b = append(e.b, r.After...)
 	case RecIdxInsert, RecIdxDelete:
-		put32(r.Idx)
-		put64(uint64(r.Page))
-		put64(uint64(r.Key))
-		put64(uint64(r.RID.Page))
-		put16(r.RID.Slot)
+		e.u32(r.Idx)
+		e.u64(uint64(r.Page))
+		e.u64(uint64(r.Key))
+		e.u64(uint64(r.RID.Page))
+		e.u16(r.RID.Slot)
 	case RecCheckpoint:
-		put64(uint64(r.Key)) // redo start bound (fuzzy checkpoint)
-		put32(uint32(len(r.Active)))
+		e.u64(uint64(r.Key)) // redo start bound (fuzzy checkpoint)
+		e.u32(uint32(len(r.Active)))
 		// Deterministic order is unnecessary for correctness but keeps
 		// log bytes reproducible: emit sorted by txid.
 		for _, tx := range sortedKeys(r.Active) {
-			put64(tx)
-			put64(r.Active[tx])
+			e.u64(tx)
+			e.u64(r.Active[tx])
 		}
 	}
-	rec := make([]byte, 0, 21+len(body))
-	rec = binary.LittleEndian.AppendUint32(rec, uint32(21+len(body)))
-	rec = append(rec, byte(r.Type))
-	rec = binary.LittleEndian.AppendUint64(rec, r.LSN)
-	rec = binary.LittleEndian.AppendUint64(rec, r.Tx)
-	rec = append(rec, body...)
-	return rec
+	binary.LittleEndian.PutUint32(e.b[start:], uint32(len(e.b)-start))
+	return e.b
 }
 
-// decodeRecord parses one record at the head of b (whose stream offset
-// is lsn). Returns nil if b is empty, truncated or corrupt.
-func decodeRecord(b []byte, lsn uint64) (*LogRecord, uint64) {
+// encodeRecord encodes r into a fresh slice.
+func encodeRecord(r *LogRecord) []byte { return encodeRecordTo(nil, r) }
+
+// recDec is the decode cursor mirroring recEnc.
+type recDec struct {
+	b   []byte
+	pos int
+}
+
+func (d *recDec) u16() uint16 { v := binary.LittleEndian.Uint16(d.b[d.pos:]); d.pos += 2; return v }
+func (d *recDec) u32() uint32 { v := binary.LittleEndian.Uint32(d.b[d.pos:]); d.pos += 4; return v }
+func (d *recDec) u64() uint64 { v := binary.LittleEndian.Uint64(d.b[d.pos:]); d.pos += 8; return v }
+
+// raw returns the next n stream bytes as a capacity-clamped subslice —
+// an alias, not a copy. The recovered stream is assembled once and
+// never rewritten, so decoded records may reference it directly; the
+// three-index slice keeps a caller's append from growing into the
+// following record's bytes.
+func (d *recDec) raw(n int) []byte {
+	v := d.b[d.pos : d.pos+n : d.pos+n]
+	d.pos += n
+	return v
+}
+
+func (d *recDec) bytes() []byte { return d.raw(int(d.u16())) }
+
+// decodeRecordInto parses one record at the head of b (whose stream
+// offset is lsn) into r, returning the encoded length — 0 if b is
+// empty, truncated or corrupt (r is then partially overwritten).
+// Payload fields (Before/After) alias b.
+func decodeRecordInto(r *LogRecord, b []byte, lsn uint64) uint64 {
 	if len(b) < 21 {
-		return nil, 0
+		return 0
 	}
 	total := binary.LittleEndian.Uint32(b)
 	if total < 21 || int(total) > len(b) {
-		return nil, 0
+		return 0
 	}
-	r := &LogRecord{
+	*r = LogRecord{
 		Type: RecType(b[4]),
 		LSN:  binary.LittleEndian.Uint64(b[5:]),
 		Tx:   binary.LittleEndian.Uint64(b[13:]),
 	}
 	if r.LSN != lsn {
-		return nil, 0 // stale bytes from a previous wrap
+		return 0 // stale bytes from a previous wrap
 	}
-	body := b[21:total]
-	pos := 0
-	get64 := func() uint64 { v := binary.LittleEndian.Uint64(body[pos:]); pos += 8; return v }
-	get32 := func() uint32 { v := binary.LittleEndian.Uint32(body[pos:]); pos += 4; return v }
-	get16 := func() uint16 { v := binary.LittleEndian.Uint16(body[pos:]); pos += 2; return v }
-	getBytes := func() []byte {
-		n := int(get16())
-		v := append([]byte(nil), body[pos:pos+n]...)
-		pos += n
-		return v
-	}
+	d := recDec{b: b[21:total]}
 	switch r.Type {
 	case RecBegin, RecCommit, RecAbort:
 	case RecHeapInsert:
-		r.Page = PageID(get64())
-		r.Slot = int(get16())
-		r.After = getBytes()
+		r.Page = PageID(d.u64())
+		r.Slot = int(d.u16())
+		r.After = d.bytes()
 	case RecHeapUpdate:
-		r.Page = PageID(get64())
-		r.Slot = int(get16())
-		r.Before = getBytes()
-		r.After = getBytes()
+		r.Page = PageID(d.u64())
+		r.Slot = int(d.u16())
+		r.Before = d.bytes()
+		r.After = d.bytes()
 	case RecHeapDelete:
-		r.Page = PageID(get64())
-		r.Slot = int(get16())
-		r.Before = getBytes()
+		r.Page = PageID(d.u64())
+		r.Slot = int(d.u16())
+		r.Before = d.bytes()
 	case RecPageImage:
-		r.Page = PageID(get64())
-		n := int(get32())
-		r.After = append([]byte(nil), body[pos:pos+n]...)
+		r.Page = PageID(d.u64())
+		r.After = d.raw(int(d.u32()))
 	case RecIdxInsert, RecIdxDelete:
-		r.Idx = get32()
-		r.Page = PageID(get64())
-		r.Key = int64(get64())
-		r.RID = RID{Page: PageID(get64()), Slot: get16()}
+		r.Idx = d.u32()
+		r.Page = PageID(d.u64())
+		r.Key = int64(d.u64())
+		r.RID = RID{Page: PageID(d.u64()), Slot: d.u16()}
 	case RecCheckpoint:
-		r.Key = int64(get64())
-		n := int(get32())
+		r.Key = int64(d.u64())
+		n := int(d.u32())
 		r.Active = make(map[uint64]uint64, n)
 		for i := 0; i < n; i++ {
-			tx := get64()
-			r.Active[tx] = get64()
+			tx := d.u64()
+			r.Active[tx] = d.u64()
 		}
 	default:
+		return 0
+	}
+	return uint64(total)
+}
+
+// decodeRecord parses one record at the head of b into a fresh
+// LogRecord. Returns nil if b is empty, truncated or corrupt.
+func decodeRecord(b []byte, lsn uint64) (*LogRecord, uint64) {
+	r := &LogRecord{}
+	n := decodeRecordInto(r, b, lsn)
+	if n == 0 {
 		return nil, 0
 	}
-	return r, uint64(total)
+	return r, n
 }
 
 func sortedKeys(m map[uint64]uint64) []uint64 {

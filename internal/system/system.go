@@ -22,7 +22,9 @@ import (
 	"noftl/internal/sim"
 	"noftl/internal/storage"
 	"noftl/internal/telemetry"
+	"noftl/internal/telemetry/blame"
 	"noftl/internal/telemetry/health"
+	"noftl/internal/trace"
 )
 
 // Stack names a storage architecture under comparison.
@@ -72,11 +74,19 @@ type System struct {
 	// for it): per-die wear heatmaps, per-region GC efficiency, the SLO
 	// engine and the optional live HTTP monitoring surface.
 	Health *health.Monitor
+	// CmdLog is the system-owned per-die command timeline feeding blame
+	// analysis (nil unless BuildOpts.Blame attached it). A user trace
+	// hook installed via Sched.Trace/WithTrace still fires: the builder
+	// chains it behind the log's recorder.
+	CmdLog *trace.CmdLog
 
 	// BackgroundGC records that the NoFTL volume was built for
 	// worker-driven GC; runners then start maintenance workers instead
 	// of piggybacking GC on the db-writers.
 	BackgroundGC bool
+
+	// blameCfg remembers the blame configuration for System.Blame.
+	blameCfg *blame.Config
 
 	// Log backing chosen by the stack: exactly one of logVol (page
 	// volume; nil selects the default zero-latency memory volume) and
@@ -116,6 +126,12 @@ type BuildOpts struct {
 	// evaluated at each sampler tick, and the optional live HTTP
 	// surface. Implies a default Telemetry config when none is set.
 	Health *health.Config
+	// Blame attaches the latency root-cause engine: a system-owned
+	// command log on the scheduler's trace hook (System.CmdLog) joined
+	// at System.Blame() time with the flight recorder's retained spans.
+	// Implies a scheduler (default priority) and telemetry with span
+	// retention.
+	Blame *blame.Config
 }
 
 // Build assembles a full system: NAND device, flash management (host-
@@ -135,6 +151,37 @@ func BuildWithOpts(stack Stack, devCfg flash.Config, frames int, opts BuildOpts)
 	s := &System{Stack: stack, Dev: dev, Ctx: storage.NewIOCtx(&sim.ClockWaiter{}), K: k,
 		BackgroundGC: opts.BackgroundGC}
 	pageSize := devCfg.Geometry.PageSize
+
+	if opts.Blame != nil {
+		// Blame needs the full command timeline and the spans to join it
+		// against: own a CmdLog on the trace hook (chaining any caller
+		// hook behind it) and force span retention. The scheduler and
+		// telemetry configs are copied before mutation so option values
+		// stay caller-owned.
+		sc := sched.Config{Policy: sched.Priority}
+		if opts.Sched != nil {
+			sc = *opts.Sched
+		}
+		log := &trace.CmdLog{}
+		if prev := sc.Trace; prev != nil {
+			sc.Trace = func(ev sched.Event) {
+				log.Record(ev)
+				prev(ev)
+			}
+		} else {
+			sc.Trace = log.Record
+		}
+		opts.Sched = &sc
+		s.CmdLog = log
+		s.blameCfg = opts.Blame
+
+		tc := telemetry.Config{}
+		if opts.Telemetry != nil {
+			tc = *opts.Telemetry
+		}
+		tc.RetainSpans = true
+		opts.Telemetry = &tc
+	}
 
 	var devs noftl.ClassDevs
 	if opts.Sched != nil {
@@ -510,6 +557,20 @@ func (s *System) Close() error {
 	return err
 }
 
+// Blame runs the latency root-cause engine over the system-owned
+// command log and the flight recorder's retained spans: per-command
+// queue waits attributed to the commands that occupied the die ahead,
+// aggregated into the victim×culprit interference matrix, per-span
+// blame decompositions and flame-graph exports. It returns nil unless
+// the system was built with BuildOpts.Blame. Call it after the run (it
+// analyzes whatever the log and recorder hold at that point).
+func (s *System) Blame() *blame.Report {
+	if s.CmdLog == nil || s.blameCfg == nil || s.Tel == nil {
+		return nil
+	}
+	return blame.Analyze(s.CmdLog.Events, s.Tel.Spans(), *s.blameCfg)
+}
+
 // Snapshot captures every layer's counters at one instant: the device,
 // the flash management (host- or device-side), the scheduler (zero
 // value without one), the buffer pool, the WAL and the per-region rows
@@ -641,6 +702,16 @@ func WithTelemetry(cfg telemetry.Config) Option {
 // default telemetry when no WithTelemetry option is given.
 func WithHealth(cfg health.Config) Option {
 	return func(o *BuildOpts) { o.Health = &cfg }
+}
+
+// WithBlame attaches the latency root-cause engine: the builder owns a
+// command log on the scheduler's trace hook and forces telemetry span
+// retention, so System.Blame() can join the per-die command timeline
+// with the retained request spans after a run. Implies a priority
+// scheduler when no scheduler option is given; composes with WithTrace
+// (the user hook chains behind the log's recorder) in either order.
+func WithBlame(cfg blame.Config) Option {
+	return func(o *BuildOpts) { o.Blame = &cfg }
 }
 
 // WithTrace registers a command-trace hook (one event per dispatched

@@ -170,6 +170,36 @@ func (t NoFTLTarget) Trim(w sim.Waiter, lpn int64) error { return t.V.Invalidate
 
 var _ Target = (ftl.FTL)(nil)
 
+// VolumeTarget adapts an engine-facing storage.Volume (e.g. a facade
+// System's data volume) as a replay target. Every op runs under Ctx, so
+// its request descriptor — class, tag, deadline, waiter — travels the
+// stack exactly like live engine traffic: replayed commands queue at
+// the scheduler and show up in command logs and blame reports. The
+// per-op waiter argument is ignored in favor of Ctx's.
+type VolumeTarget struct {
+	V   storage.Volume
+	Ctx *storage.IOCtx
+}
+
+// LogicalPages implements Target.
+func (t VolumeTarget) LogicalPages() int64 { return t.V.Pages() }
+
+// Read implements Target.
+func (t VolumeTarget) Read(_ sim.Waiter, lpn int64, buf []byte) error {
+	return t.V.ReadPage(t.Ctx, storage.PageID(lpn), buf)
+}
+
+// Write implements Target.
+func (t VolumeTarget) Write(_ sim.Waiter, lpn int64, data []byte) error {
+	return t.V.WritePage(t.Ctx, storage.PageID(lpn), data, storage.HintNone)
+}
+
+// Trim implements Target.
+func (t VolumeTarget) Trim(_ sim.Waiter, lpn int64) error {
+	t.V.Deallocate(storage.PageID(lpn))
+	return nil
+}
+
 // ReplayOptions controls a replay.
 type ReplayOptions struct {
 	// DropTrims replays without deallocation hints, modelling a stack

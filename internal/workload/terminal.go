@@ -30,6 +30,10 @@ type Terminal struct {
 type TerminalConfig struct {
 	// N is the number of terminal processes.
 	N int
+	// FirstID offsets terminal IDs: terminals number FirstID..FirstID+N-1.
+	// Span IDs derive from the terminal ID, so two terminal groups
+	// feeding one span sink (the QoS demo's tenants) must not overlap.
+	FirstID int
 	// Seed derives each terminal's private RNG (seed + id*7919).
 	Seed int64
 	// Think is idle time between transactions (0: closed loop).
@@ -70,7 +74,8 @@ type Terminals struct {
 // boundary.
 func StartTerminals(k *sim.Kernel, e *storage.Engine, wl Workload, cfg TerminalConfig) *Terminals {
 	ts := &Terminals{}
-	for i := 0; i < cfg.N; i++ {
+	for n := 0; n < cfg.N; n++ {
+		i := cfg.FirstID + n
 		term := &Terminal{ID: i}
 		ts.All = append(ts.All, term)
 		seed := cfg.Seed + int64(i)*7919

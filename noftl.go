@@ -386,6 +386,20 @@ type (
 	JSONResult = bench.JSONResult
 )
 
+// Stream tags of the QoS demo's two tenants (QoSResult rows and blame
+// tables key on these).
+const (
+	// TagHighPriority marks the QoS demo's foreground tenant.
+	TagHighPriority = bench.TagHighPriority
+	// TagLowPriority marks the QoS demo's declared-low-priority tenant.
+	TagLowPriority = bench.TagLowPriority
+)
+
+// QoSTagNames names the QoS demo's stream tags (the two tenants plus
+// the background db-writer and checkpointer streams) for blame tables
+// and flame stacks.
+func QoSTagNames() map[uint32]string { return bench.QoSTagNames() }
+
 // Scheduling-ablation regimes (A7).
 const (
 	// SchedInline runs GC inline on the allocating path, FCFS dispatch.
