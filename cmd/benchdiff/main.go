@@ -17,12 +17,18 @@
 // Usage:
 //
 //	benchdiff [-tps-drop 0.15] [-p99-rise 0.30] [-wa-rise 0.10] [-blame-shift 0.10] baseline.json new.json
+//
+// Exit status: 0 no regressions, 1 regression(s) past threshold,
+// 2 usage or malformed-input errors, 3 an input file does not exist (a
+// missing baseline is "nothing to compare against yet", not a match
+// failure — CI treats it differently from a breach).
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"sort"
@@ -31,27 +37,54 @@ import (
 	"noftl/internal/stats"
 )
 
-func main() {
+// Exit codes.
+const (
+	exitOK         = 0
+	exitRegression = 1
+	exitUsage      = 2
+	exitMissing    = 3
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		tpsDrop    = flag.Float64("tps-drop", 0.15, "max allowed TPS drop (fraction)")
-		p99Rise    = flag.Float64("p99-rise", 0.30, "max allowed commit-p99 rise (fraction)")
-		waRise     = flag.Float64("wa-rise", 0.10, "max allowed write-amplification rise (fraction)")
-		blameShift = flag.Float64("blame-shift", 0.10, "blame-share shift (absolute points) that prints a warn-only note")
+		tpsDrop    = fs.Float64("tps-drop", 0.15, "max allowed TPS drop (fraction)")
+		p99Rise    = fs.Float64("p99-rise", 0.30, "max allowed commit-p99 rise (fraction)")
+		waRise     = fs.Float64("wa-rise", 0.10, "max allowed write-amplification rise (fraction)")
+		blameShift = fs.Float64("blame-shift", 0.10, "blame-share shift (absolute points) that prints a warn-only note")
 	)
-	flag.Parse()
-	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [flags] baseline.json new.json")
-		flag.PrintDefaults()
-		os.Exit(2)
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(stderr, "usage: benchdiff [flags] baseline.json new.json")
+		fs.PrintDefaults()
+		return exitUsage
 	}
 
-	base, err := load(flag.Arg(0))
-	if err != nil {
-		fatal(err)
+	for i, role := range []string{"baseline", "new"} {
+		if _, err := os.Stat(fs.Arg(i)); os.IsNotExist(err) {
+			fmt.Fprintf(stderr, "benchdiff: %s file %s does not exist", role, fs.Arg(i))
+			if i == 0 {
+				fmt.Fprintf(stderr, " — nothing to diff against; create it with `noftlbench -json %s`", fs.Arg(0))
+			}
+			fmt.Fprintln(stderr)
+			return exitMissing
+		}
 	}
-	next, err := load(flag.Arg(1))
+
+	base, err := load(fs.Arg(0))
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return exitUsage
+	}
+	next, err := load(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return exitUsage
 	}
 
 	baseRows := index(base)
@@ -96,16 +129,22 @@ func main() {
 		}
 		blameRows(t, k, br.BlameShares, nr.BlameShares, *blameShift)
 	}
+	dropped := make([]string, 0, len(baseRows))
 	for k := range baseRows {
+		dropped = append(dropped, k)
+	}
+	sort.Strings(dropped)
+	for _, k := range dropped {
 		t.Row(k, "-", "-", "-", "-", "-", "row dropped")
 	}
-	fmt.Print(t.String())
+	fmt.Fprint(stdout, t.String())
 
 	if breaches > 0 {
-		fmt.Printf("\n%d regression(s) past threshold\n", breaches)
-		os.Exit(1)
+		fmt.Fprintf(stdout, "\n%d regression(s) past threshold\n", breaches)
+		return exitRegression
 	}
-	fmt.Println("\nno regressions past thresholds")
+	fmt.Fprintln(stdout, "\nno regressions past thresholds")
+	return exitOK
 }
 
 // blameRows adds one warn-only row per culprit class whose share of the
@@ -164,9 +203,4 @@ func index(r *bench.JSONReport) map[string]bench.JSONResult {
 		m[key(row)] = row
 	}
 	return m
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "benchdiff:", err)
-	os.Exit(1)
 }

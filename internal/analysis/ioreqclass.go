@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// IOReqClass enforces the PR-5 request-descriptor discipline that makes
+// the scheduler's QoS claims real: every I/O entering the stack says
+// what it is.
+//
+//   - An ioreq.Req composite literal outside package ioreq must set
+//     Class explicitly. A forgotten Class silently dispatches at the
+//     volume's fallback routing — exactly the "layered stack loses
+//     request semantics" failure the descriptor exists to prevent. A
+//     deliberately intent-free descriptor is spelled ioreq.Plain(w).
+//   - A zero-value storage.IOCtx{} handed to an API call falls back to
+//     a private serial clock at runtime; the NilCtxFallbacks counter
+//     catches that only on exercised paths. Build contexts with
+//     storage.NewIOCtx instead.
+var IOReqClass = &Analyzer{
+	Name: "ioreqclass",
+	Doc:  "flags ioreq.Req literals without an explicit Class and zero-value storage.IOCtx arguments",
+	Run:  runIOReqClass,
+}
+
+const (
+	ioreqPath   = "noftl/internal/ioreq"
+	storagePath = "noftl/internal/storage"
+)
+
+func runIOReqClass(pass *Pass) {
+	ownPkg := pass.BasePath() == ioreqPath
+	pass.Inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			if !ownPkg {
+				checkReqLit(pass, n)
+			}
+		case *ast.CallExpr:
+			checkZeroIOCtx(pass, n)
+		}
+		return true
+	})
+}
+
+// checkReqLit flags keyed (or empty) ioreq.Req literals that omit the
+// Class field. Positional literals necessarily spell every field, and
+// package ioreq itself builds intent-free descriptors by definition
+// (Plain, From), so it is exempt.
+func checkReqLit(pass *Pass, lit *ast.CompositeLit) {
+	tv, ok := pass.Info.Types[lit]
+	if !ok || !IsNamed(tv.Type, ioreqPath, "Req") {
+		return
+	}
+	positional := false
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			positional = true
+			break
+		}
+		if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Class" {
+			return
+		}
+	}
+	if positional {
+		return
+	}
+	pass.Reportf(lit.Pos(),
+		"ioreq.Req literal without an explicit Class: declare the scheduler class the request dispatches at (use ioreq.Plain for a deliberately intent-free descriptor)")
+}
+
+// checkZeroIOCtx flags a zero-value storage.IOCtx composite literal
+// used directly as a call argument or method receiver.
+func checkZeroIOCtx(pass *Pass, call *ast.CallExpr) {
+	exprs := append([]ast.Expr(nil), call.Args...)
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		exprs = append(exprs, sel.X)
+	}
+	for _, arg := range exprs {
+		e := ast.Unparen(arg)
+		if u, ok := e.(*ast.UnaryExpr); ok {
+			e = ast.Unparen(u.X)
+		}
+		lit, ok := e.(*ast.CompositeLit)
+		if !ok || len(lit.Elts) > 0 {
+			continue
+		}
+		tv, ok := pass.Info.Types[lit]
+		if !ok || !IsNamed(tv.Type, storagePath, "IOCtx") {
+			continue
+		}
+		pass.Reportf(arg.Pos(),
+			"zero-value storage.IOCtx passed to a call: it substitutes a private clock at runtime (counted by NilCtxFallbacks); build the context with storage.NewIOCtx")
+	}
+}

@@ -1,0 +1,38 @@
+// Fixture for the suppression mechanism: every function violates
+// determinism the same way, and what varies is the //noftl:ignore
+// directive. expect.txt shows which findings survive.
+package ignore
+
+import "time"
+
+// Paced carries a well-formed standalone directive: it silences exactly
+// the one determinism finding on the next line.
+func Paced() time.Time {
+	//noftl:ignore determinism fixture: sanctioned wall-clock use
+	return time.Now()
+}
+
+// Trailing carries the directive on the flagged line itself.
+func Trailing() time.Time {
+	return time.Now() //noftl:ignore determinism fixture: trailing form works too
+}
+
+// Bare omits the reason: the finding stays AND the directive itself is
+// reported under the "ignore" pseudo-analyzer.
+func Bare() time.Time {
+	//noftl:ignore determinism
+	return time.Now()
+}
+
+// Typo names an analyzer that doesn't exist: nothing is suppressed and
+// the typo is reported, so a misspelling can't silently eat findings.
+func Typo() time.Time {
+	//noftl:ignore determinsm misspelled names must not suppress anything
+	return time.Now()
+}
+
+// Naked has no fields at all.
+func Naked() time.Time {
+	//noftl:ignore
+	return time.Now()
+}

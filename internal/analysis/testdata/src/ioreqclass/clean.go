@@ -1,0 +1,22 @@
+// Nothing in this file may produce a diagnostic: these are the
+// sanctioned forms of the patterns flagged.go gets caught on.
+package ioreqclass
+
+import (
+	"noftl/internal/ioreq"
+	"noftl/internal/sim"
+	"noftl/internal/storage"
+)
+
+// Classed declares the scheduler class the request dispatches at.
+func Classed(w sim.Waiter) ioreq.Req {
+	return ioreq.Req{W: w, Class: ioreq.ClassGC}
+}
+
+// Intentless spells deliberate intent-freedom the sanctioned way.
+func Intentless(w sim.Waiter) ioreq.Req { return ioreq.Plain(w) }
+
+// PlumbedCtx builds the context with the constructor.
+func PlumbedCtx(data, logv storage.Volume) error {
+	return storage.Format(storage.NewIOCtx(&sim.ClockWaiter{}), data, logv)
+}

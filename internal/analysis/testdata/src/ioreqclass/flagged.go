@@ -1,0 +1,25 @@
+// Every declaration in this file must produce a diagnostic (see
+// expect.txt); clean.go holds the sanctioned counterparts.
+package ioreqclass
+
+import (
+	"noftl/internal/ioreq"
+	"noftl/internal/sim"
+	"noftl/internal/storage"
+)
+
+// Classless builds a descriptor that never says what it is.
+func Classless(w sim.Waiter) ioreq.Req {
+	return ioreq.Req{W: w}
+}
+
+// Empty is the zero descriptor spelled as a literal.
+func Empty() ioreq.Req { return ioreq.Req{} }
+
+// ZeroCtxArg hands a zero-value context to an engine API.
+func ZeroCtxArg(data, logv storage.Volume) error {
+	return storage.Format(&storage.IOCtx{}, data, logv)
+}
+
+// ZeroCtxRecv calls a method straight on a zero-value context.
+func ZeroCtxRecv() ioreq.Req { return (&storage.IOCtx{}).Req() }

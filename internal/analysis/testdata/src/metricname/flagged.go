@@ -1,0 +1,12 @@
+// Every registration in this file must produce a diagnostic (see
+// expect.txt); clean.go holds the sanctioned counterparts.
+package metricname
+
+import "noftl/internal/telemetry"
+
+// Register hands the registry names that break the layer.metric scheme.
+func Register(r *telemetry.Registry, suffix string) {
+	r.Counter("Flash.Erases", func() int64 { return 0 })
+	r.Gauge("noprefix", func() float64 { return 0 })
+	r.Counter(suffix+".count", func() int64 { return 0 })
+}

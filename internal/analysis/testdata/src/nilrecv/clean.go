@@ -1,0 +1,32 @@
+// Nothing in this file may produce a diagnostic: these are the
+// sanctioned forms of the patterns flagged.go gets caught on.
+package nilrecv
+
+// Gauge honours the contract in every exported method.
+type Gauge struct{ v int }
+
+// Add guards before the field write.
+func (g *Gauge) Add(d int) {
+	if g == nil {
+		return
+	}
+	g.v += d
+}
+
+// Value guards before the field read.
+func (g *Gauge) Value() int {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// value is unexported: the contract binds only the exported API.
+func (g *Gauge) value() int { return g.v }
+
+// Plain never nil-checks a receiver, so it never opted into the
+// contract; direct field access is fine.
+type Plain struct{ v int }
+
+// Value dereferences freely on the non-contract type.
+func (p *Plain) Value() int { return p.v }

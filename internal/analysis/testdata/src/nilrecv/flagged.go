@@ -1,0 +1,28 @@
+// Exported methods flagged here dereference a nil-safe receiver before
+// (or without) the nil guard; expect.txt lists them. clean.go holds the
+// sanctioned counterparts.
+package nilrecv
+
+// Probe opts into the nil-receiver contract (Start guards), so every
+// exported pointer-receiver method must guard before touching fields.
+type Probe struct{ n int }
+
+// Start follows the contract.
+func (p *Probe) Start() {
+	if p == nil {
+		return
+	}
+	p.n++
+}
+
+// Count touches p.n with no guard at all.
+func (p *Probe) Count() int { return p.n }
+
+// End reads the field before its guard.
+func (p *Probe) End() int {
+	v := p.n
+	if p == nil {
+		return 0
+	}
+	return v
+}

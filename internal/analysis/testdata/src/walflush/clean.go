@@ -1,0 +1,11 @@
+// Nothing in this file may produce a diagnostic: these are the
+// sanctioned forms of the patterns flagged.go gets caught on.
+package walflush
+
+import "noftl/internal/storage"
+
+// CommitFlush uses the commit-path flush, which escalates to the WAL
+// class on its own.
+func CommitFlush(w *storage.WAL, ctx *storage.IOCtx, upTo uint64) error {
+	return w.Flush(ctx, upTo)
+}

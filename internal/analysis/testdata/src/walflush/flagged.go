@@ -1,0 +1,11 @@
+// Every declaration in this file must produce a diagnostic (see
+// expect.txt); clean.go holds the sanctioned counterparts.
+package walflush
+
+import "noftl/internal/storage"
+
+// BackgroundFlush is not an allowlisted site: a FlushBg here would
+// queue commit records at this caller's (background) priority.
+func BackgroundFlush(w *storage.WAL, ctx *storage.IOCtx, upTo uint64) error {
+	return w.FlushBg(ctx, upTo)
+}

@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// WALFlush enforces the PR-5 shared-log priority-inversion guard:
+// WAL.Flush is the commit path (it always escalates to the WAL class,
+// because a group-commit flush covers other transactions' records);
+// WAL.FlushBg keeps the caller's background class and is legal only at
+// the known background flush sites — the buffer pool's write-back
+// (WAL-before-data) and the checkpointer. A FlushBg call anywhere else
+// re-opens the inversion window the guard closed: a low-priority
+// caller's flush would queue commit records at background priority.
+var WALFlush = &Analyzer{
+	Name: "walflush",
+	Doc:  "flags WAL.FlushBg calls outside the allowlisted background flush sites",
+	Run:  runWALFlush,
+}
+
+// WALFlushBgAllow lists the sanctioned FlushBg call sites as
+// "pkgpath.(recv).func" strings.
+var WALFlushBgAllow = map[string]bool{
+	// Write-back of a dirty frame: WAL-before-data at the flusher's
+	// declared class.
+	"noftl/internal/storage.(*BufferPool).writeFrame": true,
+	// The checkpointer flushing the log behind its checkpoint record.
+	"noftl/internal/storage.(*Engine).Checkpoint": true,
+}
+
+func runWALFlush(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			site := callSite(pass, fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := pass.Callee(call)
+				if fn == nil || fn.Name() != "FlushBg" || fn.Signature().Recv() == nil {
+					return true
+				}
+				if !IsNamed(fn.Signature().Recv().Type(), storagePath, "WAL") {
+					return true
+				}
+				if WALFlushBgAllow[site] {
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"WAL.FlushBg outside an allowlisted background flush site (%s): commit-path and foreground flushes must use WAL.Flush, which escalates to the WAL class (shared-log priority-inversion guard)", site)
+				return true
+			})
+		}
+	}
+}
+
+// callSite renders a declaration as "pkgpath.func" or
+// "pkgpath.(recv).func" for allowlist matching.
+func callSite(pass *Pass, fd *ast.FuncDecl) string {
+	base := pass.BasePath()
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return base + "." + fd.Name.Name
+	}
+	recv := ""
+	switch t := fd.Recv.List[0].Type.(type) {
+	case *ast.StarExpr:
+		if id, ok := baseIdent(t.X); ok {
+			recv = "*" + id
+		}
+	default:
+		if id, ok := baseIdent(t); ok {
+			recv = id
+		}
+	}
+	return fmt.Sprintf("%s.(%s).%s", base, recv, fd.Name.Name)
+}
+
+// baseIdent unwraps generics/parens down to a receiver type name.
+func baseIdent(e ast.Expr) (string, bool) {
+	switch t := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return t.Name, true
+	case *ast.IndexExpr:
+		return baseIdent(t.X)
+	case *ast.IndexListExpr:
+		return baseIdent(t.X)
+	}
+	return "", false
+}

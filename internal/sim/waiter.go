@@ -65,11 +65,13 @@ func NewRealWaiter(scale float64) *RealWaiter {
 	return &RealWaiter{scale: scale}
 }
 
+//noftl:ignore determinism RealWaiter is the sanctioned wall-clock bridge: it exists to pace a sim against real time
 func (w *RealWaiter) init() { w.once.Do(func() { w.start = time.Now() }) }
 
 // Now returns the elapsed wall-clock time since first use, scaled.
 func (w *RealWaiter) Now() Time {
 	w.init()
+	//noftl:ignore determinism RealWaiter maps the simulated timeline onto the wall clock by design
 	return Time(float64(time.Since(w.start)) * w.scale)
 }
 

@@ -1,7 +1,9 @@
 package storage
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 
 	"noftl/internal/delta"
 	"noftl/internal/ioreq"
@@ -844,10 +846,6 @@ func sortedFrames(m map[PageID]*Frame) []*Frame {
 	for _, f := range m {
 		fs = append(fs, f)
 	}
-	for i := 1; i < len(fs); i++ {
-		for j := i; j > 0 && fs[j-1].ID > fs[j].ID; j-- {
-			fs[j-1], fs[j] = fs[j], fs[j-1]
-		}
-	}
+	slices.SortFunc(fs, func(a, b *Frame) int { return cmp.Compare(a.ID, b.ID) })
 	return fs
 }

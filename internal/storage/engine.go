@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"slices"
 
 	"noftl/internal/sim"
 )
@@ -288,11 +289,7 @@ func (e *Engine) recover(ctx *IOCtx) error {
 	for id := range losers {
 		loserIDs = append(loserIDs, id)
 	}
-	for i := 1; i < len(loserIDs); i++ {
-		for j := i; j > 0 && loserIDs[j-1] > loserIDs[j]; j-- {
-			loserIDs[j-1], loserIDs[j] = loserIDs[j], loserIDs[j-1]
-		}
-	}
+	slices.Sort(loserIDs)
 	for _, id := range loserIDs {
 		undo := make([]undoRec, 0, len(losers[id]))
 		for _, r := range losers[id] {

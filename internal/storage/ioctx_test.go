@@ -19,6 +19,7 @@ func TestNilCtxFallbackCounted(t *testing.T) {
 	if rq := nilCtx.Req(); rq.W == nil {
 		t.Fatal("nil ctx must still yield a usable descriptor")
 	}
+	//noftl:ignore ioreqclass this test exists to prove the zero-value fallback is counted
 	if w := (&IOCtx{}).waiter(); w == nil {
 		t.Fatal("nil waiter must still yield a waiter")
 	}

@@ -98,7 +98,7 @@ func (c *IOCtx) Req() ioreq.Req {
 	if c == nil || c.W == nil {
 		nilCtxFallbacks.Add(1)
 		if c == nil {
-			return ioreq.Req{W: &sim.ClockWaiter{}}
+			return ioreq.Plain(&sim.ClockWaiter{})
 		}
 		return ioreq.Req{W: &sim.ClockWaiter{}, Class: c.Class, Tag: c.Tag, Deadline: c.Deadline, Span: c.Span}
 	}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"slices"
 
 	"noftl/internal/storage"
 )
@@ -514,11 +515,7 @@ func (t *TPCC) stockLevelTx(ctx *storage.IOCtx, e *storage.Engine, rng *rand.Ran
 		for iid := range items {
 			iids = append(iids, iid)
 		}
-		for i := 1; i < len(iids); i++ {
-			for j := i; j > 0 && iids[j-1] > iids[j]; j-- {
-				iids[j-1], iids[j] = iids[j], iids[j-1]
-			}
-		}
+		slices.Sort(iids)
 		low := 0
 		for _, iid := range iids {
 			_, srow, err := fetchByKey(ctx, e, tx, t.stockPK, t.stockKey(wid, iid))
