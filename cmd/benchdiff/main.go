@@ -14,9 +14,17 @@
 // as a breach — shifting blame composition is a diagnosis lead, not a
 // regression by itself.
 //
+// Per-tenant commit p99 columns (tenant_p99_us in serve rows) are
+// likewise warn-only: a tenant whose tail drifted by more than the
+// -tenant-p99 fraction prints "warn". The serve ablation's hard gates
+// stay the aggregate tps/p99 thresholds; the per-tenant split tells you
+// *which* tenant moved (the paying tenant drifting is a protection
+// regression lead, the batch tenant drifting usually just reflects
+// admission-control tuning).
+//
 // Usage:
 //
-//	benchdiff [-tps-drop 0.15] [-p99-rise 0.30] [-wa-rise 0.10] [-blame-shift 0.10] baseline.json new.json
+//	benchdiff [-tps-drop 0.15] [-p99-rise 0.30] [-wa-rise 0.10] [-blame-shift 0.10] [-tenant-p99 0.25] baseline.json new.json
 //
 // Exit status: 0 no regressions, 1 regression(s) past threshold,
 // 2 usage or malformed-input errors, 3 an input file does not exist (a
@@ -55,6 +63,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		p99Rise    = fs.Float64("p99-rise", 0.30, "max allowed commit-p99 rise (fraction)")
 		waRise     = fs.Float64("wa-rise", 0.10, "max allowed write-amplification rise (fraction)")
 		blameShift = fs.Float64("blame-shift", 0.10, "blame-share shift (absolute points) that prints a warn-only note")
+		tenantP99  = fs.Float64("tenant-p99", 0.25, "per-tenant commit-p99 drift (fraction, either direction) that prints a warn-only note")
 	)
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
@@ -128,6 +137,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 				verdict)
 		}
 		blameRows(t, k, br.BlameShares, nr.BlameShares, *blameShift)
+		tenantRows(t, k, br.TenantP99us, nr.TenantP99us, *tenantP99)
 	}
 	dropped := make([]string, 0, len(baseRows))
 	for k := range baseRows {
@@ -173,6 +183,38 @@ func blameRows(t *stats.Table, k string, base, next map[string]float64, shift fl
 		t.Row(k, "blame_share/"+c,
 			fmt.Sprintf("%.1f%%", 100*base[c]), fmt.Sprintf("%.1f%%", 100*next[c]),
 			fmt.Sprintf("%+.1fpp", 100*delta), fmt.Sprintf("%.0fpp", 100*shift),
+			verdict)
+	}
+}
+
+// tenantRows adds one warn-only row per tenant whose commit p99 drifted
+// past the threshold in either direction (serve rows carry the
+// per-tenant split). Drifts never count as breaches — the aggregate
+// gates decide; these columns say which tenant to look at.
+func tenantRows(t *stats.Table, k string, base, next map[string]float64, drift float64) {
+	if len(base) == 0 || len(next) == 0 {
+		return // either side has no per-tenant split: nothing to compare
+	}
+	tenants := make([]string, 0, len(base))
+	for name := range base {
+		if _, ok := next[name]; ok {
+			tenants = append(tenants, name)
+		}
+	}
+	sort.Strings(tenants)
+	for _, name := range tenants {
+		b, n := base[name], next[name]
+		if b <= 0 || n <= 0 {
+			continue
+		}
+		delta := n/b - 1
+		verdict := "ok"
+		if math.Abs(delta) > drift {
+			verdict = "warn"
+		}
+		t.Row(k, "tenant_p99_us/"+name,
+			fmt.Sprintf("%.4g", b), fmt.Sprintf("%.4g", n),
+			fmt.Sprintf("%+.1f%%", 100*delta), fmt.Sprintf("%.0f%%", 100*drift),
 			verdict)
 	}
 }

@@ -114,6 +114,57 @@ func TestExitCodes(t *testing.T) {
 	}
 }
 
+// TestTenantP99WarnOnly: serve rows carry a per-tenant commit-p99 split;
+// a tenant drifting past -tenant-p99 prints a warn row but never exits
+// nonzero — the aggregate thresholds stay the only hard gates.
+func TestTenantP99WarnOnly(t *testing.T) {
+	dir := t.TempDir()
+	serveRow := func(paying, batch float64) bench.JSONResult {
+		r := result("serve", "kv", "noftl-regions", 20000, 3000, 0)
+		r.Mode = "rate-limit+shed"
+		r.TenantP99us = map[string]float64{"paying": paying, "batch": batch}
+		return r
+	}
+	base := writeReport(t, dir, "base.json", bench.JSONReport{
+		Results: []bench.JSONResult{serveRow(3000, 50000)},
+	})
+	drifted := writeReport(t, dir, "drifted.json", bench.JSONReport{
+		Results: []bench.JSONResult{serveRow(5000, 51000)},
+	})
+	var out, errBuf strings.Builder
+	if code := run([]string{base, drifted}, &out, &errBuf); code != exitOK {
+		t.Fatalf("tenant drift must stay warn-only, exit = %d\n%s", code, out.String())
+	}
+	report := out.String()
+	if !strings.Contains(report, "tenant_p99_us/paying") {
+		t.Fatalf("per-tenant rows missing:\n%s", report)
+	}
+	payingLine := ""
+	batchLine := ""
+	for _, line := range strings.Split(report, "\n") {
+		if strings.Contains(line, "tenant_p99_us/paying") {
+			payingLine = line
+		}
+		if strings.Contains(line, "tenant_p99_us/batch") {
+			batchLine = line
+		}
+	}
+	if !strings.Contains(payingLine, "warn") {
+		t.Fatalf("paying tenant drifted +67%% but was not flagged: %q", payingLine)
+	}
+	if !strings.Contains(batchLine, "ok") || strings.Contains(batchLine, "warn") {
+		t.Fatalf("batch tenant moved +2%% but was flagged: %q", batchLine)
+	}
+	// Tightening the threshold flags both; the exit code still stays 0.
+	out.Reset()
+	if code := run([]string{"-tenant-p99", "0.01", base, drifted}, &out, &errBuf); code != exitOK {
+		t.Fatalf("warn-only rows must never breach, exit = %d", code)
+	}
+	if got := strings.Count(out.String(), "warn"); got < 2 {
+		t.Fatalf("tight threshold should warn on both tenants, got %d warns:\n%s", got, out.String())
+	}
+}
+
 // TestDroppedRowsSorted: rows present only in the baseline come from a
 // map; the report must list them in sorted order so reruns diff clean.
 func TestDroppedRowsSorted(t *testing.T) {

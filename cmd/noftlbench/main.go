@@ -14,6 +14,9 @@
 //	                          #     and the per-request-tagging ablation column)
 //	noftlbench -exp htap      # A8: HTAP — OLTP terminals vs analytical scans, pool policies
 //	noftlbench -exp qos       # per-request QoS demo: two tagged tenants, split p99
+//	noftlbench -exp serve     # serving front: record sessions + SLO-driven
+//	                          #     admission control (no-control vs rate-limit
+//	                          #     vs rate-limit+shed)
 //	noftlbench -exp ablations # design-choice sweeps (A1-A4)
 //	noftlbench -exp all
 //
@@ -36,7 +39,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: fig3|fig4a|fig4b|headline|latency|validate|delta|regions|sched|htap|qos|ablations|all")
+		exp     = flag.String("exp", "all", "experiment: fig3|fig4a|fig4b|headline|latency|validate|delta|regions|sched|htap|qos|serve|ablations|all")
 		jsonOut = flag.String("json", "", "write machine-readable results (TPS, WA, erases, bytes/tx) to this path")
 		seed    = flag.Int64("seed", 42, "deterministic seed")
 		txs     = flag.Int("txs", 4000, "transactions per workload (fig3)")
@@ -71,6 +74,14 @@ func main() {
 
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this path")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this path on exit")
+
+		serveClients   = flag.Int("serve-clients", 0, "total sessions for the serve ablation, split 1:3 paying:batch (0: default 800)")
+		serveRows      = flag.Int("serve-rows", 0, "per-store record count for the serve ablation (0: default 16384)")
+		serveDies      = flag.Int("serve-dies", 0, "dies for the serve ablation (0: default 8)")
+		serveMB        = flag.Int("serve-mb", 0, "drive MB for the serve ablation (0: default 64)")
+		serveBatchRate = flag.Float64("serve-batch-rate", 0, "batch tenant's contracted admission rate, req/s (0: default 1200)")
+		serveWarmMs    = flag.Int("serve-warm-ms", 0, "serve ablation warm-up, simulated ms (0: default 1000)")
+		serveSettleMs  = flag.Int("serve-settle-ms", 0, "serve ablation guard-settle window, simulated ms (0: default 1000)")
 
 		htapDies    = flag.Int("htap-dies", 0, "dies for the htap ablation (0: default 8)")
 		htapMB      = flag.Int("htap-mb", 0, "drive MB for the htap ablation (0: default 64)")
@@ -532,6 +543,55 @@ func main() {
 			return err
 		}
 		report.AddQoS(res)
+		return nil
+	})
+
+	run("serve", func() error {
+		cfg := noftl.ServeAblationConfig{
+			Dies:      *serveDies,
+			DriveMB:   *serveMB,
+			Clients:   *serveClients,
+			Rows:      int64(*serveRows),
+			Warm:      noftl.SimTime(*serveWarmMs) * noftl.Millisecond,
+			Settle:    noftl.SimTime(*serveSettleMs) * noftl.Millisecond,
+			Measure:   noftl.SimTime(*measure) * noftl.Second,
+			Seed:      *seed,
+			BatchRate: *serveBatchRate,
+		}
+		if telemetryOn {
+			cfg.Telemetry = newTelemetryCfg()
+		}
+		res, err := noftl.ServeAblation(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Serving front: record sessions under admission control")
+		fmt.Println("(uncontended reference, then no-control vs rate-limit vs rate-limit+shed)")
+		fmt.Print(res.Table())
+		fmt.Printf("paying p99 vs uncontended: no-control %.2fx, rate-limit %.2fx, rate-limit+shed %.2fx\n",
+			res.ProtectionRatio(noftl.ControlNone.String()),
+			res.ProtectionRatio(noftl.ControlRateLimit.String()),
+			res.ProtectionRatio(noftl.ControlFull.String()))
+		if full := res.Row(noftl.ControlFull.String()); full != nil {
+			fmt.Printf("full regime: %d admitted, %d deprioritized, %d shed\n",
+				full.Front.Admitted, full.Front.Deprioritized, full.Front.Shed)
+		}
+		fmt.Println()
+		report.AddServe(res)
+		last := res.Row(noftl.ControlFull.String())
+		if telemetryOn && last != nil {
+			if err := exportTelemetry(last.Mode, last.Tel, nil); err != nil {
+				return err
+			}
+		}
+		if *promOut != "" && last != nil && last.Tel != nil {
+			if err := writeFileWith(*promOut, func(f *os.File) error {
+				return noftl.WritePrometheus(f, last.Tel.Reg, 0)
+			}); err != nil {
+				return err
+			}
+			fmt.Printf("wrote Prometheus dump (%s) to %s\n", last.Mode, *promOut)
+		}
 		return nil
 	})
 

@@ -73,6 +73,10 @@ func TestAnalyzerGoldens(t *testing.T) {
 	}{
 		{"determinism", []*Analyzer{Determinism}},
 		{"ioreqclass", []*Analyzer{IOReqClass}},
+		// The serve fixture exercises ioreqclass's serve-layer tag rule
+		// (scoped by the "/serve" import-path suffix, which the fixture
+		// directory shares with noftl/internal/serve).
+		{"serve", []*Analyzer{IOReqClass}},
 		{"walflush", []*Analyzer{WALFlush}},
 		{"nilrecv", []*Analyzer{NilRecv}},
 		{"metricname", []*Analyzer{MetricName}},

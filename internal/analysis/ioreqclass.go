@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"strings"
 )
 
 // IOReqClass enforces the PR-5 request-descriptor discipline that makes
@@ -17,9 +18,17 @@ import (
 //     a private serial clock at runtime; the NilCtxFallbacks counter
 //     catches that only on exercised paths. Build contexts with
 //     storage.NewIOCtx instead.
+//   - In serve-layer packages (import path suffix "/serve"), a keyed
+//     ioreq.Req or storage.IOCtx literal must also set Tag: the serving
+//     front's whole point is that every request carries its tenant's
+//     stream tag down to the die queues, and a tagless context built
+//     inside the front dispatches anonymously — admission accounting,
+//     per-tenant blame and the burn-rate guard all lose that request.
+//     Session.admit stamps the full descriptor; new serve code should
+//     derive contexts from it rather than building bare ones.
 var IOReqClass = &Analyzer{
 	Name: "ioreqclass",
-	Doc:  "flags ioreq.Req literals without an explicit Class and zero-value storage.IOCtx arguments",
+	Doc:  "flags ioreq.Req literals without an explicit Class, zero-value storage.IOCtx arguments, and tagless request literals in serve-layer packages",
 	Run:  runIOReqClass,
 }
 
@@ -30,11 +39,15 @@ const (
 
 func runIOReqClass(pass *Pass) {
 	ownPkg := pass.BasePath() == ioreqPath
+	serveLayer := strings.HasSuffix(pass.BasePath(), "/serve")
 	pass.Inspect(func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.CompositeLit:
 			if !ownPkg {
 				checkReqLit(pass, n)
+			}
+			if serveLayer {
+				checkServeTag(pass, n)
 			}
 		case *ast.CallExpr:
 			checkZeroIOCtx(pass, n)
@@ -68,6 +81,41 @@ func checkReqLit(pass *Pass, lit *ast.CompositeLit) {
 	}
 	pass.Reportf(lit.Pos(),
 		"ioreq.Req literal without an explicit Class: declare the scheduler class the request dispatches at (use ioreq.Plain for a deliberately intent-free descriptor)")
+}
+
+// checkServeTag flags keyed (or empty) request literals in serve-layer
+// packages that omit the Tag field. Positional literals spell every
+// field and are exempt, like checkReqLit.
+func checkServeTag(pass *Pass, lit *ast.CompositeLit) {
+	tv, ok := pass.Info.Types[lit]
+	if !ok {
+		return
+	}
+	var kind string
+	switch {
+	case IsNamed(tv.Type, ioreqPath, "Req"):
+		kind = "ioreq.Req"
+	case IsNamed(tv.Type, storagePath, "IOCtx"):
+		kind = "storage.IOCtx"
+	default:
+		return
+	}
+	positional := false
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			positional = true
+			break
+		}
+		if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Tag" {
+			return
+		}
+	}
+	if positional {
+		return
+	}
+	pass.Reportf(lit.Pos(),
+		"serve-layer %s literal without a tenant Tag: every request the serving front issues must carry its tenant's stream tag (Session.admit stamps the full descriptor — derive from it)", kind)
 }
 
 // checkZeroIOCtx flags a zero-value storage.IOCtx composite literal

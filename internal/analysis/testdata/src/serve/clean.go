@@ -1,0 +1,20 @@
+// Nothing in this file may produce a diagnostic: these are the
+// sanctioned forms of the patterns flagged.go gets caught on.
+package serve
+
+import (
+	"noftl/internal/ioreq"
+	"noftl/internal/sim"
+	"noftl/internal/storage"
+)
+
+// Stamped carries the tenant's full request descriptor — class, stream
+// tag, deadline — the way Session.admit builds contexts.
+func Stamped(w sim.Waiter, tag uint32, deadline sim.Time) *storage.IOCtx {
+	return &storage.IOCtx{W: w, Class: ioreq.ClassRead, Tag: tag, Deadline: deadline}
+}
+
+// TaggedReq attributes the descriptor to its tenant's stream.
+func TaggedReq(w sim.Waiter, tag uint32) ioreq.Req {
+	return ioreq.Req{W: w, Class: ioreq.ClassProgram, Tag: tag}
+}

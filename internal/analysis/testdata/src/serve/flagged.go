@@ -1,0 +1,27 @@
+// Every declaration in this file must produce a diagnostic (see
+// expect.txt); clean.go holds the sanctioned counterparts. The
+// serve-layer tag rule scopes by import-path suffix "/serve", so this
+// fixture stands in for noftl/internal/serve.
+package serve
+
+import (
+	"noftl/internal/ioreq"
+	"noftl/internal/sim"
+	"noftl/internal/storage"
+)
+
+// TaglessCtx stamps class and deadline but drops the tenant's stream
+// tag — the request reaches the die queues anonymous, invisible to
+// admission accounting and per-tenant blame.
+func TaglessCtx(w sim.Waiter) *storage.IOCtx {
+	return &storage.IOCtx{W: w, Class: ioreq.ClassRead, Deadline: 5 * sim.Millisecond}
+}
+
+// TaglessReq builds a classed descriptor with no tenant attribution.
+func TaglessReq(w sim.Waiter) ioreq.Req {
+	return ioreq.Req{W: w, Class: ioreq.ClassRead}
+}
+
+// EmptyCtx is the zero context spelled as a literal: tagless (and
+// classless) by construction.
+func EmptyCtx() *storage.IOCtx { return &storage.IOCtx{} }

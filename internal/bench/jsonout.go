@@ -5,6 +5,7 @@ import (
 	"os"
 
 	"noftl/internal/sim"
+	"noftl/internal/stats"
 )
 
 // Machine-readable experiment results: noftlbench -json <path> collects
@@ -65,6 +66,14 @@ type JSONResult struct {
 	// class (fractions of 1; blame-enabled runs). For QoS rows the
 	// victim is the row's tenant; elsewhere it aggregates every victim.
 	BlameShares map[string]float64 `json:"blame_shares,omitempty"`
+	// Serving-front accounting (serve experiment): per-tenant
+	// throughput and commit tails, plus the admission controller's
+	// decision counters for the row's regime.
+	TenantTPS     map[string]float64 `json:"tenant_tps,omitempty"`
+	TenantP99us   map[string]float64 `json:"tenant_p99_us,omitempty"`
+	Admitted      int64              `json:"admitted,omitempty"`
+	Deprioritized int64              `json:"deprioritized,omitempty"`
+	Shed          int64              `json:"shed,omitempty"`
 }
 
 func us(t sim.Time) float64 { return float64(t) / float64(sim.Microsecond) }
@@ -207,6 +216,48 @@ func (r *JSONReport) AddQoS(res *QoSResult) {
 		if res.Blame != nil {
 			jr.BlameShares = res.Blame.ShareMap(row.Tag)
 		}
+		r.Results = append(r.Results, jr)
+	}
+}
+
+// AddServe appends the serving-front ablation's rows: one per regime
+// (uncontended reference included), headline fields over both tenants
+// and the per-tenant split in the tenant maps.
+func (r *JSONReport) AddServe(res *ServeResult) {
+	rows := append([]ServeRow{res.Uncontended}, res.Rows...)
+	for i := range rows {
+		row := &rows[i]
+		jr := JSONResult{
+			Experiment:    "serve",
+			Workload:      "kv",
+			Stack:         string(StackNoFTLRegions),
+			Mode:          row.Mode,
+			Admitted:      row.Front.Admitted,
+			Deprioritized: row.Front.Deprioritized,
+			Shed:          row.Front.Shed,
+			TenantTPS:     map[string]float64{},
+			TenantP99us:   map[string]float64{},
+		}
+		var committed int64
+		var hist stats.Histogram
+		var misses int64
+		for _, tr := range row.Tenants {
+			committed += tr.Committed
+			hist.AddHist(&tr.Commit)
+			misses += tr.DeadlineMisses
+			jr.TenantTPS[tr.Name] = tr.TPS
+			jr.TenantP99us[tr.Name] = us(tr.Commit.Percentile(99))
+		}
+		jr.Committed = committed
+		// The tenant rows carry TPS over the measure window; the
+		// headline TPS is their sum.
+		for _, tr := range row.Tenants {
+			jr.TPS += tr.TPS
+		}
+		jr.CommitP50us = us(hist.Percentile(50))
+		jr.CommitP95us = us(hist.Percentile(95))
+		jr.CommitP99us = us(hist.Percentile(99))
+		jr.DeadlineMisses = misses
 		r.Results = append(r.Results, jr)
 	}
 }

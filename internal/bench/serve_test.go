@@ -1,0 +1,156 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"noftl/internal/serve"
+	"noftl/internal/sim"
+	"noftl/internal/telemetry"
+)
+
+func tinyServeConfig(seed int64) ServeConfig {
+	return ServeConfig{
+		Dies:    4,
+		DriveMB: 24,
+		Frames:  192,
+		Writers: 4,
+		Clients: 120,
+		Rows:    2048,
+		Warm:    300 * sim.Millisecond,
+		Settle:  600 * sim.Millisecond,
+		Measure: 1 * sim.Second,
+		Seed:    seed,
+	}
+}
+
+// TestServeAblationSmoke runs the admission ablation at tiny geometry
+// and checks the structure the experiment is about: both tenants make
+// progress everywhere, the uncontrolled regime lets the batch tenant
+// hurt the paying one, rate limiting paces the batch tenant to its
+// contract, and the full regime visibly deprioritizes and sheds it
+// while the paying tenant's tail recovers toward its uncontended
+// baseline.
+func TestServeAblationSmoke(t *testing.T) {
+	res, err := Serve(tinyServeConfig(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 regimes", len(res.Rows))
+	}
+	if got := res.Uncontended.Tenant(payingTenant); got == nil || got.Committed == 0 {
+		t.Fatal("uncontended reference committed nothing")
+	}
+	for i := range res.Rows {
+		row := &res.Rows[i]
+		for _, tr := range row.Tenants {
+			if tr.Committed == 0 {
+				t.Fatalf("%s/%s committed nothing", row.Mode, tr.Name)
+			}
+			if tr.Admission.Admitted == 0 {
+				t.Fatalf("%s/%s admitted nothing", row.Mode, tr.Name)
+			}
+		}
+		if row.Front.Admitted == 0 {
+			t.Fatalf("%s: front admitted nothing", row.Mode)
+		}
+	}
+
+	none := res.Row(serve.ControlNone.String())
+	rate := res.Row(serve.ControlRateLimit.String())
+	full := res.Row(serve.ControlFull.String())
+
+	// No control: nothing deprioritized or shed, and the batch tenant
+	// runs way past its contracted rate.
+	if none.Front.Deprioritized != 0 || none.Front.Shed != 0 {
+		t.Fatalf("no-control regime controlled something: %+v", none.Front)
+	}
+	cfg := tinyServeConfig(42).withDefaults()
+	if b := none.Tenant(batchTenant); b.TPS < 2*cfg.BatchRate {
+		t.Fatalf("no-control batch TPS %.0f: load too weak to demonstrate anything (rate %.0f)",
+			b.TPS, cfg.BatchRate)
+	}
+
+	// Rate limit: batch paced to its contract (±20%), never shed.
+	if b := rate.Tenant(batchTenant); b.TPS > 1.2*cfg.BatchRate {
+		t.Fatalf("rate-limit batch TPS %.0f over contract %.0f", b.TPS, cfg.BatchRate)
+	}
+	if rate.Front.Shed != 0 {
+		t.Fatalf("rate-limit regime shed requests: %+v", rate.Front)
+	}
+
+	// Full control: the batch tenant burns its budget, gets deprioritized
+	// and shed; the paying tenant's p99 lands within 1.2x of uncontended.
+	fb := full.Tenant(batchTenant)
+	if fb.Admission.Deprioritized == 0 || fb.Admission.Shed == 0 {
+		t.Fatalf("full regime never punished the breaching tenant: %+v", fb.Admission)
+	}
+	if fb.Admission.State == serve.Healthy {
+		t.Fatalf("breaching tenant ended healthy: %+v", fb.Admission)
+	}
+	if fp := full.Tenant(payingTenant); fp.Admission.Shed != 0 {
+		t.Fatalf("compliant tenant was shed: %+v", fp.Admission)
+	}
+	if ratio := res.ProtectionRatio(serve.ControlFull.String()); ratio == 0 || ratio > 1.2 {
+		t.Fatalf("paying p99 protection ratio %.2f under full control, want (0, 1.2]", ratio)
+	}
+}
+
+// TestServeTelemetryExport: the serve.* metrics reach the registry and
+// the Prometheus rendering, with the admission counters nonzero in the
+// full regime.
+func TestServeTelemetryExport(t *testing.T) {
+	cfg := tinyServeConfig(9)
+	row, err := runServeMode(cfg.withDefaults(), serve.ControlFull, true, "rate-limit+shed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Tel == nil {
+		t.Fatal("no telemetry attached")
+	}
+	prom := string(telemetry.PromText(row.Tel.Reg, 0))
+	for _, want := range []string{
+		"serve_admitted", "serve_shed", "serve_deprioritized",
+		"serve_active_sessions", "serve_tenant_batch_shed",
+		"serve_tenant_batch_state", "serve_tenant_paying_admitted",
+		"serve_tenant_paying_commit_p99_us",
+	} {
+		if !strings.Contains(prom, want) {
+			t.Fatalf("prometheus export missing %s:\n%.2000s", want, prom)
+		}
+	}
+	// The breaching tenant's shed counter must be visibly nonzero.
+	for _, line := range strings.Split(prom, "\n") {
+		if strings.HasPrefix(line, "serve_tenant_batch_shed") {
+			if strings.HasSuffix(strings.TrimSpace(line), " 0") {
+				t.Fatalf("batch shed counter exported as zero: %q", line)
+			}
+		}
+	}
+}
+
+// TestServeDeterministicJSON is the reproducibility regression: two
+// identical serve ablations must produce byte-identical machine-
+// readable output.
+func TestServeDeterministicJSON(t *testing.T) {
+	render := func() []byte {
+		res, err := Serve(tinyServeConfig(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		report := &JSONReport{Seed: 7}
+		report.AddServe(res)
+		out, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := render(), render()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("two identical serve runs diverged:\n%s\n---\n%s", a, b)
+	}
+}

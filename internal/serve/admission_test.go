@@ -1,0 +1,301 @@
+package serve
+
+import (
+	"testing"
+
+	"noftl/internal/ioreq"
+	"noftl/internal/sim"
+)
+
+// newFront builds an engine-less front for controller-only tests (the
+// ladder and the buckets never touch storage).
+func newFront(t *testing.T, cfg Config) *Front {
+	t.Helper()
+	f, err := New(nil, cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return f
+}
+
+func guardCfg() Config {
+	return Config{
+		Tenants: []TenantSpec{{
+			Name:       "batch",
+			Tag:        7,
+			Deadline:   2 * sim.Millisecond,
+			MissBudget: 0.05,
+			Rate:       1000,
+			Burst:      2,
+		}},
+		Control: ControlFull,
+	}
+}
+
+// window advances the tenant's burn window by dc commits of which dm
+// missed their deadline, as cumulative telemetry tallies would.
+func window(f *Front, t *tenant, dc, dm int64) {
+	f.observeTenant(t, t.lastCommits+dc, t.lastMisses+dm)
+}
+
+// TestEscalationLadder walks healthy → deprioritized → shed on
+// sustained breach, with the escalation hysteresis pinned exactly:
+// EscalateAfter consecutive breached windows per level.
+func TestEscalationLadder(t *testing.T) {
+	f := newFront(t, guardCfg())
+	tn := f.byName["batch"]
+
+	// Burn 100/1000/0.05 = 2x budget: breached window.
+	window(f, tn, 1000, 100)
+	if tn.state != Healthy {
+		t.Fatalf("after 1 breach: state %v, want healthy (EscalateAfter=2)", tn.state)
+	}
+	window(f, tn, 1000, 100)
+	if tn.state != Deprioritized {
+		t.Fatalf("after 2 breaches: state %v, want deprioritized", tn.state)
+	}
+	window(f, tn, 1000, 100)
+	if tn.state != Deprioritized {
+		t.Fatalf("breach streak must restart per level, got %v", tn.state)
+	}
+	window(f, tn, 1000, 100)
+	if tn.state != Shed {
+		t.Fatalf("after 2 more breaches: state %v, want shed", tn.state)
+	}
+	// Shed is the floor: further breaches hold it.
+	window(f, tn, 1000, 100)
+	window(f, tn, 1000, 100)
+	if tn.state != Shed {
+		t.Fatalf("shed must be terminal under breach, got %v", tn.state)
+	}
+	if tn.escalations != 2 {
+		t.Fatalf("escalations = %d, want 2", tn.escalations)
+	}
+}
+
+// TestDeadBandResetsStreaks: a window between RelaxBelow and 1x budget
+// is neither breach nor clean — it must reset both streaks so flapping
+// traffic cannot creep a tenant across a threshold.
+func TestDeadBandResetsStreaks(t *testing.T) {
+	f := newFront(t, guardCfg())
+	tn := f.byName["batch"]
+
+	window(f, tn, 1000, 100) // breach 1 of 2
+	window(f, tn, 1000, 40)  // burn 0.8x: dead band, streak resets
+	window(f, tn, 1000, 100) // breach 1 of 2 again
+	if tn.state != Healthy {
+		t.Fatalf("dead band failed to reset breach streak: state %v", tn.state)
+	}
+	window(f, tn, 1000, 100) // breach 2 of 2
+	if tn.state != Deprioritized {
+		t.Fatalf("state %v, want deprioritized", tn.state)
+	}
+
+	// Same on the way back: cleans interrupted by the dead band restart.
+	window(f, tn, 1000, 0) // clean 1..3 of 4
+	window(f, tn, 1000, 0)
+	window(f, tn, 1000, 0)
+	window(f, tn, 1000, 40) // dead band
+	window(f, tn, 1000, 0)  // clean 1 of 4
+	if tn.state != Deprioritized {
+		t.Fatalf("dead band failed to reset clean streak: state %v", tn.state)
+	}
+}
+
+// TestRelaxationLadder: RelaxAfter consecutive clean windows walk the
+// tenant back one level at a time.
+func TestRelaxationLadder(t *testing.T) {
+	f := newFront(t, guardCfg())
+	tn := f.byName["batch"]
+	for i := 0; i < 4; i++ { // to shed
+		window(f, tn, 1000, 100)
+	}
+	if tn.state != Shed {
+		t.Fatalf("setup: state %v, want shed", tn.state)
+	}
+	for i := 0; i < 4; i++ { // RelaxAfter=4 cleans
+		window(f, tn, 1000, 10) // burn 0.2x < RelaxBelow 0.5
+	}
+	if tn.state != Deprioritized {
+		t.Fatalf("after 4 cleans: state %v, want deprioritized", tn.state)
+	}
+	for i := 0; i < 3; i++ {
+		window(f, tn, 1000, 10)
+	}
+	if tn.state != Deprioritized {
+		t.Fatalf("clean streak must restart per level, got %v", tn.state)
+	}
+	window(f, tn, 1000, 10)
+	if tn.state != Healthy {
+		t.Fatalf("after 4 more cleans: state %v, want healthy", tn.state)
+	}
+	if tn.relaxations != 2 {
+		t.Fatalf("relaxations = %d, want 2", tn.relaxations)
+	}
+}
+
+// TestZeroCommitWindows: silent windows hold state — except a fully
+// shed tenant, whose silence (it commits nothing because everything is
+// rejected) must count toward relaxation or it would starve forever.
+func TestZeroCommitWindows(t *testing.T) {
+	f := newFront(t, guardCfg())
+	tn := f.byName["batch"]
+
+	// Healthy + silent: nothing moves.
+	window(f, tn, 0, 0)
+	window(f, tn, 0, 0)
+	if tn.state != Healthy || tn.breaches != 0 || tn.cleans != 0 {
+		t.Fatalf("silent healthy window moved state: %+v", tn)
+	}
+
+	// Deprioritized + silent: held (the tenant may just be idle).
+	window(f, tn, 1000, 100)
+	window(f, tn, 1000, 100)
+	for i := 0; i < 10; i++ {
+		window(f, tn, 0, 0)
+	}
+	if tn.state != Deprioritized {
+		t.Fatalf("silent deprioritized windows moved state to %v", tn.state)
+	}
+
+	// Shed + silent: counts clean (anti-starvation path).
+	window(f, tn, 1000, 100)
+	window(f, tn, 1000, 100)
+	if tn.state != Shed {
+		t.Fatalf("setup: state %v, want shed", tn.state)
+	}
+	for i := 0; i < 4; i++ {
+		window(f, tn, 0, 0)
+	}
+	if tn.state != Deprioritized {
+		t.Fatalf("4 silent shed windows: state %v, want deprioritized", tn.state)
+	}
+}
+
+// TestGuardDisabled: MissBudget 0 never moves a tenant regardless of
+// traffic.
+func TestGuardDisabled(t *testing.T) {
+	cfg := guardCfg()
+	cfg.Tenants[0].MissBudget = 0
+	f := newFront(t, cfg)
+	tn := f.byName["batch"]
+	for i := 0; i < 10; i++ {
+		window(f, tn, 100, 100) // every commit misses
+	}
+	if tn.state != Healthy {
+		t.Fatalf("guard ran with MissBudget=0: state %v", tn.state)
+	}
+}
+
+// TestAdmitRegimes pins the three control regimes' decisions against
+// one tenant with a drained bucket.
+func TestAdmitRegimes(t *testing.T) {
+	for _, tc := range []struct {
+		control Control
+		state   TenantState
+		shed    bool
+		paced   bool
+	}{
+		{ControlNone, Shed, false, false},         // passthrough ignores everything
+		{ControlRateLimit, Shed, false, true},     // pacing only, never rejects
+		{ControlFull, Deprioritized, false, true}, // deprioritized still paces
+		{ControlFull, Shed, true, false},          // shed + empty bucket rejects
+	} {
+		cfg := guardCfg()
+		cfg.Control = tc.control
+		f := newFront(t, cfg)
+		tn := f.byName["batch"]
+		tn.state = tc.state
+		if tc.control != ControlNone {
+			// Drain the burst at t=0.
+			for i := 0; i < tn.spec.Burst; i++ {
+				d := f.admit(tn, 0)
+				if d.shed || d.wait > 0 {
+					t.Fatalf("%v/%v: burst token %d not admitted: %+v", tc.control, tc.state, i, d)
+				}
+			}
+		}
+		d := f.admit(tn, 0)
+		if d.shed != tc.shed {
+			t.Fatalf("%v/%v: shed = %v, want %v", tc.control, tc.state, d.shed, tc.shed)
+		}
+		if tc.paced && d.wait == 0 {
+			t.Fatalf("%v/%v: expected pacing wait, got %+v", tc.control, tc.state, d)
+		}
+		if !tc.paced && !tc.shed && d.wait != 0 {
+			t.Fatalf("%v/%v: unexpected pacing wait %v", tc.control, tc.state, d.wait)
+		}
+		if tc.shed {
+			// The shed retry must respect the backoff floor (500µs default
+			// > the bucket's 1ms-per-token readyAt? No: readyAt=1ms wins).
+			if d.retry < 500*sim.Microsecond {
+				t.Fatalf("shed retry %v under backoff floor", d.retry)
+			}
+		}
+	}
+}
+
+// TestDegradedClass: under ControlFull a non-healthy tenant's admitted
+// requests carry the degraded class; under ControlRateLimit the class
+// never changes.
+func TestDegradedClass(t *testing.T) {
+	cfg := guardCfg()
+	cfg.Tenants[0].Class = ioreq.ClassRead
+	f := newFront(t, cfg)
+	tn := f.byName["batch"]
+	if d := f.admit(tn, 0); d.class != ioreq.ClassRead {
+		t.Fatalf("healthy class %v, want ClassRead", d.class)
+	}
+	tn.state = Deprioritized
+	if d := f.admit(tn, sim.Second); d.class != ioreq.ClassPrefetch {
+		t.Fatalf("deprioritized class %v, want default degraded ClassPrefetch", d.class)
+	}
+
+	cfg.Control = ControlRateLimit
+	f2 := newFront(t, cfg)
+	tn2 := f2.byName["batch"]
+	tn2.state = Deprioritized // the guard never sets this under rate-limit, but be sure
+	if d := f2.admit(tn2, 0); d.class != ioreq.ClassRead {
+		t.Fatalf("rate-limit regime reclassified to %v", d.class)
+	}
+}
+
+// TestUnlimitedTenantNeverShed: Rate 0 means no bucket, so even a shed
+// tenant's requests are admitted (at the degraded class) — shedding is
+// only meaningful against a rate contract.
+func TestUnlimitedTenantNeverShed(t *testing.T) {
+	cfg := guardCfg()
+	cfg.Tenants[0].Rate = 0
+	f := newFront(t, cfg)
+	tn := f.byName["batch"]
+	tn.state = Shed
+	for i := 0; i < 100; i++ {
+		d := f.admit(tn, 0)
+		if d.shed || d.wait > 0 {
+			t.Fatalf("unlimited tenant paced/shed: %+v", d)
+		}
+		if d.class != ioreq.ClassPrefetch {
+			t.Fatalf("shed unlimited tenant not degraded: class %v", d.class)
+		}
+	}
+	st, _ := f.TenantStats("batch")
+	if st.Admitted != 100 || st.Deprioritized != 100 || st.Shed != 0 {
+		t.Fatalf("stats %+v, want 100 admitted, 100 deprioritized, 0 shed", st)
+	}
+}
+
+// TestCatalogValidation: duplicate names/tags and zero tags are
+// construction errors.
+func TestCatalogValidation(t *testing.T) {
+	bad := []Config{
+		{Tenants: []TenantSpec{{Name: "", Tag: 1}}},
+		{Tenants: []TenantSpec{{Name: "a", Tag: 0}}},
+		{Tenants: []TenantSpec{{Name: "a", Tag: 1}, {Name: "b", Tag: 1}}},
+		{Tenants: []TenantSpec{{Name: "a", Tag: 1}, {Name: "a", Tag: 2}}},
+	}
+	for i, cfg := range bad {
+		if _, err := New(nil, cfg); err == nil {
+			t.Fatalf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package serve
+
+import "noftl/internal/sim"
+
+// bucket is a deterministic token bucket on the simulation clock. All
+// arithmetic is integer sim-time: one token is credited every perToken
+// nanoseconds, capped at burst, and the refill baseline advances by
+// whole token intervals — so the same take() times always yield the
+// same decisions, independent of float rounding or wall-clock state.
+type bucket struct {
+	perToken sim.Time // interval between tokens; 0 = unlimited
+	burst    int64
+	avail    int64
+	last     sim.Time // refill baseline: the instant avail was current
+	primed   bool     // first take() starts the bucket full
+}
+
+// newBucket sizes a bucket for rate tokens/second with the given burst.
+// rate <= 0 builds an unlimited bucket.
+func newBucket(rate float64, burst int) bucket {
+	if rate <= 0 {
+		return bucket{}
+	}
+	per := sim.Time(float64(sim.Second) / rate)
+	if per <= 0 {
+		per = 1
+	}
+	b := int64(burst)
+	if b < 1 {
+		b = 1
+	}
+	return bucket{perToken: per, burst: b}
+}
+
+// limited reports whether the bucket enforces a rate at all.
+func (b *bucket) limited() bool { return b.perToken > 0 }
+
+// take consumes one token at the simulated instant now. It returns
+// ok=true when a token was available; otherwise readyAt is the earliest
+// instant a token will exist (sleep until then and take again).
+func (b *bucket) take(now sim.Time) (ok bool, readyAt sim.Time) {
+	if b.perToken == 0 {
+		return true, now
+	}
+	if !b.primed {
+		// The bucket starts full at first use; priming lazily keeps the
+		// construction time (load phase, private clocks) out of the
+		// refill baseline.
+		b.primed = true
+		b.avail = b.burst
+		b.last = now
+	}
+	if n := int64((now - b.last) / b.perToken); n > 0 {
+		b.avail += n
+		if b.avail >= b.burst {
+			b.avail = b.burst
+			b.last = now
+		} else {
+			b.last += sim.Time(n) * b.perToken
+		}
+	}
+	if b.avail > 0 {
+		b.avail--
+		return true, now
+	}
+	return false, b.last + b.perToken
+}

@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"testing"
+
+	"noftl/internal/sim"
+)
+
+// TestBucketRefillDeterminism: the bucket's integer sim-time refill
+// must yield byte-identical decision sequences for identical take
+// times — the property the whole admission path's reproducibility
+// rests on.
+func TestBucketRefillDeterminism(t *testing.T) {
+	times := []sim.Time{
+		0, 0, 0, 0, // drain the initial burst
+		100 * sim.Microsecond,
+		999 * sim.Microsecond,
+		1 * sim.Millisecond, // one token (1000/s -> 1ms per token)
+		5 * sim.Millisecond,
+		5 * sim.Millisecond,
+		5 * sim.Millisecond,
+		5 * sim.Millisecond,
+		5 * sim.Millisecond,
+	}
+	type outcome struct {
+		ok    bool
+		ready sim.Time
+	}
+	run := func() []outcome {
+		b := newBucket(1000, 3)
+		out := make([]outcome, 0, len(times))
+		for _, now := range times {
+			ok, ready := b.take(now)
+			out = append(out, outcome{ok, ready})
+		}
+		return out
+	}
+	first := run()
+	for i := 0; i < 3; i++ {
+		if got := run(); len(got) != len(first) {
+			t.Fatal("length mismatch")
+		} else {
+			for j := range got {
+				if got[j] != first[j] {
+					t.Fatalf("run %d decision %d = %+v, want %+v", i, j, got[j], first[j])
+				}
+			}
+		}
+	}
+	// Pin the exact semantics, not just run-to-run equality.
+	want := []outcome{
+		{true, 0}, {true, 0}, {true, 0}, // burst of 3
+		{false, 1 * sim.Millisecond},                             // empty at t=0
+		{false, 1 * sim.Millisecond},                             // still pre-token at 100µs
+		{false, 1 * sim.Millisecond},                             // 999µs: token lands at exactly 1ms
+		{true, 1 * sim.Millisecond},                              // the 1ms token
+		{true, 5 * sim.Millisecond},                              // 4 more credited, capped at burst 3
+		{true, 5 * sim.Millisecond}, {true, 5 * sim.Millisecond}, // drain the cap
+		{false, 6 * sim.Millisecond}, // empty again; baseline moved to now
+		{false, 6 * sim.Millisecond},
+	}
+	for j, w := range want {
+		if first[j] != w {
+			t.Fatalf("decision %d = %+v, want %+v", j, first[j], w)
+		}
+	}
+}
+
+// TestBucketUnlimited: rate 0 never paces.
+func TestBucketUnlimited(t *testing.T) {
+	b := newBucket(0, 0)
+	if b.limited() {
+		t.Fatal("zero-rate bucket reports limited")
+	}
+	for i := 0; i < 100; i++ {
+		if ok, _ := b.take(0); !ok {
+			t.Fatal("unlimited bucket refused a token")
+		}
+	}
+}
+
+// TestBucketBaselineAdvancesByWholeTokens: when an uncapped refill
+// credits n whole tokens, the fractional remainder of the interval
+// stays banked in the baseline — it is neither lost nor double-counted.
+func TestBucketBaselineAdvancesByWholeTokens(t *testing.T) {
+	b := newBucket(1000, 4) // 1ms per token
+	for i := 0; i < 4; i++ {
+		if ok, _ := b.take(0); !ok {
+			t.Fatalf("burst token %d missing", i)
+		}
+	}
+	// 2.5 intervals elapse on an empty bucket: exactly 2 tokens are
+	// credited (no cap: 2 < burst 4) and the leftover 0.5ms stays in
+	// the baseline, so after draining both the next token lands at
+	// 3ms, not 3.5ms.
+	if ok, _ := b.take(2500 * sim.Microsecond); !ok {
+		t.Fatal("first refilled token at 2.5ms missing")
+	}
+	if ok, _ := b.take(2500 * sim.Microsecond); !ok {
+		t.Fatal("second refilled token at 2.5ms missing")
+	}
+	ok, ready := b.take(2500 * sim.Microsecond)
+	if ok {
+		t.Fatal("2.5 intervals yielded three tokens")
+	}
+	if want := 3 * sim.Millisecond; ready != want {
+		t.Fatalf("next token at %v, want %v (whole-interval baseline)", ready, want)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"noftl/internal/noftl"
 	"noftl/internal/region"
 	"noftl/internal/sched"
+	"noftl/internal/serve"
 	"noftl/internal/sim"
 	"noftl/internal/storage"
 	"noftl/internal/telemetry"
@@ -79,6 +80,9 @@ type System struct {
 	// hook installed via Sched.Trace/WithTrace still fires: the builder
 	// chains it behind the log's recorder.
 	CmdLog *trace.CmdLog
+	// Serve is the serving front (nil until StartServe): the tenant
+	// catalog, session record API and admission controller over Engine.
+	Serve *serve.Front
 
 	// BackgroundGC records that the NoFTL volume was built for
 	// worker-driven GC; runners then start maintenance workers instead
@@ -606,6 +610,33 @@ func (s *System) Snapshot() Snapshot {
 		snap.WALBytes = wal.BytesLogged
 	}
 	return snap
+}
+
+// StartServe mounts a serving front over the system's engine: the
+// tenant catalog, the session record API and the admission controller.
+// With telemetry attached it also registers the serve.* metrics and —
+// under serve.ControlFull — hooks the burn-rate SLO guard on the
+// sampler tick; call it after Build and before the kernel runs (the
+// registry seals at the first sample).
+func (s *System) StartServe(cfg serve.Config) (*serve.Front, error) {
+	f, err := serve.New(s.Engine, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if s.Tel != nil {
+		f.Attach(s.Tel)
+	}
+	s.Serve = f
+	return f, nil
+}
+
+// OpenSession opens a tenant's session on a store of the serving front
+// (StartServe first).
+func (s *System) OpenSession(tenant, store string) (*serve.Session, error) {
+	if s.Serve == nil {
+		return nil, fmt.Errorf("system: no serving front (call StartServe)")
+	}
+	return s.Serve.OpenSession(tenant, store)
 }
 
 // StartMaintenance launches the background flash-maintenance workers

@@ -61,6 +61,16 @@ type TerminalConfig struct {
 	// timings are delivered here at commit (typically
 	// telemetry.Telemetry.RecordSpan).
 	SpanSink func(*ioreq.Span)
+	// WorkloadOf, when non-nil, gives terminal id its own workload in
+	// place of the shared one (the serving-front driver binds each
+	// terminal to its own session this way). Returning nil keeps the
+	// shared workload.
+	WorkloadOf func(id int) Workload
+	// Retry, when non-nil, classifies extra errors as retryable: a
+	// transaction failing with one counts a retry (like a lock timeout)
+	// instead of killing the terminal. Admission-shed errors are the
+	// motivating case — the client backs off and tries again.
+	Retry func(error) bool
 }
 
 // Terminals is the handle over a running terminal set.
@@ -81,6 +91,12 @@ func StartTerminals(k *sim.Kernel, e *storage.Engine, wl Workload, cfg TerminalC
 		seed := cfg.Seed + int64(i)*7919
 		if cfg.TagOf != nil {
 			term.Tag = cfg.TagOf(i)
+		}
+		twl := wl
+		if cfg.WorkloadOf != nil {
+			if w := cfg.WorkloadOf(i); w != nil {
+				twl = w
+			}
 		}
 		k.Go(fmt.Sprintf("terminal%d", i), func(p *sim.Proc) {
 			rng := rand.New(rand.NewSource(seed))
@@ -107,7 +123,7 @@ func StartTerminals(k *sim.Kernel, e *storage.Engine, wl Workload, cfg TerminalC
 					sp.Begin(t0)
 					ctx.Span = sp
 				}
-				err := wl.RunOne(ctx, e, rng)
+				err := twl.RunOne(ctx, e, rng)
 				switch {
 				case err == nil:
 					if cfg.Counting == nil || *cfg.Counting {
@@ -122,7 +138,8 @@ func StartTerminals(k *sim.Kernel, e *storage.Engine, wl Workload, cfg TerminalC
 							cfg.SpanSink(ctx.Span)
 						}
 					}
-				case errors.Is(err, storage.ErrLockTimeout):
+				case errors.Is(err, storage.ErrLockTimeout) ||
+					(cfg.Retry != nil && cfg.Retry(err)):
 					term.Retries++
 				default:
 					if cfg.OnFatal != nil {
